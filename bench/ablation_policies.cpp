@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Ablation: how much does the interchange-box steering policy matter?
+ * DESIGN.md calls out the tie-break choice in the Fig. 10 algorithm --
+ * the S registers carry resource *counts*, so the box can steer toward
+ * the richer subtree (the paper's design), always up, or randomly.
+ * This bench compares delay over load for the three policies and their
+ * blocking behaviour in the clocked hardware model.
+ */
+
+#include "figure_common.hpp"
+#include "sched/omega_boxes.hpp"
+
+using namespace rsin;
+using namespace rsin::bench;
+
+namespace {
+
+const char *
+policyName(sched::RoutingPolicy p)
+{
+    switch (p) {
+      case sched::RoutingPolicy::MostResources: return "most-resources";
+      case sched::RoutingPolicy::PreferUpper: return "prefer-upper";
+      case sched::RoutingPolicy::RandomTie: return "random-tie";
+    }
+    return "?";
+}
+
+} // namespace
+
+int
+main()
+{
+    const double mu_n = 1.0;
+    for (double mu_s : {0.1, 1.0}) {
+        std::vector<Curve> curves;
+        for (auto policy : {sched::RoutingPolicy::MostResources,
+                            sched::RoutingPolicy::PreferUpper,
+                            sched::RoutingPolicy::RandomTie}) {
+            ModelOptions model;
+            model.omega.policy = policy;
+            Curve curve = simulatedCurve("16/1x16x16 OMEGA/2", mu_n,
+                                         mu_s, model);
+            curve.name = std::string("policy ") + policyName(policy);
+            curves.push_back(std::move(curve));
+        }
+        printCurves(formatf("Steering-policy ablation, 16/1x16x16 "
+                            "OMEGA/2, mu_s/mu_n = %.1f",
+                            mu_s),
+                    curves);
+    }
+
+    // Blocking view in the clocked hardware: rejects per served request
+    // under batch contention.
+    const topology::MultistageNetwork net(
+        topology::MultistageKind::Omega, 16);
+    TextTable table("Clocked-model rejects per served request "
+                    "(16x16, x requesters, y free ports, r = 1)");
+    table.header({"x", "y", "most-resources", "prefer-upper",
+                  "random-tie"});
+    Rng scen(404);
+    for (std::size_t x : {4u, 8u, 12u}) {
+        for (std::size_t y : {4u, 8u}) {
+            std::vector<std::string> row{formatf("%zu", x),
+                                         formatf("%zu", y)};
+            for (auto policy : {sched::RoutingPolicy::MostResources,
+                                sched::RoutingPolicy::PreferUpper,
+                                sched::RoutingPolicy::RandomTie}) {
+                Rng rng(17);
+                Rng local = scen; // same scenarios for every policy
+                double rejects = 0.0, served = 0.0;
+                for (int trial = 0; trial < 500; ++trial) {
+                    topology::CircuitState circuit(net);
+                    sched::ResourcePool pool(16, 1);
+                    const auto frees =
+                        local.sampleWithoutReplacement(16, y);
+                    std::vector<bool> is_free(16, false);
+                    for (auto f : frees)
+                        is_free[f] = true;
+                    for (std::size_t port = 0; port < 16; ++port)
+                        if (!is_free[port])
+                            pool.forceBusy(port, 0);
+                    const auto sources =
+                        local.sampleWithoutReplacement(16, x);
+                    sched::ClockedOmegaScheduler sched_model(net,
+                                                             policy);
+                    const auto round = sched_model.scheduleRound(
+                        circuit, pool, sources, rng);
+                    rejects += static_cast<double>(round.totalRejects);
+                    served += static_cast<double>(round.served);
+                }
+                row.push_back(formatf("%.3f", rejects /
+                                                  std::max(served, 1.0)));
+            }
+            table.row(std::move(row));
+        }
+    }
+    table.print(std::cout);
+
+    // Status staleness end to end: the clocked Fig. 10 hardware inside
+    // the queueing simulation versus the instantaneous-status
+    // idealization the delay figures use (assumption (c)).
+    std::cout << "\n";
+    {
+        std::vector<Curve> curves;
+        curves.push_back(
+            simulatedCurve("16/1x16x16 OMEGA/2", 1.0, 1.0));
+        ModelOptions clocked;
+        clocked.omega.scheduling = OmegaScheduling::DistributedClocked;
+        Curve c = simulatedCurve("16/1x16x16 OMEGA/2", 1.0, 1.0,
+                                 clocked);
+        c.name = "clocked boxes (stale status)";
+        curves.push_back(std::move(c));
+        printCurves("Status-staleness ablation, mu_s/mu_n = 1.0",
+                    curves);
+    }
+    return 0;
+}

@@ -1,0 +1,285 @@
+/**
+ * @file
+ * Reproduces the Section V blocking-probability comparison: on a free
+ * 8x8 Omega network with random requesting processors and random free
+ * resources, the distributed RSIN scheduler blocks about 0.15 of the
+ * satisfiable requests while conventional address mapping (each
+ * request pre-assigned a random free resource) blocks about 0.3 --
+ * "a request can always search for another available resource when a
+ * particular path is blocked".
+ *
+ * Also reports the Section II example and the clairvoyant optimum
+ * (exhaustive enumeration) for calibration.
+ */
+
+#include <algorithm>
+#include <iostream>
+
+#include "common/rng.hpp"
+#include "common/table.hpp"
+#include "common/text.hpp"
+#include "sched/centralized.hpp"
+#include "sched/omega_boxes.hpp"
+#include "sched/omega_router.hpp"
+#include "topology/multistage.hpp"
+
+using namespace rsin;
+using namespace rsin::sched;
+using namespace rsin::topology;
+
+namespace {
+
+struct Tally
+{
+    std::size_t blocked = 0;
+    std::size_t possible = 0;
+    double rate() const
+    {
+        return possible ? static_cast<double>(blocked) /
+                              static_cast<double>(possible)
+                        : 0.0;
+    }
+};
+
+ResourcePool
+makePool(std::size_t n, const std::vector<std::size_t> &frees)
+{
+    ResourcePool pool(n, 1);
+    for (std::size_t port = 0; port < n; ++port) {
+        if (std::find(frees.begin(), frees.end(), port) == frees.end())
+            pool.forceBusy(port, 0);
+    }
+    return pool;
+}
+
+} // namespace
+
+int
+main()
+{
+    const std::size_t n = 8;
+    const MultistageNetwork net(MultistageKind::Omega, n);
+    const OmegaRouter router(net);
+    Rng rng(2024);
+
+    Tally distributed, clocked, addressed, optimal;
+    const int trials = 4000;
+    for (int trial = 0; trial < trials; ++trial) {
+        const std::size_t x = 1 + rng.uniformInt(std::uint64_t{n});
+        const std::size_t y = 1 + rng.uniformInt(std::uint64_t{n});
+        auto sources = rng.sampleWithoutReplacement(n, x);
+        auto frees = rng.sampleWithoutReplacement(n, y);
+        const std::size_t pairs = std::min(x, y);
+
+        // Distributed, exact status (upper bound on the hardware).
+        {
+            CircuitState circuit(net);
+            auto pool = makePool(n, frees);
+            std::size_t served = 0;
+            for (std::size_t src : sources)
+                if (router.tryRoute(circuit, pool, src, rng))
+                    ++served;
+            distributed.blocked += pairs - std::min(served, pairs);
+            distributed.possible += pairs;
+        }
+        // Distributed, clocked hardware with stale status (Fig. 10).
+        {
+            CircuitState circuit(net);
+            auto pool = makePool(n, frees);
+            ClockedOmegaScheduler sched(net);
+            const auto round =
+                sched.scheduleRound(circuit, pool, sources, rng);
+            clocked.blocked += pairs - std::min(round.served, pairs);
+            clocked.possible += pairs;
+        }
+        // Address mapping: distinct random free resources pre-assigned.
+        {
+            CircuitState circuit(net);
+            auto pool = makePool(n, frees);
+            auto shuffled = frees;
+            rng.shuffle(shuffled);
+            std::size_t served = 0;
+            for (std::size_t k = 0; k < pairs; ++k)
+                if (router.tryRouteAddressed(circuit, pool, sources[k],
+                                             shuffled[k]))
+                    ++served;
+            addressed.blocked += pairs - served;
+            addressed.possible += pairs;
+        }
+        // Clairvoyant optimum by exhaustive enumeration.
+        {
+            CircuitState circuit(net);
+            const auto best = optimalMapping(net, circuit, sources, frees);
+            optimal.blocked +=
+                pairs - std::min(best.maxAllocations, pairs);
+            optimal.possible += pairs;
+        }
+    }
+
+    TextTable table("Section V -- end-state blocking, free 8x8 Omega "
+                    "(unserved / satisfiable)");
+    table.header({"scheduler", "blocking probability",
+                  "paper reference"});
+    table.row({"distributed RSIN (clocked boxes)",
+               formatf("%.3f", clocked.rate()), "~0.15 [14]"});
+    table.row({"distributed RSIN (exact status)",
+               formatf("%.3f", distributed.rate()), "lower bound"});
+    table.row({"address mapping (random free dest)",
+               formatf("%.3f", addressed.rate()), "~0.3 [11]"});
+    table.row({"clairvoyant optimum (enumeration)",
+               formatf("%.3f", optimal.rate()), "lower bound"});
+    table.print(std::cout);
+    std::cout <<
+        "\nThe paper's reference numbers were measured under different\n"
+        "conditions ([11] under traffic, [14] unspecified); the\n"
+        "reproduced *shape* is the RSIN advantage: the distributed\n"
+        "scheduler blocks a fraction of what address mapping does\n"
+        "because a blocked request reroutes to another free resource.\n\n";
+
+    // First-attempt view: how often a request hits a blocked path at
+    // all (even if it recovers by rerouting) -- closer to per-request
+    // blocking statistics of the era.
+    {
+        Rng rng2(77);
+        std::size_t launched = 0, bumped = 0;
+        std::size_t addr_try = 0, addr_fail = 0;
+        const OmegaRouter router2(net);
+        for (int trial = 0; trial < trials; ++trial) {
+            const std::size_t x = 1 + rng2.uniformInt(std::uint64_t{n});
+            const std::size_t y = 1 + rng2.uniformInt(std::uint64_t{n});
+            auto sources = rng2.sampleWithoutReplacement(n, x);
+            auto frees = rng2.sampleWithoutReplacement(n, y);
+            {
+                CircuitState circuit(net);
+                auto pool = makePool(n, frees);
+                ClockedOmegaScheduler sched(net);
+                const auto round =
+                    sched.scheduleRound(circuit, pool, sources, rng2);
+                for (const auto &o : round.outcomes) {
+                    if (o.launches == 0)
+                        continue;
+                    ++launched;
+                    if (o.rejects > 0 || !o.served)
+                        ++bumped;
+                }
+            }
+            {
+                CircuitState circuit(net);
+                auto pool = makePool(n, frees);
+                auto shuffled = frees;
+                rng2.shuffle(shuffled);
+                const std::size_t pairs = std::min(x, y);
+                for (std::size_t k = 0; k < pairs; ++k) {
+                    ++addr_try;
+                    if (!router2.tryRouteAddressed(circuit, pool,
+                                                   sources[k],
+                                                   shuffled[k]))
+                        ++addr_fail;
+                }
+            }
+        }
+        TextTable first("First-attempt view (request bumped at least "
+                        "once / launched)");
+        first.header({"scheduler", "bump probability"});
+        first.row({"distributed RSIN (clocked boxes)",
+                   formatf("%.3f", static_cast<double>(bumped) /
+                                       static_cast<double>(launched))});
+        first.row({"address mapping (first attempt fails)",
+                   formatf("%.3f", static_cast<double>(addr_fail) /
+                                       static_cast<double>(addr_try))});
+        first.print(std::cout);
+    }
+
+    // Loaded-network view: Franklin's ~0.3 was measured on a network
+    // carrying traffic.  Pre-claim random circuits, then measure the
+    // probability that one further request is blocked although a free
+    // resource exists somewhere.
+    {
+        Rng rng3(99);
+        const OmegaRouter router3(net);
+        std::cout << "\n";
+        TextTable loaded("Loaded-network view: P(blocked | a free "
+                         "resource exists), 8x8 Omega");
+        loaded.header({"pre-existing circuits", "distributed RSIN",
+                       "address mapping"});
+        for (std::size_t circuits = 0; circuits <= 4; ++circuits) {
+            std::size_t dist_try = 0, dist_fail = 0;
+            std::size_t addr_try = 0, addr_fail = 0;
+            for (int trial = 0; trial < 4000; ++trial) {
+                CircuitState circuit(net);
+                ResourcePool pool(n, 1);
+                std::size_t placed = 0;
+                for (std::size_t c = 0; c < n && placed < circuits;
+                     ++c) {
+                    const auto src = rng3.uniformInt(std::uint64_t{n});
+                    const auto dst = rng3.uniformInt(std::uint64_t{n});
+                    const auto path = net.path(src, dst);
+                    if (circuit.pathFree(path) && pool.hasFree(dst)) {
+                        circuit.claim(path);
+                        pool.claim(dst);
+                        ++placed;
+                    }
+                }
+                if (pool.totalFree() == 0)
+                    continue;
+                std::size_t src;
+                do {
+                    src = rng3.uniformInt(std::uint64_t{n});
+                } while (!circuit.segmentFree(0, src));
+                // Distributed: can it find any free resource?
+                {
+                    CircuitState snapshot = circuit;
+                    ResourcePool pool_copy = pool;
+                    ++dist_try;
+                    if (!router3.tryRoute(snapshot, pool_copy, src,
+                                          rng3))
+                        ++dist_fail;
+                }
+                // Addressed: a random free destination is assigned.
+                {
+                    std::vector<std::size_t> free_ports;
+                    for (std::size_t port = 0; port < n; ++port)
+                        if (pool.hasFree(port))
+                            free_ports.push_back(port);
+                    const std::size_t dst =
+                        free_ports[rng3.uniformInt(
+                            static_cast<std::uint64_t>(
+                                free_ports.size()))];
+                    CircuitState snapshot = circuit;
+                    ResourcePool pool_copy = pool;
+                    ++addr_try;
+                    if (!router3.tryRouteAddressed(snapshot, pool_copy,
+                                                   src, dst))
+                        ++addr_fail;
+                }
+            }
+            loaded.row({formatf("%zu", circuits),
+                        formatf("%.3f",
+                                static_cast<double>(dist_fail) /
+                                    static_cast<double>(dist_try)),
+                        formatf("%.3f",
+                                static_cast<double>(addr_fail) /
+                                    static_cast<double>(addr_try))});
+        }
+        loaded.print(std::cout);
+    }
+
+    std::cout << "\nSection II example (processors 0,1,2; resources "
+                 "0,1,2):\n";
+    TextTable ex;
+    ex.header({"mapping", "max simultaneous allocations"});
+    const std::vector<std::vector<Mapping>> mappings = {
+        {{0, 0}, {1, 1}, {2, 2}}, {{0, 1}, {1, 0}, {2, 2}},
+        {{0, 2}, {1, 0}, {2, 1}}, {{0, 2}, {1, 1}, {2, 0}},
+        {{0, 0}, {1, 2}, {2, 1}}, {{0, 1}, {1, 2}, {2, 0}},
+    };
+    for (const auto &m : mappings) {
+        std::string label;
+        for (const auto &pair : m)
+            label += formatf("(%zu,%zu)", pair.src, pair.dst);
+        ex.row({label,
+                formatf("%zu", maxCompatibleSubset(net, m))});
+    }
+    ex.print(std::cout);
+    return 0;
+}

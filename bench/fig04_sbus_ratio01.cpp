@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Reproduces paper Fig. 4: normalized queueing delay of single shared
+ * buses connecting 16 processors to 32 resources at mu_s/mu_n = 0.1,
+ * for 1/2/8/16 partitions plus private buses with 3, 4, and unlimited
+ * resources.  Analytic (matrix-geometric Markov solve) with simulation
+ * cross-checks at three loads.
+ *
+ * Expected shape (paper): delay falls as partitions increase; the
+ * 16-partition curve starts *above* the 2-partition curve and crosses
+ * below it near rho ~ 0.64; private-bus delay nearly halves from
+ * r = 2 to r = 4.
+ */
+
+#include "figure_common.hpp"
+#include "markov/sbus_solvers.hpp"
+
+int
+main()
+{
+    using namespace rsin;
+    using namespace rsin::bench;
+    const double mu_n = 1.0, mu_s = 0.1;
+
+    std::vector<Curve> curves;
+    for (const char *text :
+         {"16/1x1x1 SBUS/32", "16/2x1x1 SBUS/16", "16/8x1x1 SBUS/4",
+          "16/16x1x1 SBUS/2", "16/16x1x1 SBUS/3", "16/16x1x1 SBUS/4"})
+        curves.push_back(sbusAnalyticCurve(text, mu_n, mu_s));
+    curves.push_back(privateBusInfinityCurve(mu_n, mu_s));
+    printCurves("Fig. 4 -- SBUS normalized delay, mu_s/mu_n = 0.1",
+                curves);
+
+    // Cross-checks on the canonical 16-partition system: the paper's
+    // own staged iterative solver and the event-driven simulation,
+    // against the matrix-geometric curve above.
+    {
+        const auto cfg = SystemConfig::parse("16/16x1x1 SBUS/2");
+        Curve staged{"16/16x1x1 SBUS/2 (staged, paper's method)", {}};
+        for (double rho : rhoGrid()) {
+            const double lambda = lambdaAt(rho, mu_n, mu_s);
+            markov::SbusParams prm;
+            prm.p = cfg.processorsPerNet();
+            prm.lambda = lambda;
+            prm.muN = mu_n;
+            prm.muS = mu_s;
+            prm.r = cfg.resourcesPerPort;
+            const markov::SbusChain chain(prm);
+            if (!chain.stable()) {
+                staged.cells.push_back("inf");
+                continue;
+            }
+            const auto sol = markov::solveStaged(chain);
+            staged.cells.push_back(
+                cell(sol.normalizedDelay, sol.stable));
+        }
+        printCurves("Fig. 4 cross-check (paper's staged solver + "
+                    "event-driven simulation)",
+                    {staged,
+                     simulatedCurve("16/16x1x1 SBUS/2", mu_n, mu_s),
+                     simulatedCurve("16/2x1x1 SBUS/16", mu_n, mu_s)});
+    }
+    return 0;
+}

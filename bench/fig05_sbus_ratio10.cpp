@@ -1,0 +1,32 @@
+/**
+ * @file
+ * Reproduces paper Fig. 5: normalized queueing delay of single shared
+ * buses at mu_s/mu_n = 1.0 (data transmission as slow as service).
+ *
+ * Expected shape (paper): the bus is always the bottleneck, so delay
+ * decreases monotonically with the number of partitions at every load
+ * (no Fig. 4 crossover), and unlimited private resources barely help.
+ */
+
+#include "figure_common.hpp"
+
+int
+main()
+{
+    using namespace rsin;
+    using namespace rsin::bench;
+    const double mu_n = 1.0, mu_s = 1.0;
+
+    std::vector<Curve> curves;
+    for (const char *text :
+         {"16/1x1x1 SBUS/32", "16/2x1x1 SBUS/16", "16/8x1x1 SBUS/4",
+          "16/16x1x1 SBUS/2", "16/16x1x1 SBUS/4"})
+        curves.push_back(sbusAnalyticCurve(text, mu_n, mu_s));
+    curves.push_back(privateBusInfinityCurve(mu_n, mu_s));
+    printCurves("Fig. 5 -- SBUS normalized delay, mu_s/mu_n = 1.0",
+                curves);
+
+    printCurves("Fig. 5 cross-check (event-driven simulation)",
+                {simulatedCurve("16/16x1x1 SBUS/2", mu_n, mu_s)});
+    return 0;
+}

@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Reproduces paper Fig. 7: normalized queueing delay of multiple
+ * shared buses (crossbars), 16 processors to 32 resources,
+ * mu_s/mu_n = 0.1.  Simulated curves for one large crossbar with
+ * private or shared output ports and for partitioned crossbars, plus
+ * the Section IV light-load and heavy-load SBUS reductions.
+ *
+ * Expected shape (paper): resources are the bottleneck at this ratio,
+ * so partitioning the crossbar costs little delay except under heavy
+ * load; curves are well below the single-bus delays of Fig. 4.
+ */
+
+#include "figure_common.hpp"
+
+int
+main()
+{
+    using namespace rsin;
+    using namespace rsin::bench;
+    const double mu_n = 1.0, mu_s = 0.1;
+
+    std::vector<Curve> curves;
+    for (const char *text :
+         {"16/1x16x32 XBAR/1", "16/1x16x16 XBAR/2", "16/2x8x8 XBAR/2",
+          "16/4x4x4 XBAR/2"})
+        curves.push_back(simulatedCurve(text, mu_n, mu_s));
+    printCurves("Fig. 7 -- XBAR normalized delay, mu_s/mu_n = 0.1",
+                curves);
+
+    // Section IV approximations for the 16x16 shared-port crossbar.
+    const auto cfg = SystemConfig::parse("16/1x16x16 XBAR/2");
+    Curve light{"16/1x16x16 XBAR/2 light-load approx", {}};
+    Curve heavy{"16/1x16x16 XBAR/2 heavy-load approx", {}};
+    for (double rho : rhoGrid()) {
+        const double lambda = lambdaAt(rho, mu_n, mu_s);
+        const auto lo = xbarLightLoad(cfg, lambda, mu_n, mu_s);
+        const auto hi = xbarHeavyLoad(cfg, lambda, mu_n, mu_s);
+        light.cells.push_back(cell(lo.normalizedDelay, lo.stable));
+        heavy.cells.push_back(cell(hi.normalizedDelay, hi.stable));
+    }
+    printCurves("Fig. 7 -- Section IV analytic approximations",
+                {light, heavy});
+    return 0;
+}

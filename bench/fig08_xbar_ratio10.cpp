@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Reproduces paper Fig. 8: crossbar delay at mu_s/mu_n = 1.0.
+ *
+ * Expected shape (paper): the network is the bottleneck, so private
+ * output ports (k = 32, r = 1) beat shared ports (k = 16, r = 2), and
+ * partitioning hurts mainly under heavy load.
+ */
+
+#include "figure_common.hpp"
+
+int
+main()
+{
+    using namespace rsin;
+    using namespace rsin::bench;
+    const double mu_n = 1.0, mu_s = 1.0;
+
+    std::vector<Curve> curves;
+    for (const char *text :
+         {"16/1x16x32 XBAR/1", "16/1x16x16 XBAR/2", "16/2x8x8 XBAR/2",
+          "16/4x4x4 XBAR/2"})
+        curves.push_back(simulatedCurve(text, mu_n, mu_s));
+    printCurves("Fig. 8 -- XBAR normalized delay, mu_s/mu_n = 1.0",
+                curves);
+
+    const auto cfg = SystemConfig::parse("16/1x16x16 XBAR/2");
+    Curve light{"16/1x16x16 XBAR/2 light-load approx", {}};
+    for (double rho : rhoGrid()) {
+        const double lambda = lambdaAt(rho, mu_n, mu_s);
+        const auto lo = xbarLightLoad(cfg, lambda, mu_n, mu_s);
+        light.cells.push_back(cell(lo.normalizedDelay, lo.stable));
+    }
+    printCurves("Fig. 8 -- Section IV light-load approximation",
+                {light});
+    return 0;
+}

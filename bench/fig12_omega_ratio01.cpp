@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Reproduces paper Fig. 12: normalized queueing delay of Omega
+ * networks, 16 processors to 32 resources, mu_s/mu_n = 0.1, for one
+ * 16x16 network down to eight 2x2 networks, with the 16x16 crossbar
+ * for reference.
+ *
+ * Expected shape (paper): very little difference between one 16x16
+ * network and many small ones except under heavy load, and the Omega
+ * curves sit close to the crossbar's (resources are the bottleneck).
+ */
+
+#include "figure_common.hpp"
+
+int
+main()
+{
+    using namespace rsin;
+    using namespace rsin::bench;
+    const double mu_n = 1.0, mu_s = 0.1;
+
+    std::vector<Curve> curves;
+    for (const char *text :
+         {"16/1x16x16 OMEGA/2", "16/2x8x8 OMEGA/2", "16/4x4x4 OMEGA/2",
+          "16/8x2x2 OMEGA/2"})
+        curves.push_back(simulatedCurve(text, mu_n, mu_s));
+    curves.push_back(simulatedCurve("16/1x16x16 XBAR/2", mu_n, mu_s));
+    // Analytic light-load anchor (Section IV reduction applied to the
+    // multistage network).
+    {
+        const auto cfg = SystemConfig::parse("16/1x16x16 OMEGA/2");
+        Curve anchor{"16/1x16x16 OMEGA/2 light-load approx", {}};
+        for (double rho : rhoGrid()) {
+            const double lambda = lambdaAt(rho, mu_n, mu_s);
+            const auto sol =
+                multistageLightLoad(cfg, lambda, mu_n, mu_s);
+            anchor.cells.push_back(
+                cell(sol.normalizedDelay, sol.stable));
+        }
+        curves.push_back(std::move(anchor));
+    }
+    printCurves("Fig. 12 -- OMEGA normalized delay, mu_s/mu_n = 0.1",
+                curves);
+    return 0;
+}

@@ -1,0 +1,32 @@
+/**
+ * @file
+ * Reproduces paper Fig. 13: Omega-network delay at mu_s/mu_n = 1.0.
+ *
+ * Expected shape (paper): the network is the bottleneck; the crossbar
+ * now holds a visible edge over the Omega network (less blocking), and
+ * partitioning into small networks costs more than at ratio 0.1.
+ */
+
+#include "figure_common.hpp"
+
+int
+main()
+{
+    using namespace rsin;
+    using namespace rsin::bench;
+    const double mu_n = 1.0, mu_s = 1.0;
+
+    std::vector<Curve> curves;
+    for (const char *text :
+         {"16/1x16x16 OMEGA/2", "16/2x8x8 OMEGA/2", "16/4x4x4 OMEGA/2",
+          "16/8x2x2 OMEGA/2"})
+        curves.push_back(simulatedCurve(text, mu_n, mu_s));
+    curves.push_back(simulatedCurve("16/1x16x16 XBAR/2", mu_n, mu_s));
+    printCurves("Fig. 13 -- OMEGA normalized delay, mu_s/mu_n = 1.0",
+                curves);
+
+    // The indirect binary n-cube wiring as an extension data point.
+    printCurves("Fig. 13 extension -- indirect binary n-cube wiring",
+                {simulatedCurve("16/1x16x16 CUBE/2", mu_n, mu_s)});
+    return 0;
+}

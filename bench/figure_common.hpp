@@ -1,0 +1,142 @@
+#pragma once
+
+/**
+ * @file
+ * Shared plumbing for the figure-reproduction benches: a common rho
+ * grid, analytic and simulated delay curves, and aligned table output.
+ * Every bench prints normalized delay (mu_s * d) against the paper's
+ * traffic intensity rho, exactly the axes of Figs. 4-13.
+ *
+ * All curves use the *same* traffic normalization base (16 processors,
+ * 32 resources) so different configurations see identical arrival
+ * rates at a given rho, as in the paper's figures; configurations with
+ * more resources (e.g. private buses with r = 3, 4) are simply better
+ * provisioned at the same offered load.
+ */
+
+#include <cstdio>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "common/table.hpp"
+#include "common/text.hpp"
+#include "rsin/analysis.hpp"
+#include "rsin/factory.hpp"
+
+namespace rsin {
+namespace bench {
+
+/** The rho sweep used by all delay figures. */
+inline std::vector<double>
+rhoGrid()
+{
+    return {0.10, 0.20, 0.30, 0.40, 0.50, 0.60, 0.70, 0.80, 0.90};
+}
+
+/** Format a normalized delay cell; saturated points print "inf". */
+inline std::string
+cell(double normalized_delay, bool stable)
+{
+    if (!stable || normalized_delay > 1e6)
+        return "inf";
+    return formatf("%.4f", normalized_delay);
+}
+
+/** One named curve of normalized delays over the rho grid. */
+struct Curve
+{
+    std::string name;
+    std::vector<std::string> cells;
+};
+
+/** The shared 16-processor / 32-resource normalization base. */
+inline SystemConfig
+normalizationBase()
+{
+    return SystemConfig::parse("16/2x1x1 SBUS/16");
+}
+
+/** Arrival rate for rho under the shared normalization. */
+inline double
+lambdaAt(double rho, double mu_n, double mu_s)
+{
+    return lambdaForRho(normalizationBase(), rho, mu_n, mu_s);
+}
+
+/** Analytic SBUS curve (matrix-geometric solver). */
+inline Curve
+sbusAnalyticCurve(const std::string &config_text, double mu_n, double mu_s)
+{
+    const auto cfg = SystemConfig::parse(config_text);
+    Curve curve{config_text + " (analytic)", {}};
+    for (double rho : rhoGrid()) {
+        const double lambda = lambdaAt(rho, mu_n, mu_s);
+        const auto sol = analyzeSbus(cfg, lambda, mu_n, mu_s);
+        curve.cells.push_back(cell(sol.normalizedDelay, sol.stable));
+    }
+    return curve;
+}
+
+/** M/M/1 curve for a private bus with unlimited resources. */
+inline Curve
+privateBusInfinityCurve(double mu_n, double mu_s)
+{
+    const auto cfg = SystemConfig::parse("16/16x1x1 SBUS/1");
+    Curve curve{"16/16x1x1 SBUS/inf (M/M/1)", {}};
+    for (double rho : rhoGrid()) {
+        const double lambda = lambdaAt(rho, mu_n, mu_s);
+        const auto sol = privateBusUnlimited(cfg, lambda, mu_n, mu_s);
+        curve.cells.push_back(cell(sol.normalizedDelay, sol.stable));
+    }
+    return curve;
+}
+
+/** Simulated curve for any configuration. */
+inline Curve
+simulatedCurve(const std::string &config_text, double mu_n, double mu_s,
+               const ModelOptions &model = {},
+               std::uint64_t measure_tasks = 20000,
+               std::size_t replications = 3)
+{
+    const auto cfg = SystemConfig::parse(config_text);
+    Curve curve{config_text + " (sim)", {}};
+    std::uint64_t seed = 1000;
+    for (double rho : rhoGrid()) {
+        workload::WorkloadParams params;
+        params.muN = mu_n;
+        params.muS = mu_s;
+        params.lambda = lambdaAt(rho, mu_n, mu_s);
+        SimOptions opts;
+        opts.seed = seed++;
+        opts.warmupTasks = measure_tasks / 10;
+        opts.measureTasks = measure_tasks;
+        const auto res =
+            simulateReplicated(cfg, params, opts, replications, model);
+        curve.cells.push_back(cell(res.normalizedDelay, !res.saturated));
+    }
+    return curve;
+}
+
+/** Render curves as a rho-indexed table. */
+inline void
+printCurves(const std::string &title, const std::vector<Curve> &curves)
+{
+    TextTable table(title);
+    std::vector<std::string> head{"rho"};
+    for (const auto &c : curves)
+        head.push_back(c.name);
+    table.header(std::move(head));
+    const auto grid = rhoGrid();
+    for (std::size_t i = 0; i < grid.size(); ++i) {
+        std::vector<std::string> row{formatf("%.2f", grid[i])};
+        for (const auto &c : curves)
+            row.push_back(c.cells.at(i));
+        table.row(std::move(row));
+    }
+    table.print(std::cout);
+    std::cout << "\n";
+}
+
+} // namespace bench
+} // namespace rsin

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Reproduces the Section III solver-validation experiment: the paper's
+ * staged iterative procedure versus a direct simultaneous solve of all
+ * balance equations ("within four digits of accuracy in all cases"),
+ * with the matrix-geometric QBD solution as a third, truncation-free
+ * reference, across a grid of (r, ratio, rho).
+ */
+
+#include <cmath>
+#include <iostream>
+
+#include "common/table.hpp"
+#include "common/text.hpp"
+#include "markov/sbus_solvers.hpp"
+#include "queueing/mm_queues.hpp"
+
+int
+main()
+{
+    using namespace rsin;
+    using namespace rsin::markov;
+
+    TextTable table("Section III -- SBUS solver agreement (d values)");
+    table.header({"r", "mu_s/mu_n", "rho", "staged (paper)", "direct",
+                  "matrix-geometric", "staged digits", "stages used"});
+    for (std::size_t r : {1u, 2u, 4u, 8u, 16u, 32u}) {
+        for (double ratio : {0.1, 1.0}) {
+            for (double rho : {0.3, 0.6, 0.9}) {
+                SbusParams prm;
+                prm.p = 16;
+                prm.muN = 1.0;
+                prm.muS = ratio;
+                prm.r = r;
+                prm.lambda = queueing::arrivalRateForIntensity(
+                    prm.p, prm.r, rho, prm.muN, prm.muS);
+                const SbusChain chain(prm);
+                if (!chain.stable()) {
+                    table.row({formatf("%zu", r), formatf("%.1f", ratio),
+                               formatf("%.1f", rho), "unstable", "-",
+                               "-", "-", "-"});
+                    continue;
+                }
+                const auto staged = solveStaged(chain);
+                // The simultaneous balance-equation solve sweeps
+                // (r+1)*q states iteratively; at large r and heavy
+                // load it costs minutes for digits the QBD column
+                // already certifies, so the bench bounds its budget
+                // (the test suite exercises the tight defaults at
+                // small r).
+                // rho = 0.9 on the hypothetical normalization sits at
+                // ~98% of the *true* capacity for small r, so the
+                // truncated chain needs thousands of levels; keep the
+                // direct column to depths that solve in seconds.
+                const bool run_direct = (r <= 8 && rho <= 0.6) || r <= 2;
+                SbusSolution direct;
+                if (run_direct) {
+                    SbusSolveOptions direct_opts;
+                    direct_opts.relTolerance = 1e-7;
+                    direct_opts.directTailMass = 1e-9;
+                    direct_opts.gsTolerance = 1e-11;
+                    direct = solveDirect(chain, direct_opts);
+                }
+                const auto qbd = solveMatrixGeometric(chain);
+                const double rel = std::fabs(staged.queueingDelay -
+                                             qbd.queueingDelay) /
+                                   std::max(qbd.queueingDelay, 1e-300);
+                const double digits =
+                    rel > 0 ? -std::log10(rel) : 16.0;
+                table.row({formatf("%zu", r), formatf("%.1f", ratio),
+                           formatf("%.1f", rho),
+                           formatf("%.6g", staged.queueingDelay),
+                           run_direct
+                               ? formatf("%.6g", direct.queueingDelay)
+                               : std::string("(skipped)"),
+                           formatf("%.6g", qbd.queueingDelay),
+                           formatf("%.1f", digits),
+                           formatf("%zu", staged.levelsUsed)});
+            }
+        }
+    }
+    table.print(std::cout);
+    std::cout <<
+        "\nReading the table: at moderate loads the three methods agree"
+        "\nto 4+ digits (the paper's claim).  rho = 0.9 on the"
+        "\nhypothetical normalization corresponds to ~98% of the true"
+        "\ncapacity for small r; there the staged method hits its"
+        "\ndouble-precision cancellation wall (digits column -> 0,"
+        "\nestimate biased low) and even the truncating direct solve"
+        "\nstrains, while the matrix-geometric solution remains exact."
+        "\n";
+    return 0;
+}

@@ -1,0 +1,146 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks for the library's hot kernels: the
+ * event calendar, the distributed router's availability pass, the
+ * gate-level fabric settle loop, and the Markov solvers.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "common/rng.hpp"
+#include "des/simulator.hpp"
+#include "logic/crossbar_cell.hpp"
+#include "markov/sbus_solvers.hpp"
+#include "rsin/factory.hpp"
+#include "sched/omega_router.hpp"
+#include "topology/multistage.hpp"
+
+namespace {
+
+using namespace rsin;
+
+void
+BM_EventQueueScheduleFire(benchmark::State &state)
+{
+    const std::size_t batch = static_cast<std::size_t>(state.range(0));
+    Rng rng(1);
+    for (auto _ : state) {
+        des::Simulator sim;
+        for (std::size_t i = 0; i < batch; ++i)
+            sim.schedule(rng.uniform01(), [] {});
+        sim.runAll();
+        benchmark::DoNotOptimize(sim.fired());
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(
+        state.iterations() * static_cast<std::int64_t>(batch)));
+}
+BENCHMARK(BM_EventQueueScheduleFire)->Arg(1000)->Arg(10000);
+
+void
+BM_OmegaAvailabilityPass(benchmark::State &state)
+{
+    const std::size_t n = static_cast<std::size_t>(state.range(0));
+    const topology::MultistageNetwork net(
+        topology::MultistageKind::Omega, n);
+    topology::CircuitState circuit(net);
+    sched::ResourcePool pool(n, 2);
+    const sched::OmegaRouter router(net);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(
+            router.availability(circuit, pool, 0));
+}
+BENCHMARK(BM_OmegaAvailabilityPass)->Arg(16)->Arg(64)->Arg(256);
+
+void
+BM_OmegaRouteAndRelease(benchmark::State &state)
+{
+    const std::size_t n = static_cast<std::size_t>(state.range(0));
+    const topology::MultistageNetwork net(
+        topology::MultistageKind::Omega, n);
+    topology::CircuitState circuit(net);
+    sched::ResourcePool pool(n, 2);
+    const sched::OmegaRouter router(net);
+    Rng rng(2);
+    std::size_t src = 0;
+    for (auto _ : state) {
+        auto route = router.tryRoute(circuit, pool, src, rng);
+        if (route) {
+            circuit.release(route->path);
+            pool.release(route->resource);
+        }
+        src = (src + 1) % n;
+    }
+}
+BENCHMARK(BM_OmegaRouteAndRelease)->Arg(16)->Arg(64);
+
+void
+BM_CrossbarFabricRequestCycle(benchmark::State &state)
+{
+    const std::size_t n = static_cast<std::size_t>(state.range(0));
+    logic::CrossbarFabric fab(n, n);
+    const std::vector<bool> req(n, true);
+    const std::vector<bool> avail(n, true);
+    for (auto _ : state) {
+        auto result = fab.requestCycle(req, avail);
+        benchmark::DoNotOptimize(result.gateDelays);
+        fab.resetCycle(req);
+    }
+}
+BENCHMARK(BM_CrossbarFabricRequestCycle)->Arg(8)->Arg(16);
+
+void
+BM_SbusMatrixGeometric(benchmark::State &state)
+{
+    markov::SbusParams prm;
+    prm.p = 16;
+    prm.lambda = 0.05;
+    prm.muN = 1.0;
+    prm.muS = 0.1;
+    prm.r = static_cast<std::size_t>(state.range(0));
+    const markov::SbusChain chain(prm);
+    for (auto _ : state) {
+        auto sol = markov::solveMatrixGeometric(chain);
+        benchmark::DoNotOptimize(sol.queueingDelay);
+    }
+}
+BENCHMARK(BM_SbusMatrixGeometric)->Arg(4)->Arg(16)->Arg(32);
+
+void
+BM_SbusStagedSolver(benchmark::State &state)
+{
+    markov::SbusParams prm;
+    prm.p = 16;
+    prm.lambda = 0.05;
+    prm.muN = 1.0;
+    prm.muS = 0.1;
+    prm.r = static_cast<std::size_t>(state.range(0));
+    const markov::SbusChain chain(prm);
+    for (auto _ : state) {
+        auto sol = markov::solveStaged(chain);
+        benchmark::DoNotOptimize(sol.queueingDelay);
+    }
+}
+BENCHMARK(BM_SbusStagedSolver)->Arg(4)->Arg(16)->Arg(32);
+
+void
+BM_EndToEndOmegaSimulation(benchmark::State &state)
+{
+    const auto cfg = SystemConfig::parse("16/1x16x16 OMEGA/2");
+    workload::WorkloadParams params;
+    params.lambda = 0.05;
+    params.muN = 1.0;
+    params.muS = 0.1;
+    for (auto _ : state) {
+        SimOptions opts;
+        opts.seed = 5;
+        opts.warmupTasks = 200;
+        opts.measureTasks = 2000;
+        auto res = simulate(cfg, params, opts);
+        benchmark::DoNotOptimize(res.meanDelay);
+    }
+}
+BENCHMARK(BM_EndToEndOmegaSimulation);
+
+} // namespace
+
+BENCHMARK_MAIN();

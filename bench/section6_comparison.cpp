@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Reproduces the Section VI cross-class comparison: with comparable
+ * network/resource budgets, a 16/16x1x1 SBUS/3 system delivers much
+ * better delay than 16/4x4x4 OMEGA/2 or 16/4x4x4 XBAR/2, while the
+ * large single networks (crossbar and Omega) bound everything from
+ * below.  Swept over rho for both workload ratios.
+ */
+
+#include "figure_common.hpp"
+#include "rsin/advisor.hpp"
+
+int
+main()
+{
+    using namespace rsin;
+    using namespace rsin::bench;
+
+    for (double mu_s : {0.1, 1.0}) {
+        const double mu_n = 1.0;
+        std::vector<Curve> curves;
+        curves.push_back(
+            sbusAnalyticCurve("16/16x1x1 SBUS/3", mu_n, mu_s));
+        for (const char *text : {"16/4x4x4 OMEGA/2", "16/4x4x4 XBAR/2",
+                                 "16/1x16x16 OMEGA/2",
+                                 "16/1x16x16 XBAR/2"})
+            curves.push_back(simulatedCurve(text, mu_n, mu_s));
+        printCurves(formatf("Section VI comparison, mu_s/mu_n = %.1f",
+                            mu_s),
+                    curves);
+    }
+
+    // Gate budgets behind the comparison.
+    std::cout << "Network gate budgets:\n";
+    TextTable costs;
+    costs.header({"system", "network gates", "total resources"});
+    for (const char *text :
+         {"16/16x1x1 SBUS/3", "16/4x4x4 OMEGA/2", "16/4x4x4 XBAR/2",
+          "16/1x16x16 OMEGA/2", "16/1x16x16 XBAR/2"}) {
+        const auto cfg = SystemConfig::parse(text);
+        costs.row({cfg.str(), formatf("%zu", networkGateCost(cfg)),
+                   formatf("%zu", cfg.totalResources())});
+    }
+    costs.print(std::cout);
+    return 0;
+}

@@ -1,0 +1,137 @@
+/**
+ * @file
+ * Command-line sweep tool: evaluate one or more configurations over a
+ * traffic-intensity range and print a table or CSV -- the "give me the
+ * curve for my system" entry point a downstream user reaches for.
+ *
+ *   ./rsin_sweep "16/1x16x16 OMEGA/2" "16/1x16x16 XBAR/2" \
+ *       --ratio 0.1 --rho-min 0.1 --rho-max 0.9 --steps 9 \
+ *       --tasks 20000 --seed 7 [--csv] [--analytic] [--response]
+ *
+ * With --analytic, SBUS configurations are additionally solved with
+ * the exact Markov model (matrix-geometric).
+ */
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "common/args.hpp"
+#include "common/error.hpp"
+#include "common/table.hpp"
+#include "common/text.hpp"
+#include "rsin/analysis.hpp"
+#include "rsin/factory.hpp"
+
+int
+main(int argc, char **argv)
+{
+    using namespace rsin;
+    try {
+        const ArgParser args(
+            argc, argv, {"csv", "analytic", "response", "help"},
+            {"ratio", "rho-min", "rho-max", "steps", "tasks", "seed",
+             "mu-n"});
+        if (args.flag("help") || args.positional().empty()) {
+            std::cout
+                << "usage: " << args.program()
+                << " CONFIG [CONFIG...] [--ratio R] [--rho-min A]"
+                   " [--rho-max B]\n"
+                   "       [--steps N] [--tasks N] [--seed S] [--mu-n M]"
+                   " [--csv] [--analytic] [--response]\n"
+                   "CONFIG uses the paper notation, e.g."
+                   " '16/1x16x16 OMEGA/2'.\n";
+            return args.flag("help") ? 0 : 1;
+        }
+
+        const double mu_n = args.getDouble("mu-n", 1.0);
+        const double ratio = args.getDouble("ratio", 0.1);
+        const double mu_s = mu_n * ratio;
+        const double rho_min = args.getDouble("rho-min", 0.1);
+        const double rho_max = args.getDouble("rho-max", 0.9);
+        const long steps = args.getLong("steps", 9);
+        const auto tasks =
+            static_cast<std::uint64_t>(args.getLong("tasks", 20000));
+        const auto seed =
+            static_cast<std::uint64_t>(args.getLong("seed", 1));
+        const bool csv = args.flag("csv");
+        const bool response = args.flag("response");
+        RSIN_REQUIRE(steps >= 1, "need at least one sweep step");
+        RSIN_REQUIRE(rho_max >= rho_min, "rho-max must be >= rho-min");
+
+        std::vector<SystemConfig> configs;
+        for (const auto &text : args.positional())
+            configs.push_back(SystemConfig::parse(text));
+
+        std::vector<std::string> head{"rho"};
+        for (const auto &cfg : configs) {
+            head.push_back(cfg.str() + (response ? " T" : " mu_s*d"));
+            if (args.flag("analytic") &&
+                cfg.network == NetworkClass::SingleBus)
+                head.push_back(cfg.str() + " (analytic)");
+        }
+
+        TextTable table(csv ? "" : "rsin_sweep");
+        table.header(head);
+        std::vector<std::vector<std::string>> csv_rows;
+
+        for (long step = 0; step < steps; ++step) {
+            const double rho =
+                steps == 1 ? rho_min
+                           : rho_min + (rho_max - rho_min) *
+                                           static_cast<double>(step) /
+                                           static_cast<double>(steps - 1);
+            std::vector<std::string> row{formatf("%.3f", rho)};
+            for (const auto &cfg : configs) {
+                workload::WorkloadParams params;
+                params.muN = mu_n;
+                params.muS = mu_s;
+                params.lambda = lambdaForRho(cfg, rho, mu_n, mu_s);
+                SimOptions opts;
+                opts.seed = seed + static_cast<std::uint64_t>(step);
+                opts.warmupTasks = tasks / 10;
+                opts.measureTasks = tasks;
+                const auto res = simulate(cfg, params, opts);
+                if (res.saturated) {
+                    row.push_back("inf");
+                } else {
+                    row.push_back(formatf(
+                        "%.5f", response ? res.meanResponse
+                                         : res.normalizedDelay));
+                }
+                if (args.flag("analytic") &&
+                    cfg.network == NetworkClass::SingleBus) {
+                    const auto sol =
+                        analyzeSbus(cfg, params.lambda, mu_n, mu_s);
+                    // The analytic column always reports mu_s*d (the
+                    // Markov model covers the queueing delay only).
+                    row.push_back(sol.stable
+                                      ? formatf("%.5f",
+                                                sol.normalizedDelay)
+                                      : "inf");
+                }
+            }
+            if (csv)
+                csv_rows.push_back(std::move(row));
+            else
+                table.row(std::move(row));
+        }
+
+        if (csv) {
+            for (std::size_t i = 0; i < head.size(); ++i)
+                std::cout << (i ? "," : "") << head[i];
+            std::cout << "\n";
+            for (const auto &row : csv_rows) {
+                for (std::size_t i = 0; i < row.size(); ++i)
+                    std::cout << (i ? "," : "") << row[i];
+                std::cout << "\n";
+            }
+        } else {
+            table.print(std::cout);
+        }
+    } catch (const FatalError &e) {
+        std::cerr << e.what() << "\n";
+        return 1;
+    }
+    return 0;
+}

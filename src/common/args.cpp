@@ -1,0 +1,83 @@
+#include "args.hpp"
+
+#include "error.hpp"
+#include "text.hpp"
+
+namespace rsin {
+
+ArgParser::ArgParser(int argc, const char *const *argv,
+                     std::set<std::string> flag_names,
+                     std::set<std::string> option_names)
+{
+    RSIN_REQUIRE(argc >= 1, "ArgParser: empty argv");
+    program_ = argv[0];
+    for (int i = 1; i < argc; ++i) {
+        std::string token = argv[i];
+        if (token.rfind("--", 0) != 0) {
+            positional_.push_back(std::move(token));
+            continue;
+        }
+        std::string name = token.substr(2);
+        std::string value;
+        bool has_value = false;
+        const auto eq = name.find('=');
+        if (eq != std::string::npos) {
+            value = name.substr(eq + 1);
+            name = name.substr(0, eq);
+            has_value = true;
+        }
+        if (flag_names.count(name)) {
+            RSIN_REQUIRE(!has_value, "ArgParser: flag --", name,
+                         " takes no value");
+            flagsSeen_.insert(name);
+            continue;
+        }
+        RSIN_REQUIRE(option_names.count(name),
+                     "ArgParser: unknown option --", name);
+        if (!has_value) {
+            RSIN_REQUIRE(i + 1 < argc, "ArgParser: option --", name,
+                         " needs a value");
+            value = argv[++i];
+        }
+        options_[name] = std::move(value);
+    }
+}
+
+bool
+ArgParser::flag(const std::string &name) const
+{
+    return flagsSeen_.count(name) > 0;
+}
+
+std::string
+ArgParser::get(const std::string &name, const std::string &fallback) const
+{
+    const auto it = options_.find(name);
+    return it == options_.end() ? fallback : it->second;
+}
+
+double
+ArgParser::getDouble(const std::string &name, double fallback) const
+{
+    const auto it = options_.find(name);
+    if (it == options_.end())
+        return fallback;
+    const auto parsed = parseDouble(it->second);
+    RSIN_REQUIRE(parsed.has_value(), "ArgParser: --", name,
+                 " expects a number, got '", it->second, "'");
+    return *parsed;
+}
+
+long
+ArgParser::getLong(const std::string &name, long fallback) const
+{
+    const auto it = options_.find(name);
+    if (it == options_.end())
+        return fallback;
+    const auto parsed = parseLong(it->second);
+    RSIN_REQUIRE(parsed.has_value(), "ArgParser: --", name,
+                 " expects an integer, got '", it->second, "'");
+    return *parsed;
+}
+
+} // namespace rsin

@@ -1,0 +1,59 @@
+#pragma once
+
+/**
+ * @file
+ * Minimal command-line argument parser for the example tools.
+ *
+ * Supports "--name value", "--name=value" and boolean "--flag" forms,
+ * plus positional arguments.  Unknown options raise FatalError so
+ * typos surface instead of being ignored.
+ */
+
+#include <cstddef>
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace rsin {
+
+/** Parsed command line with typed accessors. */
+class ArgParser
+{
+  public:
+    /**
+     * @param flag_names options that take no value ("--verbose")
+     * @param option_names options that take one value ("--rho 0.5")
+     */
+    ArgParser(int argc, const char *const *argv,
+              std::set<std::string> flag_names,
+              std::set<std::string> option_names);
+
+    bool flag(const std::string &name) const;
+
+    /** String option; @p fallback when absent. */
+    std::string get(const std::string &name,
+                    const std::string &fallback = "") const;
+
+    /** Double option; throws FatalError on malformed numbers. */
+    double getDouble(const std::string &name, double fallback) const;
+
+    /** Integer option; throws FatalError on malformed numbers. */
+    long getLong(const std::string &name, long fallback) const;
+
+    const std::vector<std::string> &positional() const
+    {
+        return positional_;
+    }
+
+    const std::string &program() const { return program_; }
+
+  private:
+    std::string program_;
+    std::set<std::string> flagsSeen_;
+    std::map<std::string, std::string> options_;
+    std::vector<std::string> positional_;
+};
+
+} // namespace rsin

@@ -1,0 +1,33 @@
+#include "error.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace rsin {
+namespace detail {
+
+bool &
+panicThrows()
+{
+    static bool value = false;
+    return value;
+}
+
+[[noreturn]] void
+panicImpl(const char *file, int line, const std::string &msg)
+{
+    std::string full = concat("panic: ", msg, " (", file, ":", line, ")");
+    if (panicThrows())
+        throw PanicError(full);
+    std::fprintf(stderr, "%s\n", full.c_str());
+    std::abort();
+}
+
+[[noreturn]] void
+fatalImpl(const char *file, int line, const std::string &msg)
+{
+    throw FatalError(concat("fatal: ", msg, " (", file, ":", line, ")"));
+}
+
+} // namespace detail
+} // namespace rsin

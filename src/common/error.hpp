@@ -1,0 +1,103 @@
+#pragma once
+
+/**
+ * @file
+ * Error-reporting helpers shared by every rsin module.
+ *
+ * Follows the gem5 distinction between panic() (an internal invariant was
+ * violated -- a bug in this library) and fatal() (the caller supplied an
+ * impossible configuration -- a user error).  Both are implemented as
+ * [[noreturn]] functions that format a message; panic() aborts so that a
+ * debugger or core dump captures the state, fatal() throws a typed
+ * exception so that library users (and tests) can catch it.
+ */
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace rsin {
+
+/** Exception thrown by fatal(): the caller supplied an invalid input. */
+class FatalError : public std::runtime_error
+{
+  public:
+    explicit FatalError(const std::string &msg) : std::runtime_error(msg) {}
+};
+
+/** Exception thrown by panic() in unit tests (see panicThrows below). */
+class PanicError : public std::logic_error
+{
+  public:
+    explicit PanicError(const std::string &msg) : std::logic_error(msg) {}
+};
+
+namespace detail {
+
+/** When true, panic() throws PanicError instead of aborting (test mode). */
+bool &panicThrows();
+
+[[noreturn]] void panicImpl(const char *file, int line,
+                            const std::string &msg);
+[[noreturn]] void fatalImpl(const char *file, int line,
+                            const std::string &msg);
+
+/** Fold a list of streamable values into one string. */
+template <typename... Args>
+std::string
+concat(Args &&...args)
+{
+    std::ostringstream os;
+    (os << ... << args);
+    return os.str();
+}
+
+} // namespace detail
+
+/**
+ * Abort (or throw PanicError in test mode) with a formatted message.
+ * Use for violated internal invariants, never for user input errors.
+ */
+#define RSIN_PANIC(...) \
+    ::rsin::detail::panicImpl(__FILE__, __LINE__, \
+                              ::rsin::detail::concat(__VA_ARGS__))
+
+/** Throw FatalError with a formatted message: the caller's input is bad. */
+#define RSIN_FATAL(...) \
+    ::rsin::detail::fatalImpl(__FILE__, __LINE__, \
+                              ::rsin::detail::concat(__VA_ARGS__))
+
+/** Assert an internal invariant; compiled in every build type. */
+#define RSIN_ASSERT(cond, ...) \
+    do { \
+        if (!(cond)) { \
+            RSIN_PANIC("assertion failed: " #cond " ", ##__VA_ARGS__); \
+        } \
+    } while (0)
+
+/** Validate a user-supplied condition; throws FatalError on failure. */
+#define RSIN_REQUIRE(cond, ...) \
+    do { \
+        if (!(cond)) { \
+            RSIN_FATAL("requirement failed: " #cond " ", ##__VA_ARGS__); \
+        } \
+    } while (0)
+
+/** RAII guard that makes panic() throw instead of abort (for gtest). */
+class ScopedPanicThrows
+{
+  public:
+    ScopedPanicThrows() : saved_(detail::panicThrows())
+    {
+        detail::panicThrows() = true;
+    }
+    ~ScopedPanicThrows() { detail::panicThrows() = saved_; }
+
+    ScopedPanicThrows(const ScopedPanicThrows &) = delete;
+    ScopedPanicThrows &operator=(const ScopedPanicThrows &) = delete;
+
+  private:
+    bool saved_;
+};
+
+} // namespace rsin

@@ -1,0 +1,200 @@
+#include "rng.hpp"
+
+#include <cmath>
+
+#include "error.hpp"
+
+namespace rsin {
+
+std::uint64_t
+splitmix64(std::uint64_t &state)
+{
+    std::uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+namespace {
+
+inline std::uint64_t
+rotl(std::uint64_t x, int k)
+{
+    return (x << k) | (x >> (64 - k));
+}
+
+} // namespace
+
+Rng::Rng(std::uint64_t seed_value)
+{
+    seed(seed_value);
+}
+
+void
+Rng::seed(std::uint64_t seed_value)
+{
+    std::uint64_t sm = seed_value;
+    for (auto &word : s_)
+        word = splitmix64(sm);
+    haveSpareNormal_ = false;
+}
+
+std::uint64_t
+Rng::next()
+{
+    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+}
+
+double
+Rng::uniform01()
+{
+    // 53 random bits scaled into [0, 1).
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+double
+Rng::uniform(double lo, double hi)
+{
+    RSIN_REQUIRE(lo <= hi, "uniform: lo=", lo, " > hi=", hi);
+    return lo + (hi - lo) * uniform01();
+}
+
+std::uint64_t
+Rng::uniformInt(std::uint64_t n)
+{
+    RSIN_REQUIRE(n > 0, "uniformInt: n must be positive");
+    // Lemire-style rejection-free-in-practice bounded generation.
+    std::uint64_t x = next();
+    __uint128_t m = static_cast<__uint128_t>(x) * n;
+    auto lo = static_cast<std::uint64_t>(m);
+    if (lo < n) {
+        const std::uint64_t threshold = (0 - n) % n;
+        while (lo < threshold) {
+            x = next();
+            m = static_cast<__uint128_t>(x) * n;
+            lo = static_cast<std::uint64_t>(m);
+        }
+    }
+    return static_cast<std::uint64_t>(m >> 64);
+}
+
+std::int64_t
+Rng::uniformInt(std::int64_t lo, std::int64_t hi)
+{
+    RSIN_REQUIRE(lo <= hi, "uniformInt: lo=", lo, " > hi=", hi);
+    const auto span =
+        static_cast<std::uint64_t>(hi) - static_cast<std::uint64_t>(lo) + 1;
+    return lo + static_cast<std::int64_t>(uniformInt(span));
+}
+
+bool
+Rng::bernoulli(double p)
+{
+    return uniform01() < p;
+}
+
+double
+Rng::exponential(double rate)
+{
+    RSIN_REQUIRE(rate > 0.0, "exponential: rate must be positive, got ", rate);
+    // -log(1 - U) avoids log(0) since uniform01() < 1.
+    return -std::log1p(-uniform01()) / rate;
+}
+
+std::uint64_t
+Rng::poisson(double mean)
+{
+    RSIN_REQUIRE(mean >= 0.0, "poisson: mean must be non-negative");
+    if (mean == 0.0)
+        return 0;
+    if (mean < 30.0) {
+        // Knuth's product-of-uniforms method.
+        const double limit = std::exp(-mean);
+        std::uint64_t k = 0;
+        double prod = uniform01();
+        while (prod > limit) {
+            ++k;
+            prod *= uniform01();
+        }
+        return k;
+    }
+    // Normal approximation with continuity correction for large means.
+    double draw;
+    do {
+        draw = std::round(normal(mean, std::sqrt(mean)));
+    } while (draw < 0.0);
+    return static_cast<std::uint64_t>(draw);
+}
+
+double
+Rng::normal()
+{
+    if (haveSpareNormal_) {
+        haveSpareNormal_ = false;
+        return spareNormal_;
+    }
+    double u, v, s;
+    do {
+        u = uniform(-1.0, 1.0);
+        v = uniform(-1.0, 1.0);
+        s = u * u + v * v;
+    } while (s >= 1.0 || s == 0.0);
+    const double factor = std::sqrt(-2.0 * std::log(s) / s);
+    spareNormal_ = v * factor;
+    haveSpareNormal_ = true;
+    return u * factor;
+}
+
+double
+Rng::normal(double mean, double stddev)
+{
+    return mean + stddev * normal();
+}
+
+double
+Rng::hyperExponential(double p, double rate1, double rate2)
+{
+    return bernoulli(p) ? exponential(rate1) : exponential(rate2);
+}
+
+double
+Rng::erlang(int k, double rate)
+{
+    RSIN_REQUIRE(k > 0, "erlang: k must be positive");
+    double sum = 0.0;
+    for (int i = 0; i < k; ++i)
+        sum += exponential(rate);
+    return sum;
+}
+
+std::vector<std::size_t>
+Rng::sampleWithoutReplacement(std::size_t n, std::size_t k)
+{
+    RSIN_REQUIRE(k <= n, "sample: k=", k, " exceeds n=", n);
+    std::vector<std::size_t> pool(n);
+    for (std::size_t i = 0; i < n; ++i)
+        pool[i] = i;
+    // Partial Fisher-Yates: only the first k positions need shuffling.
+    for (std::size_t i = 0; i < k; ++i) {
+        std::size_t j = i + uniformInt(n - i);
+        std::swap(pool[i], pool[j]);
+    }
+    pool.resize(k);
+    return pool;
+}
+
+Rng
+Rng::split()
+{
+    return Rng(next() ^ 0xd1b54a32d192ed03ULL);
+}
+
+} // namespace rsin

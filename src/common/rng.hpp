@@ -1,0 +1,104 @@
+#pragma once
+
+/**
+ * @file
+ * Deterministic pseudo-random number generation for simulations.
+ *
+ * All stochastic behaviour in the library flows through Rng so that every
+ * simulation is reproducible from a single 64-bit seed.  The core generator
+ * is xoshiro256** (public-domain algorithm by Blackman & Vigna), seeded via
+ * SplitMix64 so that low-entropy seeds still give well-mixed state.
+ */
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+namespace rsin {
+
+/** SplitMix64 step; used for seeding and as a cheap stateless mixer. */
+std::uint64_t splitmix64(std::uint64_t &state);
+
+/**
+ * xoshiro256** pseudo-random generator with distribution helpers.
+ *
+ * Satisfies the essentials of UniformRandomBitGenerator, but the
+ * distribution helpers below are hand-rolled so results are identical
+ * across standard-library implementations.
+ */
+class Rng
+{
+  public:
+    using result_type = std::uint64_t;
+
+    /** Construct from a 64-bit seed (expanded through SplitMix64). */
+    explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+    /** Re-seed in place, discarding all current state. */
+    void seed(std::uint64_t seed);
+
+    /** Next raw 64-bit output. */
+    std::uint64_t next();
+
+    std::uint64_t operator()() { return next(); }
+    static constexpr std::uint64_t min() { return 0; }
+    static constexpr std::uint64_t max() { return ~0ULL; }
+
+    /** Uniform double in [0, 1). */
+    double uniform01();
+
+    /** Uniform double in [lo, hi). */
+    double uniform(double lo, double hi);
+
+    /** Uniform integer in [0, n); n must be positive. */
+    std::uint64_t uniformInt(std::uint64_t n);
+
+    /** Uniform integer in [lo, hi] inclusive. */
+    std::int64_t uniformInt(std::int64_t lo, std::int64_t hi);
+
+    /** Bernoulli trial with success probability p. */
+    bool bernoulli(double p);
+
+    /** Exponentially distributed value with the given rate (mean 1/rate). */
+    double exponential(double rate);
+
+    /** Poisson-distributed count with the given mean (Knuth / inversion). */
+    std::uint64_t poisson(double mean);
+
+    /** Standard normal via Marsaglia polar method. */
+    double normal();
+
+    /** Normal with given mean and standard deviation. */
+    double normal(double mean, double stddev);
+
+    /** Hyperexponential: rate1 with prob p, else rate2 (for CV > 1 loads). */
+    double hyperExponential(double p, double rate1, double rate2);
+
+    /** k-stage Erlang with the given per-stage rate (for CV < 1 loads). */
+    double erlang(int k, double rate);
+
+    /** Fisher-Yates shuffle of a vector. */
+    template <typename T>
+    void
+    shuffle(std::vector<T> &v)
+    {
+        for (std::size_t i = v.size(); i > 1; --i) {
+            std::size_t j = uniformInt(i);
+            std::swap(v[i - 1], v[j]);
+        }
+    }
+
+    /** Sample k distinct indices from [0, n) in random order. */
+    std::vector<std::size_t> sampleWithoutReplacement(std::size_t n,
+                                                      std::size_t k);
+
+    /** Derive an independent child generator (for per-replication seeds). */
+    Rng split();
+
+  private:
+    std::array<std::uint64_t, 4> s_{};
+    bool haveSpareNormal_ = false;
+    double spareNormal_ = 0.0;
+};
+
+} // namespace rsin

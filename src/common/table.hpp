@@ -1,0 +1,49 @@
+#pragma once
+
+/**
+ * @file
+ * Plain-text table printer used by the figure/table bench harnesses so
+ * every experiment prints rows in the same aligned, diff-friendly format.
+ */
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace rsin {
+
+/** Column-aligned text table with an optional title and column headers. */
+class TextTable
+{
+  public:
+    explicit TextTable(std::string title = "");
+
+    /** Set the header row (column names). */
+    void header(std::vector<std::string> names);
+
+    /** Append a row of pre-formatted cells. */
+    void row(std::vector<std::string> cells);
+
+    /** Append a row of doubles formatted with the given precision. */
+    void rowNumeric(const std::vector<double> &values, int precision = 4);
+
+    /** Append a row whose first cell is a label and the rest doubles. */
+    void rowLabeled(const std::string &label,
+                    const std::vector<double> &values, int precision = 4);
+
+    /** Number of data rows appended so far. */
+    std::size_t rows() const { return rows_.size(); }
+
+    /** Render the whole table. */
+    std::string str() const;
+
+    /** Render to a stream (used by benches: `table.print(std::cout)`). */
+    void print(std::ostream &os) const;
+
+  private:
+    std::string title_;
+    std::vector<std::string> header_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+} // namespace rsin

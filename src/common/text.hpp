@@ -1,0 +1,37 @@
+#pragma once
+
+/**
+ * @file
+ * Small string helpers used by configuration parsing and bench output.
+ */
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace rsin {
+
+/** Strip leading and trailing whitespace. */
+std::string trim(std::string_view s);
+
+/** Split on a delimiter character; empty fields are preserved. */
+std::vector<std::string> split(std::string_view s, char delim);
+
+/** Case-insensitive equality for ASCII strings. */
+bool iequals(std::string_view a, std::string_view b);
+
+/** Upper-case an ASCII string. */
+std::string toUpper(std::string_view s);
+
+/** Parse a non-negative integer; nullopt on malformed input. */
+std::optional<long> parseLong(std::string_view s);
+
+/** Parse a double; nullopt on malformed input. */
+std::optional<double> parseDouble(std::string_view s);
+
+/** printf-style formatting into a std::string. */
+std::string formatf(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+} // namespace rsin

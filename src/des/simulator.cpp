@@ -1,0 +1,84 @@
+#include "simulator.hpp"
+
+#include "common/error.hpp"
+
+namespace rsin {
+namespace des {
+
+bool
+EventHandle::pending() const
+{
+    return record_ && !record_->cancelled && !record_->fired;
+}
+
+EventHandle
+Simulator::schedule(double delay, std::function<void()> action)
+{
+    RSIN_REQUIRE(delay >= 0.0, "schedule: negative delay ", delay);
+    return scheduleAt(now_ + delay, std::move(action));
+}
+
+EventHandle
+Simulator::scheduleAt(double when, std::function<void()> action)
+{
+    RSIN_REQUIRE(when >= now_, "scheduleAt: time ", when,
+                 " is in the past (now ", now_, ")");
+    RSIN_REQUIRE(static_cast<bool>(action), "scheduleAt: empty action");
+    auto record = std::make_shared<EventHandle::Record>();
+    record->action = std::move(action);
+    calendar_.push({when, nextSeq_++, record});
+    ++live_;
+    return EventHandle(record);
+}
+
+void
+Simulator::cancel(EventHandle &handle)
+{
+    if (handle.pending()) {
+        handle.record_->cancelled = true;
+        --live_;
+    }
+}
+
+bool
+Simulator::step()
+{
+    while (!calendar_.empty()) {
+        QueueEntry entry = calendar_.top();
+        calendar_.pop();
+        if (entry.record->cancelled)
+            continue;
+        now_ = entry.time;
+        entry.record->fired = true;
+        --live_;
+        ++fired_;
+        entry.record->action();
+        return true;
+    }
+    return false;
+}
+
+void
+Simulator::runUntil(double until)
+{
+    while (!calendar_.empty()) {
+        // Skip cancelled entries without advancing time.
+        if (calendar_.top().record->cancelled) {
+            calendar_.pop();
+            continue;
+        }
+        if (calendar_.top().time > until)
+            return;
+        step();
+    }
+}
+
+void
+Simulator::runAll()
+{
+    while (step()) {
+    }
+}
+
+} // namespace des
+} // namespace rsin

@@ -1,0 +1,290 @@
+#include "matrix.hpp"
+
+#include <cmath>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace rsin {
+namespace la {
+
+Matrix::Matrix(std::size_t rows, std::size_t cols, double fill)
+    : rows_(rows), cols_(cols), data_(rows * cols, fill)
+{
+}
+
+Matrix::Matrix(std::initializer_list<std::initializer_list<double>> init)
+{
+    rows_ = init.size();
+    cols_ = rows_ ? init.begin()->size() : 0;
+    data_.reserve(rows_ * cols_);
+    for (const auto &row : init) {
+        RSIN_REQUIRE(row.size() == cols_, "Matrix: ragged initializer");
+        for (double v : row)
+            data_.push_back(v);
+    }
+}
+
+Matrix
+Matrix::identity(std::size_t n)
+{
+    Matrix m(n, n);
+    for (std::size_t i = 0; i < n; ++i)
+        m(i, i) = 1.0;
+    return m;
+}
+
+double &
+Matrix::operator()(std::size_t r, std::size_t c)
+{
+    RSIN_ASSERT(r < rows_ && c < cols_, "index (", r, ",", c, ") out of ",
+                rows_, "x", cols_);
+    return data_[r * cols_ + c];
+}
+
+double
+Matrix::operator()(std::size_t r, std::size_t c) const
+{
+    RSIN_ASSERT(r < rows_ && c < cols_, "index (", r, ",", c, ") out of ",
+                rows_, "x", cols_);
+    return data_[r * cols_ + c];
+}
+
+Matrix
+Matrix::operator+(const Matrix &other) const
+{
+    RSIN_REQUIRE(rows_ == other.rows_ && cols_ == other.cols_,
+                 "matrix add: shape mismatch");
+    Matrix out(rows_, cols_);
+    for (std::size_t i = 0; i < data_.size(); ++i)
+        out.data_[i] = data_[i] + other.data_[i];
+    return out;
+}
+
+Matrix
+Matrix::operator-(const Matrix &other) const
+{
+    RSIN_REQUIRE(rows_ == other.rows_ && cols_ == other.cols_,
+                 "matrix subtract: shape mismatch");
+    Matrix out(rows_, cols_);
+    for (std::size_t i = 0; i < data_.size(); ++i)
+        out.data_[i] = data_[i] - other.data_[i];
+    return out;
+}
+
+Matrix
+Matrix::operator*(const Matrix &other) const
+{
+    RSIN_REQUIRE(cols_ == other.rows_, "matrix multiply: shape mismatch");
+    Matrix out(rows_, other.cols_);
+    for (std::size_t i = 0; i < rows_; ++i) {
+        for (std::size_t k = 0; k < cols_; ++k) {
+            const double aik = (*this)(i, k);
+            if (aik == 0.0)
+                continue;
+            for (std::size_t j = 0; j < other.cols_; ++j)
+                out(i, j) += aik * other(k, j);
+        }
+    }
+    return out;
+}
+
+Matrix
+Matrix::operator*(double scalar) const
+{
+    Matrix out(rows_, cols_);
+    for (std::size_t i = 0; i < data_.size(); ++i)
+        out.data_[i] = data_[i] * scalar;
+    return out;
+}
+
+Vector
+Matrix::operator*(const Vector &v) const
+{
+    RSIN_REQUIRE(v.size() == cols_, "matrix-vector multiply: shape mismatch");
+    Vector out(rows_, 0.0);
+    for (std::size_t i = 0; i < rows_; ++i) {
+        double acc = 0.0;
+        for (std::size_t j = 0; j < cols_; ++j)
+            acc += (*this)(i, j) * v[j];
+        out[i] = acc;
+    }
+    return out;
+}
+
+Matrix
+Matrix::transpose() const
+{
+    Matrix out(cols_, rows_);
+    for (std::size_t i = 0; i < rows_; ++i)
+        for (std::size_t j = 0; j < cols_; ++j)
+            out(j, i) = (*this)(i, j);
+    return out;
+}
+
+double
+Matrix::maxNorm() const
+{
+    double m = 0.0;
+    for (double v : data_)
+        m = std::max(m, std::fabs(v));
+    return m;
+}
+
+std::string
+Matrix::str(int precision) const
+{
+    std::ostringstream os;
+    os.precision(precision);
+    for (std::size_t i = 0; i < rows_; ++i) {
+        os << "[ ";
+        for (std::size_t j = 0; j < cols_; ++j)
+            os << (*this)(i, j) << " ";
+        os << "]\n";
+    }
+    return os.str();
+}
+
+double
+norm2(const Vector &v)
+{
+    double acc = 0.0;
+    for (double x : v)
+        acc += x * x;
+    return std::sqrt(acc);
+}
+
+double
+normInf(const Vector &v)
+{
+    double m = 0.0;
+    for (double x : v)
+        m = std::max(m, std::fabs(x));
+    return m;
+}
+
+double
+dot(const Vector &a, const Vector &b)
+{
+    RSIN_REQUIRE(a.size() == b.size(), "dot: size mismatch");
+    double acc = 0.0;
+    for (std::size_t i = 0; i < a.size(); ++i)
+        acc += a[i] * b[i];
+    return acc;
+}
+
+Vector
+subtract(const Vector &a, const Vector &b)
+{
+    RSIN_REQUIRE(a.size() == b.size(), "subtract: size mismatch");
+    Vector out(a.size());
+    for (std::size_t i = 0; i < a.size(); ++i)
+        out[i] = a[i] - b[i];
+    return out;
+}
+
+LuFactors::LuFactors(const Matrix &a)
+    : lu_(a), perm_(a.rows())
+{
+    RSIN_REQUIRE(a.square(), "LU: matrix must be square");
+    const std::size_t n = lu_.rows();
+    for (std::size_t i = 0; i < n; ++i)
+        perm_[i] = i;
+
+    for (std::size_t col = 0; col < n; ++col) {
+        // Partial pivoting: pick the largest magnitude in this column.
+        std::size_t pivot = col;
+        double best = std::fabs(lu_(col, col));
+        for (std::size_t r = col + 1; r < n; ++r) {
+            const double cand = std::fabs(lu_(r, col));
+            if (cand > best) {
+                best = cand;
+                pivot = r;
+            }
+        }
+        RSIN_REQUIRE(best > 1e-300, "LU: matrix is singular at column ", col);
+        if (pivot != col) {
+            for (std::size_t j = 0; j < n; ++j)
+                std::swap(lu_(col, j), lu_(pivot, j));
+            std::swap(perm_[col], perm_[pivot]);
+            permSign_ = -permSign_;
+        }
+        const double diag = lu_(col, col);
+        for (std::size_t r = col + 1; r < n; ++r) {
+            const double factor = lu_(r, col) / diag;
+            lu_(r, col) = factor;
+            if (factor == 0.0)
+                continue;
+            for (std::size_t j = col + 1; j < n; ++j)
+                lu_(r, j) -= factor * lu_(col, j);
+        }
+    }
+}
+
+Vector
+LuFactors::solve(const Vector &b) const
+{
+    const std::size_t n = lu_.rows();
+    RSIN_REQUIRE(b.size() == n, "LU solve: rhs size mismatch");
+    Vector x(n);
+    // Forward substitution on the permuted RHS (unit lower triangle).
+    for (std::size_t i = 0; i < n; ++i) {
+        double acc = b[perm_[i]];
+        for (std::size_t j = 0; j < i; ++j)
+            acc -= lu_(i, j) * x[j];
+        x[i] = acc;
+    }
+    // Back substitution (upper triangle).
+    for (std::size_t ii = n; ii > 0; --ii) {
+        const std::size_t i = ii - 1;
+        double acc = x[i];
+        for (std::size_t j = i + 1; j < n; ++j)
+            acc -= lu_(i, j) * x[j];
+        x[i] = acc / lu_(i, i);
+    }
+    return x;
+}
+
+double
+LuFactors::determinant() const
+{
+    double det = permSign_;
+    for (std::size_t i = 0; i < lu_.rows(); ++i)
+        det *= lu_(i, i);
+    return det;
+}
+
+Vector
+solve(const Matrix &a, const Vector &b)
+{
+    return LuFactors(a).solve(b);
+}
+
+Vector
+stationaryFromGenerator(const Matrix &q)
+{
+    RSIN_REQUIRE(q.square(), "stationary: generator must be square");
+    const std::size_t n = q.rows();
+    RSIN_REQUIRE(n > 0, "stationary: empty generator");
+    // Solve Q^T pi = 0 with the last equation replaced by sum(pi) = 1.
+    Matrix a = q.transpose();
+    for (std::size_t j = 0; j < n; ++j)
+        a(n - 1, j) = 1.0;
+    Vector b(n, 0.0);
+    b[n - 1] = 1.0;
+    Vector pi = solve(a, b);
+    // Clamp tiny negative round-off and renormalize.
+    double sum = 0.0;
+    for (auto &p : pi) {
+        if (p < 0.0 && p > -1e-9)
+            p = 0.0;
+        sum += p;
+    }
+    RSIN_REQUIRE(sum > 0.0, "stationary: degenerate solution");
+    for (auto &p : pi)
+        p /= sum;
+    return pi;
+}
+
+} // namespace la
+} // namespace rsin

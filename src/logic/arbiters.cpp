@@ -1,0 +1,84 @@
+#include "arbiters.hpp"
+
+#include "common/error.hpp"
+
+namespace rsin {
+namespace logic {
+
+ArbiterCircuit
+ArbiterCircuit::daisyChain(std::size_t width)
+{
+    RSIN_REQUIRE(width >= 1, "daisyChain: need at least one line");
+    ArbiterCircuit arb;
+    arb.requests_.resize(width);
+    arb.grants_.resize(width);
+    for (auto &net : arb.requests_)
+        net = arb.netlist_.makeNet("req");
+    // inhibit ripples: grant_i = req_i & !any_above;
+    // any_above_{i+1} = any_above_i | req_i.
+    NetId any_above = arb.netlist_.makeNet("gnd"); // constant 0
+    for (std::size_t i = 0; i < width; ++i) {
+        const NetId not_above = arb.netlist_.inv(any_above);
+        arb.grants_[i] =
+            arb.netlist_.andGate(arb.requests_[i], not_above);
+        if (i + 1 < width)
+            any_above =
+                arb.netlist_.orGate(any_above, arb.requests_[i]);
+    }
+    arb.sim_ = std::make_unique<LogicSim>(arb.netlist_);
+    arb.sim_->settle();
+    return arb;
+}
+
+ArbiterCircuit
+ArbiterCircuit::parallelPrefix(std::size_t width)
+{
+    RSIN_REQUIRE(width >= 1, "parallelPrefix: need at least one line");
+    ArbiterCircuit arb;
+    arb.requests_.resize(width);
+    arb.grants_.resize(width);
+    for (auto &net : arb.requests_)
+        net = arb.netlist_.makeNet("req");
+    // Kogge-Stone inclusive prefix OR, then shift by one for the
+    // exclusive "any request above me" signal.
+    std::vector<NetId> prefix = arb.requests_;
+    for (std::size_t stride = 1; stride < width; stride *= 2) {
+        std::vector<NetId> next = prefix;
+        for (std::size_t i = stride; i < width; ++i)
+            next[i] = arb.netlist_.orGate(prefix[i],
+                                          prefix[i - stride]);
+        prefix = std::move(next);
+    }
+    const NetId ground = arb.netlist_.makeNet("gnd");
+    for (std::size_t i = 0; i < width; ++i) {
+        const NetId above = i == 0 ? ground : prefix[i - 1];
+        const NetId not_above = arb.netlist_.inv(above);
+        arb.grants_[i] =
+            arb.netlist_.andGate(arb.requests_[i], not_above);
+    }
+    arb.sim_ = std::make_unique<LogicSim>(arb.netlist_);
+    arb.sim_->settle();
+    return arb;
+}
+
+ArbiterCircuit::Grant
+ArbiterCircuit::select(const std::vector<bool> &requests)
+{
+    RSIN_REQUIRE(requests.size() == width(),
+                 "select: request width mismatch");
+    for (std::size_t i = 0; i < width(); ++i)
+        sim_->set(requests_[i], requests[i]);
+    Grant grant;
+    grant.gateDelays = sim_->settle();
+    for (std::size_t i = 0; i < width(); ++i) {
+        if (sim_->get(grants_[i])) {
+            RSIN_ASSERT(grant.index == npos,
+                        "select: multiple grants raised");
+            grant.index = i;
+        }
+    }
+    return grant;
+}
+
+} // namespace logic
+} // namespace rsin

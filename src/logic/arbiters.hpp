@@ -1,0 +1,69 @@
+#pragma once
+
+/**
+ * @file
+ * Gate-level centralized resource selectors -- the hardware behind the
+ * paper's centralized-scheduler delay claims.
+ *
+ * Both circuits take m request lines (resource i is free / processor i
+ * is asking) and raise exactly one grant line, the lowest-index active
+ * request:
+ *
+ *  - daisyChain: the grant ripples through a chain of inhibit gates;
+ *    O(m) settle delay (the linear allocator of Rathi et al. [25] in
+ *    its simplest form);
+ *  - parallelPrefix: a Kogge-Stone-style prefix-OR tree computes
+ *    "any request above me" in ceil(log2 m) levels; O(log m) settle
+ *    delay (Foster's priority circuit [34]).
+ *
+ * The two are functionally identical -- the randomized tests check
+ * them against each other -- and their measured settle delays feed the
+ * central_vs_distributed bench.
+ */
+
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+#include "logic/netlist.hpp"
+
+namespace rsin {
+namespace logic {
+
+/** A built selector circuit with its I/O nets. */
+class ArbiterCircuit
+{
+  public:
+    /** Linear inhibit chain; depth grows linearly with width. */
+    static ArbiterCircuit daisyChain(std::size_t width);
+
+    /** Parallel-prefix priority circuit; logarithmic depth. */
+    static ArbiterCircuit parallelPrefix(std::size_t width);
+
+    std::size_t width() const { return requests_.size(); }
+    std::size_t gateCount() const { return netlist_.combinationalGates(); }
+
+    /** Result of one selection. */
+    struct Grant
+    {
+        /** Index of the granted request, or npos if none. */
+        std::size_t index = npos;
+        /** Gate delays for the circuit to settle. */
+        std::size_t gateDelays = 0;
+    };
+    static constexpr std::size_t npos = static_cast<std::size_t>(-1);
+
+    /** Apply a request pattern and settle. */
+    Grant select(const std::vector<bool> &requests);
+
+  private:
+    ArbiterCircuit() = default;
+
+    Netlist netlist_;
+    std::vector<NetId> requests_;
+    std::vector<NetId> grants_;
+    std::unique_ptr<LogicSim> sim_;
+};
+
+} // namespace logic
+} // namespace rsin

@@ -1,0 +1,241 @@
+#include "crossbar_cell.hpp"
+
+#include "common/error.hpp"
+
+namespace rsin {
+namespace logic {
+
+CellPorts
+buildCrossbarCell(Netlist &nl, NetId mode, NetId x_in, NetId y_in,
+                  std::optional<NetId> data_in,
+                  std::optional<NetId> data_through)
+{
+    CellPorts ports;
+    ports.mode = mode;
+    ports.xIn = x_in;
+    ports.yIn = y_in;
+
+    // Latch output net must exist before the feedback path references it.
+    ports.latchQ = nl.makeNet("L");
+
+    // Two delay pads (wire delay in a real layout) retard the moment
+    // the cell *acts* on an incoming request by two gate delays, while
+    // the resource-blocking path below taps the early, unpadded X.
+    // This way a cell starts shielding its column three gate delays
+    // before any decision that could race it -- the synchronization
+    // that makes the asynchronous 45-degree wave hazard-free.  Without
+    // it, a request whose columns were cleared earlier (by rows above)
+    // overtakes the wave and latches onto a bus the previous row is
+    // about to claim.
+    const NetId x_dec = nl.buf(nl.buf(x_in));           // (delay pads)
+
+    const NetId not_y = nl.inv(y_in);                   // 1
+
+    // S = !MODE & X & Y = NOR(MODE, NAND(X, Y)) -- two gates, and the
+    // set path is only two gate delays long.
+    const NetId nand_xy = nl.nandGate(x_dec, y_in);     // 2
+    const NetId set_sig = nl.norGate(mode, nand_xy);    // 3
+
+    // R = MODE & X
+    const NetId reset_sig = nl.andGate(mode, x_dec);    // 4
+
+    // X_next = X & (MODE | !Y)
+    const NetId mode_or_ny = nl.orGate(mode, not_y);    // 5
+    ports.xOut = nl.andGate(x_dec, mode_or_ny);         // 6
+
+    // Y_next = Y & (MODE | !(X | L)): the resource signal is blocked
+    // while a request transits the cell or the crosspoint is held, and
+    // keeps being blocked by the latch after X returns to 0 (the
+    // "L-bar" behaviour under Table I).  Tapping the *early* X makes
+    // the block land before any downstream decision.
+    const NetId nor_xl = nl.norGate(x_in, ports.latchQ); // 7
+    const NetId pass_ok = nl.orGate(mode, nor_xl);       // 8
+    ports.yOut = nl.andGate(y_in, pass_ok);              // 9
+
+    // Data path: while the latch is closed, the processor's data line
+    // drives this column's bus line (wired-OR down the column):
+    // DO_next = DO_prev | (DI & L).  Two gates, completing the paper's
+    // eleven-gate budget.
+    ports.dataIn = data_in ? *data_in : nl.makeNet("DI");
+    const NetId gated = nl.andGate(ports.dataIn, ports.latchQ); // 10
+    ports.dataThrough =
+        data_through ? *data_through : nl.makeNet("DO_prev");
+    ports.dataOut = nl.orGate(ports.dataThrough, gated);        // 11
+
+    nl.latch(ports.latchQ, set_sig, reset_sig);
+    return ports;
+}
+
+CrossbarFabric::CrossbarFabric(std::size_t processors, std::size_t buses)
+    : p_(processors), m_(buses)
+{
+    RSIN_REQUIRE(p_ >= 1 && m_ >= 1, "CrossbarFabric: need at least 1x1");
+    mode_ = netlist_.makeNet("MODE");
+    xInputs_.resize(p_);
+    yInputs_.resize(m_);
+    dataInputs_.resize(p_);
+    latches_.assign(p_, std::vector<NetId>(m_));
+
+    for (std::size_t i = 0; i < p_; ++i) {
+        xInputs_[i] = netlist_.makeNet("X_in");
+        dataInputs_[i] = netlist_.makeNet("DI");
+    }
+    for (std::size_t j = 0; j < m_; ++j)
+        yInputs_[j] = netlist_.makeNet("Y_in");
+
+    // Column-wise running Y and data nets; row-wise running X nets,
+    // wired so the signals sweep from the top-left corner to the
+    // bottom-right corner in the 45-degree wave described in
+    // Section IV.  Column data lines start from a constant-low net.
+    std::vector<NetId> y_run = yInputs_;
+    const NetId ground = netlist_.makeNet("0");
+    std::vector<NetId> data_run(m_, ground);
+    xOutputs_.resize(p_);
+    for (std::size_t i = 0; i < p_; ++i) {
+        NetId x_run = xInputs_[i];
+        for (std::size_t j = 0; j < m_; ++j) {
+            CellPorts cell =
+                buildCrossbarCell(netlist_, mode_, x_run, y_run[j],
+                                  dataInputs_[i], data_run[j]);
+            latches_[i][j] = cell.latchQ;
+            x_run = cell.xOut;
+            y_run[j] = cell.yOut;
+            data_run[j] = cell.dataOut;
+        }
+        xOutputs_[i] = x_run;
+    }
+    yOutputs_ = y_run;
+    dataOutputs_ = data_run;
+    sim_.emplace(netlist_);
+    // Warm the netlist to its quiescent all-inputs-low state.  The
+    // power-on state (every net 0) is not stable for the NAND/NOR set
+    // path -- the NAND rests at 1 -- so the first sweeps emit a
+    // transient set pulse; settle, then clear the latches it caught
+    // (hardware would do the same with a power-on reset cycle).
+    sim_->settle();
+    for (std::size_t i = 0; i < p_; ++i)
+        for (std::size_t j = 0; j < m_; ++j)
+            sim_->set(latches_[i][j], false);
+    sim_->settle();
+}
+
+CrossbarFabric::RequestResult
+CrossbarFabric::requestCycle(const std::vector<bool> &requesting,
+                             const std::vector<bool> &available)
+{
+    RSIN_REQUIRE(requesting.size() == p_,
+                 "requestCycle: requesting size mismatch");
+    RSIN_REQUIRE(available.size() == m_,
+                 "requestCycle: available size mismatch");
+
+    // Remember which crosspoints were already held so fresh grants can
+    // be distinguished from standing connections.
+    std::vector<std::vector<bool>> held(p_, std::vector<bool>(m_));
+    for (std::size_t i = 0; i < p_; ++i)
+        for (std::size_t j = 0; j < m_; ++j)
+            held[i][j] = sim_->get(latches_[i][j]);
+
+    // The resource (Y) signals are continuous: they are asserted and
+    // allowed to settle down the columns before any request enters, as
+    // in the hardware where R_j drives Y whenever the bus is free.
+    sim_->set(mode_, false);
+    for (std::size_t j = 0; j < m_; ++j)
+        sim_->set(yInputs_[j], available[j]);
+    sim_->settle();
+
+    // Requests enter as the 45-degree wave of Section IV: row i's
+    // request is injected four gate delays (one cell's Y-path depth)
+    // after row i-1's, so every cell decides only after the resource
+    // signals already reflect all higher-priority rows.  Injecting all
+    // rows in the same instant would race the asynchronous latches and
+    // can double-grant a bus -- the synchronization the paper buys by
+    // starting cycles only on settled signals.
+    // Each row consumes one wave step (four gate delays) whether or
+    // not it requests: a claim's column-blocking signal ripples down
+    // through *every* intervening cell at one gate delay per row, so a
+    // distant later requester must be held back by the full row
+    // distance or it outruns the block.
+    std::size_t delays = 0;
+    for (std::size_t i = 0; i < p_; ++i) {
+        sim_->set(xInputs_[i], requesting[i]);
+        sim_->sweep(4);
+        delays += 4;
+    }
+    delays += sim_->settle();
+
+    RequestResult result;
+    result.gateDelays = delays;
+    result.allocation.assign(p_, npos);
+    for (std::size_t i = 0; i < p_; ++i) {
+        for (std::size_t j = 0; j < m_; ++j) {
+            if (sim_->get(latches_[i][j]) && !held[i][j]) {
+                RSIN_ASSERT(result.allocation[i] == npos,
+                            "processor ", i, " granted two buses");
+                result.allocation[i] = j;
+            }
+        }
+        if (sim_->get(xOutputs_[i]))
+            result.unserved.push_back(i);
+    }
+
+    // End of the cycle: request lines return to 0 (the paper's X signal
+    // convention) so standing latches keep shielding the Y columns.
+    for (std::size_t i = 0; i < p_; ++i)
+        sim_->set(xInputs_[i], false);
+    sim_->settle();
+    return result;
+}
+
+CrossbarFabric::ResetResult
+CrossbarFabric::resetCycle(const std::vector<bool> &releasing)
+{
+    RSIN_REQUIRE(releasing.size() == p_,
+                 "resetCycle: releasing size mismatch");
+    sim_->set(mode_, true);
+    for (std::size_t j = 0; j < m_; ++j)
+        sim_->set(yInputs_[j], false);
+    for (std::size_t i = 0; i < p_; ++i)
+        sim_->set(xInputs_[i], releasing[i]);
+    ResetResult result;
+    result.gateDelays = sim_->settle();
+
+    for (std::size_t i = 0; i < p_; ++i)
+        sim_->set(xInputs_[i], false);
+    sim_->set(mode_, false);
+    sim_->settle();
+    return result;
+}
+
+bool
+CrossbarFabric::crosspoint(std::size_t i, std::size_t j) const
+{
+    RSIN_REQUIRE(i < p_ && j < m_, "crosspoint: out of range");
+    return sim_->get(latches_[i][j]);
+}
+
+std::size_t
+CrossbarFabric::connectionOf(std::size_t i) const
+{
+    for (std::size_t j = 0; j < m_; ++j)
+        if (crosspoint(i, j))
+            return j;
+    return npos;
+}
+
+void
+CrossbarFabric::driveData(std::size_t i, bool value)
+{
+    RSIN_REQUIRE(i < p_, "driveData: out of range");
+    sim_->set(dataInputs_[i], value);
+    sim_->settle();
+}
+
+bool
+CrossbarFabric::busData(std::size_t j) const
+{
+    RSIN_REQUIRE(j < m_, "busData: out of range");
+    return sim_->get(dataOutputs_[j]);
+}
+
+} // namespace logic
+} // namespace rsin

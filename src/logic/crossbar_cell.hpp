@@ -1,0 +1,135 @@
+#pragma once
+
+/**
+ * @file
+ * Gate-level realization of the distributed-scheduling crossbar cell
+ * (paper Section IV, Fig. 6 and Table I) and the full p x m fabric.
+ *
+ * Cell logic (derived from Table I; MODE = 0 request, 1 reset):
+ *   S       = !MODE & X & Y          (claim the bus)
+ *   R       = MODE & X               (row-wide relinquish)
+ *   X_next  = X & (MODE | !Y)        (pass the request on if unserved)
+ *   Y_next  = Y & (MODE | !(X | L))  (consume or shield the resource
+ *                                     signal; the set latch keeps
+ *                                     shielding after X drops back to 0)
+ *   DO_next = DO_prev | (DI & L)     (data path onto the column bus)
+ *
+ * This costs exactly eleven gates and one latch per cell, matching the
+ * paper's count.  Every control path is at most four gate delays in
+ * request mode and the X path is one gate delay in reset mode, so the
+ * 45-degree wave of Section IV yields request cycles of about 4(p+m)
+ * and reset cycles of about (p+m) gate delays; CrossbarFabric measures
+ * both on real wave propagation.
+ */
+
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+#include "logic/netlist.hpp"
+
+namespace rsin {
+namespace logic {
+
+/** Net ids of one cell's external connections. */
+struct CellPorts
+{
+    NetId mode;  ///< shared mode line (input)
+    NetId xIn;   ///< request in (from the left neighbour)
+    NetId yIn;   ///< resource in (from the upper neighbour)
+    NetId xOut;  ///< request out (to the right neighbour)
+    NetId yOut;  ///< resource out (to the lower neighbour)
+    NetId latchQ; ///< control latch output (crosspoint state)
+    NetId dataIn; ///< processor data line DI_i (input)
+    NetId dataThrough; ///< column data line from the cell above (input)
+    NetId dataOut; ///< column data line toward the bus (wired-OR)
+};
+
+/**
+ * Instantiate one crossbar cell into @p nl.
+ * @param nl netlist under construction
+ * @param mode shared MODE net
+ * @param x_in request input net
+ * @param y_in resource input net
+ * @param data_in processor data line; created fresh when omitted
+ * @param data_through column data line from above; created when omitted
+ */
+CellPorts buildCrossbarCell(Netlist &nl, NetId mode, NetId x_in, NetId y_in,
+                            std::optional<NetId> data_in = std::nullopt,
+                            std::optional<NetId> data_through =
+                                std::nullopt);
+
+/**
+ * A full p x m gate-level crossbar fabric with per-row request inputs
+ * and per-column resource inputs, plus the cycle drivers described in
+ * Section IV (requests accepted only at cycle starts; signals settle in
+ * a 45-degree wave).
+ */
+class CrossbarFabric
+{
+  public:
+    CrossbarFabric(std::size_t processors, std::size_t buses);
+
+    std::size_t processors() const { return p_; }
+    std::size_t buses() const { return m_; }
+
+    /** Total combinational gates (excluding latches). */
+    std::size_t gateCount() const { return netlist_.combinationalGates(); }
+    std::size_t latchCount() const { return netlist_.latches(); }
+
+    /** Result of one request cycle. */
+    struct RequestResult
+    {
+        /** allocation[i] = bus granted to processor i, or npos. */
+        std::vector<std::size_t> allocation;
+        /** Processors whose request came back unserved (X_{i,m} = 1). */
+        std::vector<std::size_t> unserved;
+        /** Gate delays taken for the wave to settle. */
+        std::size_t gateDelays = 0;
+    };
+    static constexpr std::size_t npos = static_cast<std::size_t>(-1);
+
+    /**
+     * Run one request cycle: @p requesting processors raise X, buses in
+     * @p available raise Y.  Latches set in previous cycles persist.
+     */
+    RequestResult requestCycle(const std::vector<bool> &requesting,
+                               const std::vector<bool> &available);
+
+    /** Result of one reset cycle. */
+    struct ResetResult
+    {
+        std::size_t gateDelays = 0;
+    };
+
+    /** Run one reset cycle: @p releasing processors relinquish rows. */
+    ResetResult resetCycle(const std::vector<bool> &releasing);
+
+    /** Current crosspoint state (latch outputs). */
+    bool crosspoint(std::size_t i, std::size_t j) const;
+
+    /** Bus currently held by processor @p i, or npos. */
+    std::size_t connectionOf(std::size_t i) const;
+
+    /** Drive processor @p i's data line and settle the data path. */
+    void driveData(std::size_t i, bool value);
+
+    /** Current value of bus @p j's data line (bottom of the column). */
+    bool busData(std::size_t j) const;
+
+  private:
+    std::size_t p_, m_;
+    Netlist netlist_;
+    std::optional<LogicSim> sim_; ///< built after the netlist is wired
+    NetId mode_ = 0;
+    std::vector<NetId> xInputs_;  ///< X_{i,0}
+    std::vector<NetId> yInputs_;  ///< Y_{0,j}
+    std::vector<NetId> xOutputs_; ///< X_{i,m}
+    std::vector<NetId> yOutputs_; ///< Y_{p,j}
+    std::vector<NetId> dataInputs_;  ///< DI_i
+    std::vector<NetId> dataOutputs_; ///< column data lines at the buses
+    std::vector<std::vector<NetId>> latches_; ///< [i][j]
+};
+
+} // namespace logic
+} // namespace rsin

@@ -1,0 +1,223 @@
+#include "netlist.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace rsin {
+namespace logic {
+
+NetId
+Netlist::makeNet(std::string name)
+{
+    names_.push_back(std::move(name));
+    return static_cast<NetId>(names_.size() - 1);
+}
+
+NetId
+Netlist::makeNets(std::size_t n)
+{
+    RSIN_REQUIRE(n > 0, "makeNets: n must be positive");
+    const NetId first = makeNet();
+    for (std::size_t i = 1; i < n; ++i)
+        makeNet();
+    return first;
+}
+
+void
+Netlist::drive(GateKind kind, NetId out, NetId a, NetId b, NetId c)
+{
+    RSIN_REQUIRE(out < nets() && a < nets(), "drive: bad net id");
+    gates_.push_back({kind, out, a, b, c});
+}
+
+NetId
+Netlist::buf(NetId a)
+{
+    const NetId out = makeNet();
+    drive(GateKind::Buf, out, a);
+    return out;
+}
+
+NetId
+Netlist::inv(NetId a)
+{
+    const NetId out = makeNet();
+    drive(GateKind::Not, out, a);
+    return out;
+}
+
+NetId
+Netlist::andGate(NetId a, NetId b)
+{
+    const NetId out = makeNet();
+    drive(GateKind::And, out, a, b);
+    return out;
+}
+
+NetId
+Netlist::orGate(NetId a, NetId b)
+{
+    const NetId out = makeNet();
+    drive(GateKind::Or, out, a, b);
+    return out;
+}
+
+NetId
+Netlist::nandGate(NetId a, NetId b)
+{
+    const NetId out = makeNet();
+    drive(GateKind::Nand, out, a, b);
+    return out;
+}
+
+NetId
+Netlist::norGate(NetId a, NetId b)
+{
+    const NetId out = makeNet();
+    drive(GateKind::Nor, out, a, b);
+    return out;
+}
+
+NetId
+Netlist::xorGate(NetId a, NetId b)
+{
+    const NetId out = makeNet();
+    drive(GateKind::Xor, out, a, b);
+    return out;
+}
+
+NetId
+Netlist::and3(NetId a, NetId b, NetId c)
+{
+    const NetId out = makeNet();
+    drive(GateKind::And3, out, a, b, c);
+    return out;
+}
+
+NetId
+Netlist::or3(NetId a, NetId b, NetId c)
+{
+    const NetId out = makeNet();
+    drive(GateKind::Or3, out, a, b, c);
+    return out;
+}
+
+void
+Netlist::latch(NetId out, NetId s, NetId r)
+{
+    drive(GateKind::Latch, out, s, r);
+}
+
+std::size_t
+Netlist::combinationalGates() const
+{
+    std::size_t n = 0;
+    for (const auto &g : gates_)
+        if (g.kind != GateKind::Latch && g.kind != GateKind::Buf)
+            ++n;
+    return n;
+}
+
+std::size_t
+Netlist::latches() const
+{
+    std::size_t n = 0;
+    for (const auto &g : gates_)
+        if (g.kind == GateKind::Latch)
+            ++n;
+    return n;
+}
+
+std::size_t
+Netlist::delayPads() const
+{
+    std::size_t n = 0;
+    for (const auto &g : gates_)
+        if (g.kind == GateKind::Buf)
+            ++n;
+    return n;
+}
+
+LogicSim::LogicSim(const Netlist &netlist)
+    : netlist_(netlist), values_(netlist.nets(), 0)
+{
+}
+
+void
+LogicSim::set(NetId id, bool value)
+{
+    RSIN_REQUIRE(id < values_.size(), "set: bad net id");
+    values_[id] = value ? 1 : 0;
+}
+
+bool
+LogicSim::get(NetId id) const
+{
+    RSIN_REQUIRE(id < values_.size(), "get: bad net id");
+    return values_[id] != 0;
+}
+
+bool
+LogicSim::sweepOnce()
+{
+    bool changed = false;
+    // Evaluate every gate against the values at the start of this
+    // sweep so one sweep == one gate delay everywhere.
+    std::vector<std::uint8_t> next = values_;
+    for (const auto &g : netlist_.allGates()) {
+        const bool a = values_[g.a] != 0;
+        const bool b = values_[g.b] != 0;
+        const bool c = values_[g.c] != 0;
+        bool out = false;
+        switch (g.kind) {
+          case GateKind::Buf: out = a; break;
+          case GateKind::Not: out = !a; break;
+          case GateKind::And: out = a && b; break;
+          case GateKind::Or: out = a || b; break;
+          case GateKind::Nand: out = !(a && b); break;
+          case GateKind::Nor: out = !(a || b); break;
+          case GateKind::Xor: out = a != b; break;
+          case GateKind::And3: out = a && b && c; break;
+          case GateKind::Or3: out = a || b || c; break;
+          case GateKind::Latch:
+            // a = set, b = reset; hold otherwise.  Set dominates,
+            // matching the cell design where S and R are mutually
+            // exclusive by construction.
+            out = a || (values_[g.out] != 0 && !b);
+            break;
+        }
+        if ((values_[g.out] != 0) != out)
+            changed = true;
+        next[g.out] = out ? 1 : 0;
+    }
+    values_ = std::move(next);
+    return changed;
+}
+
+std::size_t
+LogicSim::settle(std::size_t max_sweeps)
+{
+    for (std::size_t sweep = 0; sweep < max_sweeps; ++sweep) {
+        if (!sweepOnce())
+            return sweep; // this sweep confirmed stability
+    }
+    RSIN_PANIC("LogicSim::settle: oscillation detected after ", max_sweeps,
+               " sweeps");
+}
+
+void
+LogicSim::sweep(std::size_t count)
+{
+    for (std::size_t i = 0; i < count; ++i)
+        sweepOnce();
+}
+
+void
+LogicSim::reset()
+{
+    std::fill(values_.begin(), values_.end(), 0);
+}
+
+} // namespace logic
+} // namespace rsin

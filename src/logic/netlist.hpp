@@ -1,0 +1,134 @@
+#pragma once
+
+/**
+ * @file
+ * Tiny gate-level logic simulator.
+ *
+ * Combinational gates have unit delay; evaluation proceeds in
+ * synchronous sweeps (one sweep = one gate delay), so the number of
+ * sweeps needed for the network to settle is exactly the propagation
+ * delay in gate delays -- the unit the paper uses for the crossbar
+ * request/reset cycle lengths (Section IV: 4(p+m) and (p+m)).
+ *
+ * A set/reset latch primitive is included for the cell's control latch.
+ */
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace rsin {
+namespace logic {
+
+/** Index of a net (wire) in a Netlist. */
+using NetId = std::uint32_t;
+
+/** Supported gate kinds. */
+enum class GateKind : std::uint8_t
+{
+    Buf,   ///< out = a
+    Not,   ///< out = !a
+    And,   ///< out = a & b
+    Or,    ///< out = a | b
+    Nand,  ///< out = !(a & b)
+    Nor,   ///< out = !(a | b)
+    Xor,   ///< out = a ^ b
+    And3,  ///< out = a & b & c
+    Or3,   ///< out = a | b | c
+    Latch, ///< set/reset latch: a = S, b = R; set wins if both
+};
+
+/** One gate instance. */
+struct Gate
+{
+    GateKind kind;
+    NetId out;
+    NetId a;
+    NetId b; ///< unused for Buf/Not
+    NetId c; ///< used only by And3/Or3
+};
+
+/** A bag of nets and gates; construct once, simulate many times. */
+class Netlist
+{
+  public:
+    /** Create a net; @p name is kept for diagnostics. */
+    NetId makeNet(std::string name = "");
+
+    /** Create @p n anonymous nets, returning the first id. */
+    NetId makeNets(std::size_t n);
+
+    NetId buf(NetId a);
+    NetId inv(NetId a);
+    NetId andGate(NetId a, NetId b);
+    NetId orGate(NetId a, NetId b);
+    NetId nandGate(NetId a, NetId b);
+    NetId norGate(NetId a, NetId b);
+    NetId xorGate(NetId a, NetId b);
+    NetId and3(NetId a, NetId b, NetId c);
+    NetId or3(NetId a, NetId b, NetId c);
+
+    /** Add a gate that drives an existing net (for wiring by position). */
+    void drive(GateKind kind, NetId out, NetId a, NetId b = 0, NetId c = 0);
+
+    /** Set/reset latch driving @p out from set @p s and reset @p r. */
+    void latch(NetId out, NetId s, NetId r);
+
+    std::size_t nets() const { return names_.size(); }
+    std::size_t gates() const { return gates_.size(); }
+
+    /** Logic gates: everything except latches and Buf delay pads. */
+    std::size_t combinationalGates() const;
+    std::size_t latches() const;
+
+    /** Buf elements (delay padding / wire delay), counted separately. */
+    std::size_t delayPads() const;
+
+    const std::vector<Gate> &allGates() const { return gates_; }
+    const std::string &netName(NetId id) const { return names_.at(id); }
+
+  private:
+    std::vector<std::string> names_;
+    std::vector<Gate> gates_;
+};
+
+/** Simulation state over a Netlist: net values plus sweep evaluation. */
+class LogicSim
+{
+  public:
+    explicit LogicSim(const Netlist &netlist);
+
+    /** Force a net to a value (primary inputs). */
+    void set(NetId id, bool value);
+
+    bool get(NetId id) const;
+
+    /**
+     * Sweep evaluation until no net changes.
+     * @param max_sweeps safety bound; exceeding it means oscillation
+     * @return number of sweeps performed = propagation delay in gate
+     *         delays (0 if already stable)
+     */
+    std::size_t settle(std::size_t max_sweeps = 100000);
+
+    /**
+     * Run exactly @p count sweeps (each one gate delay), regardless of
+     * whether the network is already stable.  Used to model staged
+     * signal injection (e.g. the crossbar's 45-degree request wave).
+     */
+    void sweep(std::size_t count);
+
+    /** Clear every net (and latch state) to 0. */
+    void reset();
+
+  private:
+    /** One synchronous sweep; returns true if any net changed. */
+    bool sweepOnce();
+
+    const Netlist &netlist_;
+    std::vector<std::uint8_t> values_;
+};
+
+} // namespace logic
+} // namespace rsin

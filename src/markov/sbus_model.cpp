@@ -1,0 +1,237 @@
+#include "sbus_model.hpp"
+
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace rsin {
+namespace markov {
+
+double
+SbusParams::arrivalRate() const
+{
+    return static_cast<double>(p) * lambda;
+}
+
+void
+SbusParams::validate() const
+{
+    RSIN_REQUIRE(p >= 1, "SbusParams: p must be >= 1");
+    RSIN_REQUIRE(r >= 1, "SbusParams: r must be >= 1");
+    RSIN_REQUIRE(lambda >= 0.0, "SbusParams: lambda must be >= 0");
+    RSIN_REQUIRE(muN > 0.0, "SbusParams: muN must be > 0");
+    RSIN_REQUIRE(muS > 0.0, "SbusParams: muS must be > 0");
+}
+
+SbusChain::SbusChain(const SbusParams &params)
+    : params_(params)
+{
+    params_.validate();
+    buildBlocks();
+}
+
+void
+SbusChain::buildBlocks()
+{
+    const std::size_t r = params_.r;
+    const double pl = params_.arrivalRate();
+    const double mu_n = params_.muN;
+    const double mu_s = params_.muS;
+    const std::size_t n_level = r + 1;
+    const std::size_t n_bound = 2 * r + 1;
+
+    a0_ = la::Matrix(n_level, n_level);
+    a1_ = la::Matrix(n_level, n_level);
+    a2_ = la::Matrix(n_level, n_level);
+    b00_ = la::Matrix(n_bound, n_bound);
+    b01_ = la::Matrix(n_bound, n_level);
+    b10_ = la::Matrix(n_level, n_bound);
+
+    // ---- Level l >= 1 blocks.  j in [0, r-1] is (n=1, s=j); j=r is
+    // (n=0, s=r).
+    for (std::size_t j = 0; j <= r; ++j) {
+        double exit = 0.0;
+        // Arrivals always push the level up, same in-level position.
+        a0_(j, j) = pl;
+        exit += pl;
+        if (j < r) {
+            const double s = static_cast<double>(j);
+            // Service completion on one of the s busy resources.
+            if (j >= 1) {
+                a1_(j, j - 1) += s * mu_s;
+                exit += s * mu_s;
+            }
+            // Transmission completion.
+            if (j < r - 1) {
+                // Next queued task starts transmitting immediately:
+                // level drops, busy count rises.
+                a2_(j, j + 1) += mu_n;
+            } else {
+                // s = r-1: receiving resource was the last free one, so
+                // the bus falls idle; the level is unchanged.
+                a1_(j, r) += mu_n;
+            }
+            exit += mu_n;
+        } else {
+            // j = r: (n=0, s=r).  A service completion frees a resource
+            // and the head-of-queue task begins transmitting.
+            const double rate = static_cast<double>(r) * mu_s;
+            a2_(j, r - 1) += rate;
+            exit += rate;
+        }
+        a1_(j, j) -= exit;
+    }
+
+    // ---- Level-0 blocks.  k in [0, r] is (n=0, s=k); k = r+1+s is
+    // (n=1, s).
+    for (std::size_t k = 0; k < b00_.rows(); ++k) {
+        double exit = 0.0;
+        if (k <= r) {
+            const std::size_t s = k;
+            if (s < r) {
+                // Arrival goes straight onto the idle bus.
+                b00_(k, r + 1 + s) += pl;
+            } else {
+                // All resources busy: the arrival queues (level 1, j=r).
+                b01_(k, r) += pl;
+            }
+            exit += pl;
+            if (s >= 1) {
+                const double rate = static_cast<double>(s) * mu_s;
+                b00_(k, k - 1) += rate;
+                exit += rate;
+            }
+        } else {
+            const std::size_t s = k - (r + 1);
+            // Arrival queues behind the transmitting task: level 1, j=s.
+            b01_(k, s) += pl;
+            exit += pl;
+            // Transmission completes; queue empty so the bus idles and
+            // the receiving resource becomes busy: (0, 0, s+1).
+            b00_(k, s + 1) += params_.muN;
+            exit += params_.muN;
+            if (s >= 1) {
+                const double rate = static_cast<double>(s) * mu_s;
+                b00_(k, k - 1) += rate;
+                exit += rate;
+            }
+        }
+        b00_(k, k) -= exit;
+    }
+
+    // ---- Level-1 -> level-0 block.
+    for (std::size_t j = 0; j <= r; ++j) {
+        if (j < r - 1) {
+            // Transmission completes; the queued task (the only one)
+            // starts transmitting: (0, 1, s+1) = boundary r+1+(j+1).
+            b10_(j, r + 1 + j + 1) += params_.muN;
+        } else if (j == r) {
+            // (1, 0, r): a service completion lets the single queued
+            // task start transmitting: (0, 1, r-1).
+            b10_(j, r + 1 + r - 1) +=
+                static_cast<double>(params_.r) * params_.muS;
+        }
+        // j == r-1: transmission completion stays in level 1 (handled
+        // by a1_); there is no l-decreasing transition from it.
+    }
+}
+
+double
+SbusChain::saturationThroughput() const
+{
+    // Saturated sub-chain on the level states (queue never empty):
+    // its transition structure is exactly the off-diagonal parts of
+    // A1 + A2.  Departure rate = muN * P(bus transmitting).
+    const std::size_t n = levelSize();
+    Ctmc chain;
+    chain.reserveStates(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        for (std::size_t j = 0; j < n; ++j) {
+            if (i == j)
+                continue;
+            const double rate = a1_(i, j) + a2_(i, j);
+            if (rate > 0.0)
+                chain.addTransition(i, j, rate);
+        }
+    }
+    const la::Vector pi = chain.stationaryDense();
+    double busy_bus = 0.0;
+    for (std::size_t j = 0; j + 1 < n; ++j)
+        busy_bus += pi[j];
+    return params_.muN * busy_bus;
+}
+
+bool
+SbusChain::stable() const
+{
+    return params_.arrivalRate() < saturationThroughput();
+}
+
+std::size_t
+SbusChain::truncatedIndex(std::size_t level, std::size_t j) const
+{
+    if (level == 0) {
+        RSIN_REQUIRE(j < boundarySize(), "truncatedIndex: bad boundary j");
+        return j;
+    }
+    RSIN_REQUIRE(j < levelSize(), "truncatedIndex: bad level j");
+    return boundarySize() + (level - 1) * levelSize() + j;
+}
+
+std::string
+SbusChain::stateLabel(std::size_t level, std::size_t j) const
+{
+    std::ostringstream os;
+    const std::size_t r = params_.r;
+    if (level == 0) {
+        if (j <= r)
+            os << "N^0_{0," << j << "}";
+        else
+            os << "N^0_{1," << (j - r - 1) << "}";
+    } else {
+        if (j < r)
+            os << "N^" << level << "_{1," << j << "}";
+        else
+            os << "N^" << level << "_{0," << r << "}";
+    }
+    return os.str();
+}
+
+Ctmc
+SbusChain::buildTruncated(std::size_t max_level) const
+{
+    RSIN_REQUIRE(max_level >= 1, "buildTruncated: need at least one level");
+    Ctmc chain;
+    const std::size_t total =
+        boundarySize() + max_level * levelSize();
+    chain.reserveStates(total);
+
+    auto add_block = [&](const la::Matrix &block, std::size_t from_level,
+                         std::size_t to_level) {
+        for (std::size_t i = 0; i < block.rows(); ++i) {
+            for (std::size_t j = 0; j < block.cols(); ++j) {
+                const double rate = block(i, j);
+                if (rate <= 0.0 ||
+                    (from_level == to_level && i == j))
+                    continue;
+                chain.addTransition(truncatedIndex(from_level, i),
+                                    truncatedIndex(to_level, j), rate);
+            }
+        }
+    };
+
+    add_block(b00_, 0, 0);
+    add_block(b01_, 0, 1);
+    add_block(b10_, 1, 0);
+    for (std::size_t level = 1; level <= max_level; ++level) {
+        add_block(a1_, level, level);
+        if (level >= 2)
+            add_block(a2_, level, level - 1);
+        if (level < max_level)
+            add_block(a0_, level, level + 1); // top-level arrivals dropped
+    }
+    return chain;
+}
+
+} // namespace markov
+} // namespace rsin

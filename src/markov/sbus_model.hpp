@@ -1,0 +1,106 @@
+#pragma once
+
+/**
+ * @file
+ * Markov model of a single shared bus RSIN (paper Section III, Fig. 3).
+ *
+ * State N^l_{n,s}: l tasks queued, n in {0,1} tasks transmitting on the
+ * bus, s in {0..r} busy resources.  Feasible states:
+ *   (l, 1, s) with 0 <= s <= r-1   -- bus busy, a free resource is the
+ *                                     destination of the transmission;
+ *   (l, 0, r)                      -- all resources busy, bus forced idle;
+ *   (0, 0, s) with 0 <= s <= r     -- empty queue, idle bus.
+ *
+ * Levels l >= 1 all contain r+1 states and have identical transition
+ * blocks, making the chain a quasi-birth-death (QBD) process:
+ *   A0 = up-level (arrival) rates, A1 = within-level, A2 = down-level.
+ * Level 0 has 2r+1 states with boundary blocks B00, B01, B10.
+ */
+
+#include <cstddef>
+#include <string>
+
+#include "la/matrix.hpp"
+#include "markov/ctmc.hpp"
+
+namespace rsin {
+namespace markov {
+
+/** Parameters of the single-shared-bus Markov model. */
+struct SbusParams
+{
+    std::size_t p = 1;    ///< processors feeding the bus
+    double lambda = 0.1;  ///< per-processor Poisson arrival rate
+    double muN = 1.0;     ///< bus transmission rate (1/mean transmit time)
+    double muS = 1.0;     ///< resource service rate (1/mean service time)
+    std::size_t r = 1;    ///< resources attached to the bus
+
+    /** Aggregate arrival rate p * lambda. */
+    double arrivalRate() const;
+
+    /** Throw FatalError unless every field is usable. */
+    void validate() const;
+};
+
+/**
+ * QBD block view and state enumeration of the SBUS chain.
+ *
+ * Level-l (l >= 1) state order: index j in [0, r-1] is (n=1, s=j);
+ * index r is (n=0, s=r).  Level-0 state order: index k in [0, r] is
+ * (n=0, s=k); index r+1+s is (n=1, s=s).
+ */
+class SbusChain
+{
+  public:
+    explicit SbusChain(const SbusParams &params);
+
+    const SbusParams &params() const { return params_; }
+
+    std::size_t levelSize() const { return params_.r + 1; }
+    std::size_t boundarySize() const { return 2 * params_.r + 1; }
+
+    /** Up-level block (arrivals), (r+1) x (r+1). */
+    const la::Matrix &a0() const { return a0_; }
+    /** Within-level block including diagonal, (r+1) x (r+1). */
+    const la::Matrix &a1() const { return a1_; }
+    /** Down-level block, (r+1) x (r+1). */
+    const la::Matrix &a2() const { return a2_; }
+    /** Level-0 within block including diagonal, (2r+1) x (2r+1). */
+    const la::Matrix &b00() const { return b00_; }
+    /** Level-0 -> level-1 block, (2r+1) x (r+1). */
+    const la::Matrix &b01() const { return b01_; }
+    /** Level-1 -> level-0 block, (r+1) x (2r+1). */
+    const la::Matrix &b10() const { return b10_; }
+
+    /**
+     * Maximum sustainable throughput of the bus/resource complex (the
+     * departure rate when the queue never empties); the chain is
+     * positive recurrent iff p*lambda < saturationThroughput().
+     */
+    double saturationThroughput() const;
+
+    /** Convenience: is the offered load below saturation? */
+    bool stable() const;
+
+    /**
+     * Build the full chain truncated at queue level @p max_level
+     * (arrivals at the top level are dropped).  State indexing:
+     * boundary states first, then levels in order.
+     */
+    Ctmc buildTruncated(std::size_t max_level) const;
+
+    /** Index of level-l state j inside buildTruncated()'s chain. */
+    std::size_t truncatedIndex(std::size_t level, std::size_t j) const;
+
+    /** Debug label of a level-l state. */
+    std::string stateLabel(std::size_t level, std::size_t j) const;
+
+  private:
+    void buildBlocks();
+
+    SbusParams params_;
+    la::Matrix a0_, a1_, a2_, b00_, b01_, b10_;
+};
+
+} // namespace markov
+} // namespace rsin

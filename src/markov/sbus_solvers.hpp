@@ -1,0 +1,76 @@
+#pragma once
+
+/**
+ * @file
+ * Solvers for the single-shared-bus Markov chain (paper Section III).
+ *
+ * Three independent methods are provided:
+ *
+ *  - solveStaged(): the paper's iterative procedure.  Elementary states
+ *    are placed at a high stage q+1; Eq. (2) is applied downwards
+ *    (states on stage i-1 are expressed in terms of stages i and i+1 --
+ *    possible because the up-level block p*lambda*I is invertible while
+ *    the down-level block is singular); q grows until the delay estimate
+ *    stops improving.
+ *
+ *  - solveDirect(): the paper's validation method -- all balance
+ *    equations of the truncated chain solved simultaneously
+ *    ("(r+1)(q+1) balance equations").
+ *
+ *  - solveMatrixGeometric(): modern QBD solution via the rate matrix R
+ *    (pi_{l+1} = pi_l R), giving a closed-form tail and an independent
+ *    numerical cross-check.
+ *
+ * All three agree to several digits for stable systems (test-verified),
+ * reproducing the paper's "within four digits of accuracy" claim.
+ */
+
+#include <cstddef>
+
+#include "markov/sbus_model.hpp"
+
+namespace rsin {
+namespace markov {
+
+/** Result of an SBUS chain solve. */
+struct SbusSolution
+{
+    bool stable = true;          ///< false => delays are infinite
+    double meanQueueLength = 0;  ///< E[l], mean number waiting
+    double queueingDelay = 0;    ///< d = E[l] / (p*lambda), Eq. (1)
+    double normalizedDelay = 0;  ///< mu_s * d, as plotted in Figs. 4-5
+    double busUtilization = 0;   ///< P(bus transmitting)
+    double resourceUtilization = 0; ///< E[s] / r
+    double probEmptySystem = 0;  ///< P(no task anywhere)
+    /** P(an arrival starts transmitting immediately): by PASTA, the
+     *  stationary probability of an idle bus with a free resource. */
+    double probNoWait = 0;
+    std::size_t levelsUsed = 0;  ///< truncation / stage depth reached
+};
+
+/** Tuning knobs shared by the truncating solvers. */
+struct SbusSolveOptions
+{
+    std::size_t initialLevels = 4;    ///< starting q
+    std::size_t maxLevels = 200000;   ///< hard cap on q
+    double relTolerance = 1e-10;      ///< stop when d changes less than this
+    bool useDenseDirect = false;      ///< direct solver: LU instead of GS
+    /** Direct solver: accept once the truncated level holds less mass. */
+    double directTailMass = 1e-12;
+    /** Direct solver: Gauss-Seidel per-sweep convergence tolerance. */
+    double gsTolerance = 1e-12;
+};
+
+/** The paper's staged iterative solver (Section III, Eq. 2 procedure). */
+SbusSolution solveStaged(const SbusChain &chain,
+                         const SbusSolveOptions &opts = {});
+
+/** Direct simultaneous solve of the truncated balance equations. */
+SbusSolution solveDirect(const SbusChain &chain,
+                         const SbusSolveOptions &opts = {});
+
+/** Matrix-geometric (QBD) solver; exact tail, no truncation. */
+SbusSolution solveMatrixGeometric(const SbusChain &chain);
+
+} // namespace markov
+} // namespace rsin

@@ -1,0 +1,112 @@
+#include "buffered_network.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace rsin {
+namespace packet {
+
+BufferedNetwork::BufferedNetwork(des::Simulator &sim,
+                                 const topology::MultistageNetwork &net,
+                                 double packet_rate,
+                                 std::uint64_t rng_seed)
+    : sim_(sim), net_(net), packetRate_(packet_rate), rng_(rng_seed)
+{
+    RSIN_REQUIRE(packet_rate > 0.0,
+                 "BufferedNetwork: packet rate must be positive");
+    links_.assign(net_.stages() + 1,
+                  std::vector<Link>(net_.size()));
+}
+
+BufferedNetwork::Link &
+BufferedNetwork::linkAt(std::size_t boundary, std::size_t link)
+{
+    RSIN_ASSERT(boundary < links_.size() && link < net_.size(),
+                "linkAt: out of range");
+    return links_[boundary][link];
+}
+
+std::size_t
+BufferedNetwork::linkOccupancy(std::size_t boundary,
+                               std::size_t link) const
+{
+    RSIN_REQUIRE(boundary < links_.size() && link < net_.size(),
+                 "linkOccupancy: out of range");
+    const Link &l = links_[boundary][link];
+    return l.queue.size() + (l.busy ? 1 : 0);
+}
+
+void
+BufferedNetwork::inject(const Packet &packet,
+                        std::function<void()> on_injected)
+{
+    RSIN_REQUIRE(packet.src < net_.size() && packet.dst < net_.size(),
+                 "inject: endpoint out of range");
+    Link &link = linkAt(0, packet.src);
+    link.queue.push_back({packet, sim_.now(), std::move(on_injected)});
+    stats_.maxQueueDepth =
+        std::max(stats_.maxQueueDepth, link.queue.size());
+    ++inFlight_;
+    tryStart(0, packet.src);
+}
+
+void
+BufferedNetwork::tryStart(std::size_t boundary, std::size_t link_index)
+{
+    Link &link = linkAt(boundary, link_index);
+    if (link.busy || link.queue.empty())
+        return;
+    link.busy = true;
+    stats_.totalQueueingTime +=
+        sim_.now() - link.queue.front().enqueued;
+    const double duration = rng_.exponential(packetRate_);
+    sim_.schedule(duration, [this, boundary, link_index] {
+        finishTransmit(boundary, link_index);
+    });
+}
+
+void
+BufferedNetwork::finishTransmit(std::size_t boundary,
+                                std::size_t link_index)
+{
+    Link &link = linkAt(boundary, link_index);
+    RSIN_ASSERT(link.busy && !link.queue.empty(),
+                "finishTransmit: inconsistent link state");
+    QueuedPacket done = std::move(link.queue.front());
+    link.queue.pop_front();
+    link.busy = false;
+    ++stats_.hopsTraversed;
+
+    // Injection-link completion frees the source for its next packet.
+    if (done.onDone)
+        done.onDone();
+
+    if (boundary == net_.stages()) {
+        // Arrived at the output port.
+        --inFlight_;
+        ++stats_.packetsDelivered;
+        RSIN_ASSERT(link_index == done.packet.dst,
+                    "finishTransmit: misrouted packet");
+        if (deliver_)
+            deliver_(done.packet);
+    } else {
+        // Forward into the next stage's output link along the unique
+        // path toward the destination.
+        const std::size_t box = net_.boxOf(boundary, link_index);
+        const std::size_t port =
+            net_.routePort(boundary, link_index, done.packet.dst);
+        const std::size_t next = net_.outputLink(box, port);
+        Link &next_link = linkAt(boundary + 1, next);
+        next_link.queue.push_back(
+            {done.packet, sim_.now(), nullptr});
+        stats_.maxQueueDepth =
+            std::max(stats_.maxQueueDepth, next_link.queue.size());
+        tryStart(boundary + 1, next);
+    }
+    // The freed link can start its next queued packet.
+    tryStart(boundary, link_index);
+}
+
+} // namespace packet
+} // namespace rsin

@@ -1,0 +1,118 @@
+#pragma once
+
+/**
+ * @file
+ * Buffered, packet-switched multistage network (the Dias & Jump [8]
+ * substrate the paper contrasts its circuit-switched RSINs against).
+ *
+ * Every directed link -- the processor injection links at boundary 0
+ * and each box output at boundaries 1..n -- carries a FIFO queue and
+ * transmits one packet at a time (store-and-forward).  Packets are
+ * routed by destination tag, so a task's packets follow the unique
+ * banyan path in order and arrive in order.
+ *
+ * The component is driven by an external des::Simulator so it can be
+ * embedded in the system models; delivery is reported through a
+ * callback.
+ */
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "des/simulator.hpp"
+#include "topology/multistage.hpp"
+
+namespace rsin {
+namespace packet {
+
+/** One packet in flight. */
+struct Packet
+{
+    std::uint64_t taskId = 0;
+    std::uint32_t index = 0;  ///< position within the task
+    std::size_t src = 0;
+    std::size_t dst = 0;
+};
+
+/** Store-and-forward statistics. */
+struct NetworkStats
+{
+    std::uint64_t packetsDelivered = 0;
+    std::uint64_t hopsTraversed = 0;
+    double totalQueueingTime = 0.0; ///< waiting (not transmitting) time
+    std::size_t maxQueueDepth = 0;
+};
+
+/** Event-driven buffered multistage network. */
+class BufferedNetwork
+{
+  public:
+    using DeliveryCallback = std::function<void(const Packet &)>;
+
+    /**
+     * @param sim external simulator driving all events
+     * @param net topology (unique-path routing by destination)
+     * @param packet_rate per-hop transmission rate of one packet
+     * @param rng_seed seed for the per-hop exponential times
+     */
+    BufferedNetwork(des::Simulator &sim,
+                    const topology::MultistageNetwork &net,
+                    double packet_rate, std::uint64_t rng_seed);
+
+    /** Deliveries at boundary n are reported here. */
+    void onDelivery(DeliveryCallback cb) { deliver_ = std::move(cb); }
+
+    /**
+     * Inject a packet at its source's boundary-0 link.  @p on_injected
+     * fires when the packet finishes transmitting over the injection
+     * link (i.e. when the source link becomes free for the next
+     * packet) -- the hook the system model uses to release the
+     * processor after a task's last packet leaves.
+     */
+    void inject(const Packet &packet,
+                std::function<void()> on_injected = {});
+
+    /** Number of packets queued or transmitting on the given link. */
+    std::size_t linkOccupancy(std::size_t boundary,
+                              std::size_t link) const;
+
+    /** Total packets currently inside the network. */
+    std::size_t packetsInFlight() const { return inFlight_; }
+
+    const NetworkStats &stats() const { return stats_; }
+
+    double packetRate() const { return packetRate_; }
+
+  private:
+    struct QueuedPacket
+    {
+        Packet packet;
+        double enqueued = 0.0;
+        std::function<void()> onDone; ///< injection-link callback
+    };
+    struct Link
+    {
+        std::deque<QueuedPacket> queue;
+        bool busy = false;
+    };
+
+    Link &linkAt(std::size_t boundary, std::size_t link);
+    void tryStart(std::size_t boundary, std::size_t link);
+    void finishTransmit(std::size_t boundary, std::size_t link);
+
+    des::Simulator &sim_;
+    const topology::MultistageNetwork &net_;
+    double packetRate_;
+    Rng rng_;
+    /** links_[boundary][link]; boundary 0 = injection. */
+    std::vector<std::vector<Link>> links_;
+    DeliveryCallback deliver_;
+    NetworkStats stats_;
+    std::size_t inFlight_ = 0;
+};
+
+} // namespace packet
+} // namespace rsin

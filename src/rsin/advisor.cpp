@@ -1,0 +1,87 @@
+#include "advisor.hpp"
+
+#include "common/error.hpp"
+#include "sched/centralized.hpp"
+
+namespace rsin {
+
+Recommendation
+selectNetwork(CostRegime regime, double ratio)
+{
+    RSIN_REQUIRE(ratio > 0.0, "selectNetwork: ratio must be positive");
+    Recommendation rec;
+    const bool ratio_small = ratio <= 1.0;
+    switch (regime) {
+      case CostRegime::NetworkMuchCheaper:
+        rec.network = ratio_small ? NetworkClass::Omega
+                                  : NetworkClass::Crossbar;
+        rec.manySmallNetworks = false;
+        rec.extraResources = false;
+        rec.rationale = ratio_small
+            ? "network is cheap and rarely the bottleneck: one large "
+              "multistage network maximizes sharing"
+            : "network is cheap but heavily loaded (mu_s/mu_n large): a "
+              "single nonblocking crossbar avoids internal blocking";
+        break;
+      case CostRegime::Comparable:
+        rec.network = ratio_small ? NetworkClass::Omega
+                                  : NetworkClass::Crossbar;
+        rec.manySmallNetworks = true;
+        rec.extraResources = true;
+        rec.rationale =
+            "network and resources cost alike: many small networks with "
+            "a larger resource pool beat one big network (Section VI's "
+            "16/16x1x1 SBUS/3 vs 16/4x4x4 example)";
+        break;
+      case CostRegime::NetworkMuchCostlier:
+        rec.network = NetworkClass::SingleBus;
+        rec.manySmallNetworks = true;
+        rec.extraResources = true;
+        rec.rationale =
+            "resources are cheap: private buses with many resources "
+            "give the least cost and delay";
+        break;
+    }
+    return rec;
+}
+
+std::size_t
+networkGateCost(const SystemConfig &config)
+{
+    config.validate();
+    constexpr std::size_t cell_gates = 12; // 11 gates + 1 latch
+    switch (config.network) {
+      case NetworkClass::Crossbar:
+        return config.networks * config.inputsPerNet *
+               config.outputsPerNet * cell_gates;
+      case NetworkClass::Omega:
+      case NetworkClass::Cube: {
+        const std::size_t boxes = config.inputsPerNet / 2 *
+                                  sched::ceilLog2(config.inputsPerNet);
+        // A box is a 2x2 crossbar (4 cells) plus availability registers
+        // and reject/release control, estimated at 60 gates total.
+        return config.networks * boxes * (4 * cell_gates + 12);
+      }
+      case NetworkClass::SingleBus:
+        return config.processors * cell_gates;
+    }
+    RSIN_PANIC("networkGateCost: unknown network class");
+}
+
+CostRegime
+costRegime(const SystemConfig &config, std::size_t gates_per_resource)
+{
+    RSIN_REQUIRE(gates_per_resource >= 1,
+                 "costRegime: resource cost must be positive");
+    const double net = static_cast<double>(networkGateCost(config));
+    const double res = static_cast<double>(config.totalResources() *
+                                           gates_per_resource);
+    const double quotient = net / res;
+    if (quotient < 0.2)
+        return CostRegime::NetworkMuchCheaper;
+    if (quotient > 5.0)
+        return CostRegime::NetworkMuchCostlier;
+    return CostRegime::Comparable;
+}
+
+} // namespace rsin

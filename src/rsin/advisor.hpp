@@ -1,0 +1,65 @@
+#pragma once
+
+/**
+ * @file
+ * Network-selection advisor implementing paper Table II, plus the
+ * hardware cost model (gate counts) behind the cost regimes.
+ *
+ * Table II:
+ *   cost_net << cost_res, mu_s/mu_n small  -> single multistage network
+ *   cost_net << cost_res, mu_s/mu_n large  -> single crossbar network
+ *   cost_net ~= cost_res, mu_s/mu_n small  -> many small multistage
+ *                                             networks + more resources
+ *   cost_net ~= cost_res, mu_s/mu_n large  -> many small crossbars
+ *                                             + more resources
+ *   cost_net >> cost_res, any ratio        -> private buses with many
+ *                                             resources
+ */
+
+#include <cstddef>
+#include <string>
+
+#include "rsin/config.hpp"
+
+namespace rsin {
+
+/** Relative cost of the interconnect versus the resources. */
+enum class CostRegime
+{
+    NetworkMuchCheaper,  ///< cost_net << cost_res
+    Comparable,          ///< cost_net ~= cost_res
+    NetworkMuchCostlier, ///< cost_net >> cost_res
+};
+
+/** Advisor output. */
+struct Recommendation
+{
+    NetworkClass network = NetworkClass::Omega;
+    bool manySmallNetworks = false; ///< partition into small networks
+    bool extraResources = false;    ///< over-provision the resource pool
+    std::string rationale;
+};
+
+/**
+ * The Table II decision.  @p ratio is mu_s / mu_n; "small" means
+ * ratio <= 1 (network rarely the bottleneck), matching the paper's
+ * "relatively small (~= 1)" wording for when Omega is favourable.
+ */
+Recommendation selectNetwork(CostRegime regime, double ratio);
+
+/**
+ * Gate-count cost model of one network instance, used to derive cost
+ * regimes from concrete configurations:
+ *  - XBAR: j*k cells of 11 gates + 1 latch (Section IV's cell);
+ *  - OMEGA/CUBE: (j/2)*log2(j) interchange boxes, each a 2x2 crossbar
+ *    (4 cells) plus status/reject control, estimated at 60 gates;
+ *  - SBUS: one bus interface of ~12 gates per attached processor.
+ */
+std::size_t networkGateCost(const SystemConfig &config);
+
+/** Derive the cost regime by comparing network cost to resource cost.
+ *  @p gates_per_resource is the assumed resource complexity. */
+CostRegime costRegime(const SystemConfig &config,
+                      std::size_t gates_per_resource);
+
+} // namespace rsin

@@ -1,0 +1,135 @@
+#include "analysis.hpp"
+
+#include <limits>
+
+#include "common/error.hpp"
+#include "queueing/mm_queues.hpp"
+
+namespace rsin {
+
+double
+lambdaForRho(const SystemConfig &config, double rho, double mu_n,
+             double mu_s)
+{
+    return queueing::arrivalRateForIntensity(
+        config.processors, config.totalResources(), rho, mu_n, mu_s);
+}
+
+double
+rhoForLambda(const SystemConfig &config, double lambda, double mu_n,
+             double mu_s)
+{
+    return queueing::paperTrafficIntensity(
+        config.processors, config.totalResources(), lambda, mu_n, mu_s);
+}
+
+markov::SbusSolution
+analyzeSbus(const SystemConfig &config, double lambda, double mu_n,
+            double mu_s)
+{
+    config.validate();
+    RSIN_REQUIRE(config.network == NetworkClass::SingleBus,
+                 "analyzeSbus: not an SBUS configuration: ", config.str());
+    markov::SbusParams prm;
+    prm.p = config.processorsPerNet();
+    prm.lambda = lambda;
+    prm.muN = mu_n;
+    prm.muS = mu_s;
+    prm.r = config.resourcesPerPort;
+    const markov::SbusChain chain(prm);
+    return markov::solveMatrixGeometric(chain);
+}
+
+markov::SbusSolution
+xbarLightLoad(const SystemConfig &config, double lambda, double mu_n,
+              double mu_s)
+{
+    config.validate();
+    RSIN_REQUIRE(config.network == NetworkClass::Crossbar,
+                 "xbarLightLoad: not an XBAR configuration: ",
+                 config.str());
+    markov::SbusParams prm;
+    prm.p = 1;
+    prm.lambda = lambda;
+    prm.muN = mu_n;
+    prm.muS = mu_s;
+    prm.r = config.outputsPerNet * config.resourcesPerPort;
+    const markov::SbusChain chain(prm);
+    return markov::solveMatrixGeometric(chain);
+}
+
+markov::SbusSolution
+xbarHeavyLoad(const SystemConfig &config, double lambda, double mu_n,
+              double mu_s)
+{
+    config.validate();
+    RSIN_REQUIRE(config.network == NetworkClass::Crossbar,
+                 "xbarHeavyLoad: not an XBAR configuration: ",
+                 config.str());
+    const std::size_t j = config.inputsPerNet;
+    const std::size_t k = config.outputsPerNet;
+    markov::SbusParams prm;
+    prm.lambda = lambda;
+    prm.muN = mu_n;
+    prm.muS = mu_s;
+    if (j >= k) {
+        RSIN_REQUIRE(j % k == 0,
+                     "xbarHeavyLoad: j/k must be integral, got ",
+                     config.str());
+        prm.p = j / k;
+        prm.r = config.resourcesPerPort;
+    } else {
+        RSIN_REQUIRE(k % j == 0,
+                     "xbarHeavyLoad: k/j must be integral, got ",
+                     config.str());
+        prm.p = 1;
+        prm.r = k * config.resourcesPerPort / j;
+    }
+    const markov::SbusChain chain(prm);
+    return markov::solveMatrixGeometric(chain);
+}
+
+markov::SbusSolution
+multistageLightLoad(const SystemConfig &config, double lambda,
+                    double mu_n, double mu_s)
+{
+    config.validate();
+    RSIN_REQUIRE(config.network == NetworkClass::Omega ||
+                     config.network == NetworkClass::Cube,
+                 "multistageLightLoad: not a multistage configuration: ",
+                 config.str());
+    markov::SbusParams prm;
+    prm.p = 1;
+    prm.lambda = lambda;
+    prm.muN = mu_n;
+    prm.muS = mu_s;
+    prm.r = config.outputsPerNet * config.resourcesPerPort;
+    const markov::SbusChain chain(prm);
+    return markov::solveMatrixGeometric(chain);
+}
+
+markov::SbusSolution
+privateBusUnlimited(const SystemConfig &config, double lambda, double mu_n,
+                    double mu_s)
+{
+    config.validate();
+    const std::size_t per = config.processorsPerNet();
+    const auto mm1 = queueing::mm1(static_cast<double>(per) * lambda, mu_n);
+    markov::SbusSolution sol;
+    sol.stable = mm1.stable;
+    if (!mm1.stable) {
+        sol.meanQueueLength = std::numeric_limits<double>::infinity();
+        sol.queueingDelay = sol.meanQueueLength;
+        sol.normalizedDelay = sol.meanQueueLength;
+        return sol;
+    }
+    sol.meanQueueLength = mm1.meanQueue;
+    sol.queueingDelay = mm1.meanWait;
+    sol.normalizedDelay = mm1.meanWait * mu_s;
+    sol.busUtilization = mm1.utilization;
+    sol.resourceUtilization = 0.0; // unbounded pool: utilization -> 0
+    sol.probEmptySystem = 1.0 - mm1.utilization;
+    return sol;
+}
+
+} // namespace rsin

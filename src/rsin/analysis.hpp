@@ -1,0 +1,76 @@
+#pragma once
+
+/**
+ * @file
+ * Analytical evaluation of RSIN configurations (paper Sections III-IV).
+ *
+ * All figure sweeps share the paper's traffic-intensity normalization:
+ * rho is the utilization of a hypothetical system with a single bus of
+ * rate p*mu_n and a single resource of rate m*mu_s, where p is the
+ * *total* processor count and m the *total* resource count of the
+ * configuration (Section III's rho_s definition); delays are plotted as
+ * mu_s * d.
+ */
+
+#include "markov/sbus_solvers.hpp"
+#include "rsin/config.hpp"
+
+namespace rsin {
+
+/** Arrival rate per processor that yields traffic intensity @p rho. */
+double lambdaForRho(const SystemConfig &config, double rho, double mu_n,
+                    double mu_s);
+
+/** Traffic intensity produced by per-processor rate @p lambda. */
+double rhoForLambda(const SystemConfig &config, double lambda, double mu_n,
+                    double mu_s);
+
+/**
+ * Exact Markov analysis of an SBUS configuration: one partition of
+ * p/i processors sharing a bus with r resources (partitions are
+ * independent and identical, so one suffices).
+ */
+markov::SbusSolution analyzeSbus(const SystemConfig &config, double lambda,
+                                 double mu_n, double mu_s);
+
+/**
+ * Light-load approximation for a crossbar (Section IV): each processor
+ * behaves as if alone, seeing a private bus to all k*r resources of its
+ * network.  Accurate while mu_s * d <= 1.
+ */
+markov::SbusSolution xbarLightLoad(const SystemConfig &config,
+                                   double lambda, double mu_n,
+                                   double mu_s);
+
+/**
+ * Heavy-load approximation for a crossbar (Section IV): the buses
+ * partition among processors -- j/k processors per bus when j >= k, or
+ * one processor with k*r/j resources when j < k.  Requires the ratio to
+ * be integral, as in the paper.
+ */
+markov::SbusSolution xbarHeavyLoad(const SystemConfig &config,
+                                   double lambda, double mu_n,
+                                   double mu_s);
+
+/**
+ * Light-load reduction for a multistage network (OMEGA/CUBE): under
+ * light load the network blocks rarely, so each processor behaves as
+ * if privately connected to all k*r resources -- the same Section IV
+ * argument as for the crossbar.  The paper evaluates multistage
+ * networks by simulation only; this reduction provides the analytic
+ * light-load anchor the tests validate the simulator against.
+ */
+markov::SbusSolution multistageLightLoad(const SystemConfig &config,
+                                         double lambda, double mu_n,
+                                         double mu_s);
+
+/**
+ * Closed-form M/M/1 saturation model for a private bus with unlimited
+ * resources (the "infinity" curves of Figs. 4-5): normalized delay of
+ * the bus queue alone.
+ */
+markov::SbusSolution privateBusUnlimited(const SystemConfig &config,
+                                         double lambda, double mu_n,
+                                         double mu_s);
+
+} // namespace rsin

@@ -1,0 +1,144 @@
+#include "config.hpp"
+
+#include <sstream>
+
+#include "common/error.hpp"
+#include "common/text.hpp"
+
+namespace rsin {
+
+std::string
+networkClassName(NetworkClass net)
+{
+    switch (net) {
+      case NetworkClass::SingleBus: return "SBUS";
+      case NetworkClass::Crossbar: return "XBAR";
+      case NetworkClass::Omega: return "OMEGA";
+      case NetworkClass::Cube: return "CUBE";
+    }
+    return "?";
+}
+
+std::size_t
+SystemConfig::processorsPerNet() const
+{
+    RSIN_REQUIRE(processors % networks == 0,
+                 "processorsPerNet: p=", processors,
+                 " not divisible by i=", networks);
+    return processors / networks;
+}
+
+std::size_t
+SystemConfig::totalResources() const
+{
+    return networks * outputsPerNet * resourcesPerPort;
+}
+
+std::string
+SystemConfig::str() const
+{
+    std::ostringstream os;
+    os << processors << "/" << networks << "x" << inputsPerNet << "x"
+       << outputsPerNet << " " << networkClassName(network) << "/"
+       << resourcesPerPort;
+    return os.str();
+}
+
+void
+SystemConfig::validate() const
+{
+    RSIN_REQUIRE(processors >= 1, "config: p must be >= 1");
+    RSIN_REQUIRE(networks >= 1, "config: i must be >= 1");
+    RSIN_REQUIRE(inputsPerNet >= 1, "config: j must be >= 1");
+    RSIN_REQUIRE(outputsPerNet >= 1, "config: k must be >= 1");
+    RSIN_REQUIRE(resourcesPerPort >= 1, "config: r must be >= 1");
+    RSIN_REQUIRE(processors % networks == 0,
+                 "config: p must divide evenly over i networks");
+    switch (network) {
+      case NetworkClass::SingleBus:
+        RSIN_REQUIRE(inputsPerNet == 1 && outputsPerNet == 1,
+                     "config: SBUS uses the 1x1 convention, got ",
+                     str());
+        break;
+      case NetworkClass::Crossbar:
+        RSIN_REQUIRE(processors == networks * inputsPerNet,
+                     "config: XBAR requires p = i*j, got ", str());
+        break;
+      case NetworkClass::Omega:
+      case NetworkClass::Cube: {
+        RSIN_REQUIRE(processors == networks * inputsPerNet,
+                     "config: multistage requires p = i*j, got ", str());
+        RSIN_REQUIRE(inputsPerNet == outputsPerNet,
+                     "config: multistage networks are square (j = k), "
+                     "got ", str());
+        const std::size_t n = inputsPerNet;
+        RSIN_REQUIRE(n >= 2 && (n & (n - 1)) == 0,
+                     "config: multistage size must be a power of two "
+                     ">= 2, got ", str());
+        break;
+      }
+    }
+}
+
+SystemConfig
+SystemConfig::parse(const std::string &text)
+{
+    // Grammar: <p> "/" <i> x <j> x <k> <ws> <NET> "/" <r>
+    const auto slash_parts = split(text, '/');
+    RSIN_REQUIRE(slash_parts.size() == 3,
+                 "config parse: expected two '/' separators in '", text,
+                 "'");
+    SystemConfig cfg;
+
+    const auto p_val = parseLong(slash_parts[0]);
+    RSIN_REQUIRE(p_val && *p_val >= 1,
+                 "config parse: bad processor count in '", text, "'");
+    cfg.processors = static_cast<std::size_t>(*p_val);
+
+    // Middle chunk: "i x j x k NET".
+    std::string middle = trim(slash_parts[1]);
+    for (auto &c : middle) {
+        if (c == 'X' || c == '*')
+            c = 'x';
+    }
+    const auto space_at = middle.find_last_of(" \t");
+    RSIN_REQUIRE(space_at != std::string::npos,
+                 "config parse: missing network name in '", text, "'");
+    const std::string dims = trim(middle.substr(0, space_at));
+    const std::string name = trim(middle.substr(space_at + 1));
+
+    const auto dim_parts = split(dims, 'x');
+    RSIN_REQUIRE(dim_parts.size() == 3,
+                 "config parse: expected i x j x k dimensions in '", text,
+                 "'");
+    const auto i_val = parseLong(dim_parts[0]);
+    const auto j_val = parseLong(dim_parts[1]);
+    const auto k_val = parseLong(dim_parts[2]);
+    RSIN_REQUIRE(i_val && j_val && k_val && *i_val >= 1 && *j_val >= 1 &&
+                     *k_val >= 1,
+                 "config parse: bad dimensions in '", text, "'");
+    cfg.networks = static_cast<std::size_t>(*i_val);
+    cfg.inputsPerNet = static_cast<std::size_t>(*j_val);
+    cfg.outputsPerNet = static_cast<std::size_t>(*k_val);
+
+    if (iequals(name, "SBUS"))
+        cfg.network = NetworkClass::SingleBus;
+    else if (iequals(name, "XBAR"))
+        cfg.network = NetworkClass::Crossbar;
+    else if (iequals(name, "OMEGA"))
+        cfg.network = NetworkClass::Omega;
+    else if (iequals(name, "CUBE"))
+        cfg.network = NetworkClass::Cube;
+    else
+        RSIN_FATAL("config parse: unknown network class '", name, "'");
+
+    const auto r_val = parseLong(slash_parts[2]);
+    RSIN_REQUIRE(r_val && *r_val >= 1,
+                 "config parse: bad resource count in '", text, "'");
+    cfg.resourcesPerPort = static_cast<std::size_t>(*r_val);
+
+    cfg.validate();
+    return cfg;
+}
+
+} // namespace rsin

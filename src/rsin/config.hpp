@@ -1,0 +1,69 @@
+#pragma once
+
+/**
+ * @file
+ * System configuration in the paper's triplet notation (Section II):
+ *
+ *   p / i x j x k NET / r
+ *
+ * p processors, i identical networks with j input and k output ports
+ * each, and r resources on every output port.  Examples from the paper:
+ *
+ *   16/16x1x1 SBUS/2   -- sixteen private buses, two resources each
+ *   16/1x16x32 XBAR/1  -- one 16-by-32 crossbar, private output ports
+ *   16/1x16x16 OMEGA/2 -- one 16-by-16 Omega network, two per port
+ *
+ * For bus networks the paper writes j = k = 1 regardless of how many
+ * processors share the bus (a bus is a single shared medium), so the
+ * processors-per-partition count is p/i there; for switched networks
+ * p = i * j holds exactly.
+ */
+
+#include <cstddef>
+#include <string>
+
+namespace rsin {
+
+/** The three network classes studied (plus the cube-wiring extension). */
+enum class NetworkClass
+{
+    SingleBus, ///< SBUS
+    Crossbar,  ///< XBAR
+    Omega,     ///< OMEGA
+    Cube,      ///< CUBE (indirect binary n-cube wiring, extension)
+};
+
+/** Name used in configuration strings ("SBUS", "XBAR", ...). */
+std::string networkClassName(NetworkClass net);
+
+/** Parsed system configuration. */
+struct SystemConfig
+{
+    std::size_t processors = 16;  ///< p
+    std::size_t networks = 1;     ///< i
+    std::size_t inputsPerNet = 16; ///< j
+    std::size_t outputsPerNet = 16; ///< k
+    NetworkClass network = NetworkClass::Omega;
+    std::size_t resourcesPerPort = 1; ///< r
+
+    /** Processors attached to each network instance. */
+    std::size_t processorsPerNet() const;
+
+    /** Total resources i * k * r. */
+    std::size_t totalResources() const;
+
+    /** Canonical string form, e.g. "16/1x16x16 OMEGA/2". */
+    std::string str() const;
+
+    /** Throw FatalError if the shape is inconsistent. */
+    void validate() const;
+
+    /**
+     * Parse the paper notation; accepts 'x', 'X' or '*' between the
+     * dimensions and is case-insensitive in the network name.
+     * Throws FatalError on malformed input.
+     */
+    static SystemConfig parse(const std::string &text);
+};
+
+} // namespace rsin

@@ -1,0 +1,77 @@
+#include "factory.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+#include "common/stats.hpp"
+
+namespace rsin {
+
+std::unique_ptr<SystemSimulation>
+makeSystem(const SystemConfig &config,
+           const workload::WorkloadParams &params,
+           const SimOptions &options, const ModelOptions &model)
+{
+    config.validate();
+    switch (config.network) {
+      case NetworkClass::SingleBus:
+        return std::make_unique<SbusSystem>(config, params, options);
+      case NetworkClass::Crossbar:
+        return std::make_unique<CrossbarSystem>(config, params, options,
+                                                model.xbarArbitration);
+      case NetworkClass::Omega:
+      case NetworkClass::Cube:
+        return std::make_unique<OmegaSystem>(config, params, options,
+                                             model.omega);
+    }
+    RSIN_PANIC("makeSystem: unknown network class");
+}
+
+SimResult
+simulate(const SystemConfig &config, const workload::WorkloadParams &params,
+         const SimOptions &options, const ModelOptions &model)
+{
+    return makeSystem(config, params, options, model)->run();
+}
+
+SimResult
+simulateReplicated(const SystemConfig &config,
+                   const workload::WorkloadParams &params,
+                   const SimOptions &options, std::size_t replications,
+                   const ModelOptions &model)
+{
+    RSIN_REQUIRE(replications >= 1,
+                 "simulateReplicated: need at least one replication");
+    std::vector<SimResult> runs;
+    runs.reserve(replications);
+    Rng seeder(options.seed);
+    Accumulator delays;
+    for (std::size_t i = 0; i < replications; ++i) {
+        SimOptions opts = options;
+        opts.seed = seeder.next();
+        runs.push_back(simulate(config, params, opts, model));
+        if (!runs.back().saturated)
+            delays.add(runs.back().meanDelay);
+    }
+    // A majority of saturated replications means the point is beyond
+    // the knee: report it as saturated.
+    std::size_t saturated = 0;
+    for (const auto &r : runs)
+        saturated += r.saturated ? 1 : 0;
+    std::sort(runs.begin(), runs.end(),
+              [](const SimResult &a, const SimResult &b) {
+                  return a.meanDelay < b.meanDelay;
+              });
+    SimResult result = runs[runs.size() / 2];
+    if (saturated * 2 > runs.size())
+        result.saturated = true;
+    if (delays.count() >= 2) {
+        result.meanDelay = delays.mean();
+        result.normalizedDelay = delays.mean() * params.muS;
+        result.delayHalfWidth =
+            std::max(result.delayHalfWidth, delays.halfWidth());
+    }
+    return result;
+}
+
+} // namespace rsin

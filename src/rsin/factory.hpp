@@ -1,0 +1,53 @@
+#pragma once
+
+/**
+ * @file
+ * One-call construction and execution of any configured RSIN system.
+ * This is the primary entry point of the library's public API:
+ *
+ *   auto cfg = rsin::SystemConfig::parse("16/1x16x16 OMEGA/2");
+ *   rsin::workload::WorkloadParams wl{...};
+ *   rsin::SimResult res = rsin::simulate(cfg, wl, {});
+ */
+
+#include <memory>
+
+#include "rsin/omega_system.hpp"
+#include "rsin/sbus_system.hpp"
+#include "rsin/system.hpp"
+#include "rsin/xbar_system.hpp"
+
+namespace rsin {
+
+/** Everything beyond config/workload/run-control a model can take. */
+struct ModelOptions
+{
+    XbarArbitration xbarArbitration = XbarArbitration::IndexPriority;
+    OmegaOptions omega = {};
+};
+
+/** Build the right simulation model for @p config. */
+std::unique_ptr<SystemSimulation>
+makeSystem(const SystemConfig &config,
+           const workload::WorkloadParams &params,
+           const SimOptions &options, const ModelOptions &model = {});
+
+/** Build and run in one call. */
+SimResult simulate(const SystemConfig &config,
+                   const workload::WorkloadParams &params,
+                   const SimOptions &options,
+                   const ModelOptions &model = {});
+
+/**
+ * Run @p replications independent runs (seeds derived from
+ * options.seed) and return the run whose delay is the median, with the
+ * half-width widened to the between-replication spread.  Benches use
+ * this for smooth figure curves.
+ */
+SimResult simulateReplicated(const SystemConfig &config,
+                             const workload::WorkloadParams &params,
+                             const SimOptions &options,
+                             std::size_t replications,
+                             const ModelOptions &model = {});
+
+} // namespace rsin

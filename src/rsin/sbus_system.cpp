@@ -1,0 +1,83 @@
+#include "sbus_system.hpp"
+
+#include "common/error.hpp"
+
+namespace rsin {
+
+SbusSystem::SbusSystem(const SystemConfig &config,
+                       const workload::WorkloadParams &params,
+                       const SimOptions &options)
+    : SystemSimulation(config.processors, params, options)
+{
+    config.validate();
+    RSIN_REQUIRE(config.network == NetworkClass::SingleBus,
+                 "SbusSystem: config is not an SBUS system: ",
+                 config.str());
+    const std::size_t per_partition = config.processorsPerNet();
+    buses_.resize(config.networks);
+    busOf_.resize(config.processors);
+    for (std::size_t b = 0; b < buses_.size(); ++b) {
+        buses_[b].resources = config.resourcesPerPort;
+        buses_[b].firstProcessor = b * per_partition;
+        buses_[b].lastProcessor = (b + 1) * per_partition;
+        for (std::size_t proc = buses_[b].firstProcessor;
+             proc < buses_[b].lastProcessor; ++proc)
+            busOf_[proc] = b;
+    }
+}
+
+void
+SbusSystem::dispatch()
+{
+    for (std::size_t b = 0; b < buses_.size(); ++b) {
+        Bus &bus = buses_[b];
+        if (bus.transmitting || bus.busyResources >= bus.resources)
+            continue;
+        // Bus arbitration: the waiting task that arrived first wins
+        // (global FIFO within the partition, matching the pooled-queue
+        // Markov analysis of Section III).
+        std::size_t chosen = bus.lastProcessor;
+        double best_arrival = 0.0;
+        for (std::size_t proc = bus.firstProcessor;
+             proc < bus.lastProcessor; ++proc) {
+            if (!processorReady(proc))
+                continue;
+            const double arrival = headTask(proc).arrival;
+            if (chosen == bus.lastProcessor || arrival < best_arrival) {
+                chosen = proc;
+                best_arrival = arrival;
+            }
+        }
+        if (chosen == bus.lastProcessor)
+            continue;
+        startOn(b, chosen);
+    }
+}
+
+void
+SbusSystem::startOn(std::size_t bus_index, std::size_t proc)
+{
+    Bus &bus = buses_[bus_index];
+    workload::Task task = beginTransmission(proc);
+    bus.transmitting = true;
+    task.routingAttempts = 1;
+    sim().schedule(task.transmitTime, [this, bus_index, proc,
+                                       task = std::move(task)]() mutable {
+        Bus &b = buses_[bus_index];
+        b.transmitting = false;
+        ++b.busyResources;
+        RSIN_ASSERT(b.busyResources <= b.resources,
+                    "SbusSystem: resource overcommit");
+        endTransmission(proc);
+        task.transmitEnd = sim().now();
+        sim().schedule(task.serviceTime,
+                       [this, bus_index, task = std::move(task)]() mutable {
+                           --buses_[bus_index].busyResources;
+                           completeTask(std::move(task));
+                           dispatch();
+                       });
+        dispatch();
+    });
+}
+
+} // namespace rsin

@@ -1,0 +1,141 @@
+#include "system.hpp"
+
+#include "common/error.hpp"
+
+namespace rsin {
+
+SystemSimulation::SystemSimulation(std::size_t processors,
+                                   const workload::WorkloadParams &params,
+                                   const SimOptions &options)
+    : params_(params), options_(options), rng_(options.seed)
+{
+    RSIN_REQUIRE(processors >= 1, "SystemSimulation: need a processor");
+    params_.validate();
+    queues_.resize(processors);
+    transmitting_.assign(processors, false);
+    sources_.reserve(processors);
+    for (std::size_t proc = 0; proc < processors; ++proc)
+        sources_.emplace_back(proc, params_, rng_.split());
+    metrics_ = std::make_unique<workload::MetricsCollector>(
+        options_.warmupTasks);
+}
+
+void
+SystemSimulation::scheduleArrival(std::size_t proc)
+{
+    const double dt = sources_[proc].nextInterarrival();
+    sim_.schedule(dt, [this, proc] {
+        workload::Task task =
+            sources_[proc].makeTask(sim_.now(), nextTaskId_++);
+        queues_[proc].push_back(std::move(task));
+        ++queuedNow_;
+        queueTrace_.record(sim_.now(), static_cast<double>(queuedNow_));
+        if (queuedNow_ > options_.saturationQueueLimit)
+            saturated_ = true;
+        scheduleArrival(proc);
+        dispatch();
+    });
+}
+
+bool
+SystemSimulation::processorReady(std::size_t proc) const
+{
+    RSIN_ASSERT(proc < queues_.size(), "processorReady: bad processor");
+    return !transmitting_[proc] && !queues_[proc].empty();
+}
+
+const workload::Task &
+SystemSimulation::headTask(std::size_t proc) const
+{
+    RSIN_ASSERT(proc < queues_.size() && !queues_[proc].empty(),
+                "headTask: empty queue");
+    return queues_[proc].front();
+}
+
+bool
+SystemSimulation::queueEmpty(std::size_t proc) const
+{
+    RSIN_ASSERT(proc < queues_.size(), "queueEmpty: bad processor");
+    return queues_[proc].empty();
+}
+
+std::size_t
+SystemSimulation::queueLength(std::size_t proc) const
+{
+    RSIN_ASSERT(proc < queues_.size(), "queueLength: bad processor");
+    return queues_[proc].size();
+}
+
+std::size_t
+SystemSimulation::totalQueued() const
+{
+    return queuedNow_;
+}
+
+workload::Task
+SystemSimulation::beginTransmission(std::size_t proc)
+{
+    RSIN_ASSERT(processorReady(proc), "beginTransmission: not ready");
+    workload::Task task = std::move(queues_[proc].front());
+    queues_[proc].pop_front();
+    --queuedNow_;
+    queueTrace_.record(sim_.now(), static_cast<double>(queuedNow_));
+    transmitting_[proc] = true;
+    task.transmitStart = sim_.now();
+    return task;
+}
+
+void
+SystemSimulation::endTransmission(std::size_t proc)
+{
+    RSIN_ASSERT(transmitting_[proc], "endTransmission: not transmitting");
+    transmitting_[proc] = false;
+}
+
+void
+SystemSimulation::completeTask(workload::Task task)
+{
+    task.serviceEnd = sim_.now();
+    metrics_->taskCompleted(task);
+}
+
+bool
+SystemSimulation::done() const
+{
+    return saturated_ ||
+           metrics_->completed() >=
+               options_.warmupTasks + options_.measureTasks ||
+           sim_.fired() >= options_.maxEvents;
+}
+
+SimResult
+SystemSimulation::run()
+{
+    if (params_.lambda > 0.0) {
+        for (std::size_t proc = 0; proc < queues_.size(); ++proc)
+            scheduleArrival(proc);
+    }
+    while (!done() && sim_.step()) {
+    }
+
+    SimResult result;
+    result.saturated = saturated_;
+    result.meanDelay = metrics_->meanDelay();
+    result.delayHalfWidth = metrics_->delayHalfWidth();
+    result.normalizedDelay = metrics_->meanDelay() * params_.muS;
+    result.meanResponse = metrics_->meanResponse();
+    result.meanRoutingAttempts = metrics_->meanRoutingAttempts();
+    result.meanBoxesTraversed = metrics_->meanBoxesTraversed();
+    result.delayImbalance = metrics_->delayImbalance();
+    queueTrace_.finish(sim_.now());
+    result.timeAvgQueue = queueTrace_.average();
+    result.delayP95 = metrics_->delayQuantile(0.95);
+    result.delayP99 = metrics_->delayQuantile(0.99);
+    result.fractionNoWait = metrics_->fractionZeroDelay();
+    result.completedTasks = metrics_->completed();
+    result.rejections = metrics_->rejections();
+    result.simulatedTime = sim_.now();
+    return result;
+}
+
+} // namespace rsin

@@ -1,0 +1,158 @@
+#pragma once
+
+/**
+ * @file
+ * Event-driven simulation framework shared by the three RSIN system
+ * models, implementing the task lifecycle and assumptions of paper
+ * Section II:
+ *
+ *   (a) Poisson arrivals per processor; exponential transmit/service
+ *       (other distributions are available as extensions);
+ *   (b) blocked tasks queue FIFO at their processor and retry when the
+ *       network signals a status change; no queueing at resources;
+ *   (c) negligible network propagation delay;
+ *   (d, e) one resource class, one resource per request (the typed
+ *       extension lives in the Omega model);
+ *   (f) a processor transmits one task at a time.
+ *
+ * Subclasses implement dispatch(): examine processor queues and the
+ * network/resource state and start every transmission that can start.
+ * The base class re-invokes dispatch() after every arrival and
+ * completion, which models the broadcast of status-change information.
+ */
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+#include "des/simulator.hpp"
+#include "rsin/config.hpp"
+#include "workload/metrics.hpp"
+#include "workload/workload.hpp"
+
+namespace rsin {
+
+/** Run-control knobs for a simulation. */
+struct SimOptions
+{
+    std::uint64_t seed = 1;
+    std::uint64_t warmupTasks = 2000;   ///< completions discarded
+    std::uint64_t measureTasks = 30000; ///< completions measured
+    /** Queue size at which the run is declared saturated and aborted. */
+    std::size_t saturationQueueLimit = 50000;
+    /** Hard ceiling on simulated events (secondary safety valve). */
+    std::uint64_t maxEvents = 200000000;
+};
+
+/** Summary of one simulation run. */
+struct SimResult
+{
+    bool saturated = false;     ///< aborted due to unbounded queues
+    double meanDelay = 0.0;     ///< d: mean wait before connection
+    double delayHalfWidth = 0.0; ///< 95% CI half-width on d
+    double normalizedDelay = 0.0; ///< mu_s * d (the figures' y-axis)
+    double meanResponse = 0.0;
+    double meanRoutingAttempts = 0.0;
+    double meanBoxesTraversed = 0.0;
+    /** (max - min) per-processor mean delay over the overall mean. */
+    double delayImbalance = 0.0;
+    /** Time-averaged number of tasks waiting in processor queues.
+     *  Little's law ties it to the delay: E[Nq] = p*lambda*d. */
+    double timeAvgQueue = 0.0;
+    /** Tail of the queueing-delay distribution. */
+    double delayP95 = 0.0;
+    double delayP99 = 0.0;
+    /** Fraction of tasks served without waiting (PASTA checkpoint). */
+    double fractionNoWait = 0.0;
+    std::uint64_t completedTasks = 0;
+    std::uint64_t rejections = 0;
+    double simulatedTime = 0.0;
+};
+
+/** Base class: processors, queues, arrivals, measurement, run loop. */
+class SystemSimulation
+{
+  public:
+    SystemSimulation(std::size_t processors,
+                     const workload::WorkloadParams &params,
+                     const SimOptions &options);
+    virtual ~SystemSimulation() = default;
+
+    SystemSimulation(const SystemSimulation &) = delete;
+    SystemSimulation &operator=(const SystemSimulation &) = delete;
+
+    /** Execute the run and collect the result. */
+    SimResult run();
+
+    std::size_t processors() const { return queues_.size(); }
+    const workload::WorkloadParams &params() const { return params_; }
+
+  protected:
+    /**
+     * Start every transmission the current state permits.  Called after
+     * each arrival and each completion event.
+     */
+    virtual void dispatch() = 0;
+
+    /** Simulated-time access for subclasses. */
+    des::Simulator &sim() { return sim_; }
+
+    /** Is a task waiting at this processor while the processor is idle? */
+    bool processorReady(std::size_t proc) const;
+
+    /** Oldest waiting task at @p proc (valid only if non-empty queue). */
+    const workload::Task &headTask(std::size_t proc) const;
+
+    bool queueEmpty(std::size_t proc) const;
+    std::size_t queueLength(std::size_t proc) const;
+    std::size_t totalQueued() const;
+
+    /**
+     * Pop the head task of @p proc and mark the processor busy
+     * transmitting; stamps transmitStart = now.
+     */
+    workload::Task beginTransmission(std::size_t proc);
+
+    /** Mark the processor idle again (transmission finished). */
+    void endTransmission(std::size_t proc);
+
+    /** Record a finished task; stamps serviceEnd = now. */
+    void completeTask(workload::Task task);
+
+    /** Record a routing rejection (for network statistics). */
+    void noteRejection() { metrics_->taskRejected(); }
+
+    /** A master RNG for subclass needs (tie-breaks etc.). */
+    Rng &rng() { return rng_; }
+
+    /** Subclass-detected saturation (e.g. auxiliary queues growing). */
+    void noteSaturated() { saturated_ = true; }
+
+    /** The configured queue-size saturation threshold. */
+    std::size_t saturationLimit() const
+    {
+        return options_.saturationQueueLimit;
+    }
+
+  private:
+    void scheduleArrival(std::size_t proc);
+    bool done() const;
+
+    workload::WorkloadParams params_;
+    SimOptions options_;
+    des::Simulator sim_;
+    Rng rng_;
+    std::vector<workload::TaskSource> sources_;
+    std::vector<std::deque<workload::Task>> queues_;
+    std::vector<bool> transmitting_;
+    std::unique_ptr<workload::MetricsCollector> metrics_;
+    std::uint64_t nextTaskId_ = 0;
+    std::size_t queuedNow_ = 0;
+    TimeWeighted queueTrace_;
+    bool saturated_ = false;
+};
+
+} // namespace rsin

@@ -1,0 +1,92 @@
+#pragma once
+
+/**
+ * @file
+ * Centralized scheduling baselines the paper compares against.
+ *
+ * - OptimalMapper: the exhaustive-enumeration scheduler of Section V
+ *   ("a centralized scheduler using exhaustive enumeration would have to
+ *   examine all the different possible ordered mappings"), implemented
+ *   as branch-and-bound over link-disjoint path assignments.  Used to
+ *   verify the Section II Omega example and to measure how close the
+ *   distributed algorithm gets to the true maximum allocation.
+ *
+ * - Selection-delay models for the two centralized allocator designs
+ *   cited by the paper: the O(m) tree allocator of Rathi et al. [25]
+ *   and the O(log2 m) priority circuit of Foster [34], plus the
+ *   O(log2(p*m)) crosspoint decode; these drive the E14 scaling bench.
+ */
+
+#include <cstddef>
+#include <vector>
+
+#include "topology/multistage.hpp"
+
+namespace rsin {
+namespace sched {
+
+/** A processor-to-output assignment. */
+struct Mapping
+{
+    std::size_t src;
+    std::size_t dst;
+};
+
+/** Result of an optimal (enumerative) mapping search. */
+struct OptimalMapResult
+{
+    std::size_t maxAllocations = 0;
+    std::vector<Mapping> mapping; ///< one witness achieving the maximum
+    std::size_t nodesExplored = 0; ///< search effort (enumeration cost)
+};
+
+/**
+ * Exhaustive centralized scheduler: find the maximum number of requests
+ * in @p sources that can be simultaneously connected to distinct
+ * outputs in @p free_outputs with pairwise link-disjoint paths, given
+ * existing occupancy in @p circuit.
+ *
+ * Worst-case cost matches the paper's bound (x choose y) * y!; intended
+ * for the small scenarios of Sections II and V.
+ */
+OptimalMapResult
+optimalMapping(const topology::MultistageNetwork &net,
+               const topology::CircuitState &circuit,
+               const std::vector<std::size_t> &sources,
+               const std::vector<std::size_t> &free_outputs);
+
+/**
+ * Count how many pairs of a *given* full mapping can be established
+ * simultaneously on an otherwise free network (used to check the
+ * Section II example: some orderings of 3 requests allocate only 2).
+ */
+std::size_t maxCompatibleSubset(const topology::MultistageNetwork &net,
+                                const std::vector<Mapping> &mapping);
+
+/** Hardware-delay models (in gate delays) for centralized schedulers. */
+struct CentralizedDelayModel
+{
+    std::size_t p; ///< processors
+    std::size_t m; ///< resources (or output ports)
+
+    /** Tree allocator of [25]: O(m) per selection. */
+    std::size_t treeSelectDelay() const;
+
+    /** Priority circuit of [34]: O(log2 m) per selection. */
+    std::size_t prioritySelectDelay() const;
+
+    /** Crosspoint address decode + set: O(log2(p*m)). */
+    std::size_t switchSetDelay() const;
+
+    /**
+     * Total delay to serve @p k requests sequentially with the given
+     * selector ("tree" or "priority"), as the paper's O(p log m) bound.
+     */
+    std::size_t serveAll(std::size_t k, bool use_tree) const;
+};
+
+/** ceil(log2(x)) for x >= 1. */
+std::size_t ceilLog2(std::size_t x);
+
+} // namespace sched
+} // namespace rsin

@@ -1,0 +1,102 @@
+#include "matching.hpp"
+
+#include <functional>
+#include <limits>
+#include <queue>
+
+#include "common/error.hpp"
+
+namespace rsin {
+namespace sched {
+
+namespace {
+constexpr std::size_t kNpos = MatchingResult::npos;
+constexpr std::size_t kInf = std::numeric_limits<std::size_t>::max();
+} // namespace
+
+BipartiteGraph::BipartiteGraph(std::size_t left, std::size_t right)
+    : right_(right), adj_(left)
+{
+}
+
+void
+BipartiteGraph::addEdge(std::size_t l, std::size_t r)
+{
+    RSIN_REQUIRE(l < adj_.size() && r < right_,
+                 "BipartiteGraph::addEdge: vertex out of range");
+    adj_[l].push_back(r);
+}
+
+const std::vector<std::size_t> &
+BipartiteGraph::neighbours(std::size_t l) const
+{
+    RSIN_REQUIRE(l < adj_.size(), "neighbours: vertex out of range");
+    return adj_[l];
+}
+
+MatchingResult
+maximumMatching(const BipartiteGraph &graph)
+{
+    const std::size_t nl = graph.leftSize();
+    const std::size_t nr = graph.rightSize();
+    MatchingResult result;
+    result.matchLeft.assign(nl, kNpos);
+    result.matchRight.assign(nr, kNpos);
+
+    std::vector<std::size_t> dist(nl);
+
+    // BFS layering over free left vertices; returns true if an
+    // augmenting path exists.
+    auto bfs = [&]() {
+        std::queue<std::size_t> queue;
+        for (std::size_t l = 0; l < nl; ++l) {
+            if (result.matchLeft[l] == kNpos) {
+                dist[l] = 0;
+                queue.push(l);
+            } else {
+                dist[l] = kInf;
+            }
+        }
+        bool found = false;
+        while (!queue.empty()) {
+            const std::size_t l = queue.front();
+            queue.pop();
+            for (std::size_t r : graph.neighbours(l)) {
+                const std::size_t next = result.matchRight[r];
+                if (next == kNpos) {
+                    found = true;
+                } else if (dist[next] == kInf) {
+                    dist[next] = dist[l] + 1;
+                    queue.push(next);
+                }
+            }
+        }
+        return found;
+    };
+
+    // DFS along the layering.
+    std::function<bool(std::size_t)> dfs = [&](std::size_t l) {
+        for (std::size_t r : graph.neighbours(l)) {
+            const std::size_t next = result.matchRight[r];
+            if (next == kNpos ||
+                (dist[next] == dist[l] + 1 && dfs(next))) {
+                result.matchLeft[l] = r;
+                result.matchRight[r] = l;
+                return true;
+            }
+        }
+        dist[l] = kInf;
+        return false;
+    };
+
+    while (bfs()) {
+        for (std::size_t l = 0; l < nl; ++l) {
+            if (result.matchLeft[l] == kNpos && dfs(l))
+                ++result.size;
+        }
+    }
+    return result;
+}
+
+} // namespace sched
+} // namespace rsin

@@ -1,0 +1,56 @@
+#pragma once
+
+/**
+ * @file
+ * Maximum bipartite matching (Hopcroft-Karp).
+ *
+ * Used as a fast upper bound on simultaneous allocations: ignoring
+ * link conflicts inside a blocking network, the most requests that can
+ * ever be served is a maximum matching between requesting processors
+ * and outputs with free resources (for a banyan with full access this
+ * is simply min(x, y), but the machinery also handles restricted
+ * reachability, e.g. typed resources or partially-failed networks).
+ * The enumerative scheduler of centralized.hpp respects link conflicts
+ * and therefore never exceeds this bound -- a relation the tests check.
+ */
+
+#include <cstddef>
+#include <vector>
+
+namespace rsin {
+namespace sched {
+
+/** A bipartite graph: left vertices 0..l-1, right vertices 0..r-1. */
+class BipartiteGraph
+{
+  public:
+    BipartiteGraph(std::size_t left, std::size_t right);
+
+    void addEdge(std::size_t l, std::size_t r);
+
+    std::size_t leftSize() const { return adj_.size(); }
+    std::size_t rightSize() const { return right_; }
+    const std::vector<std::size_t> &neighbours(std::size_t l) const;
+
+  private:
+    std::size_t right_;
+    std::vector<std::vector<std::size_t>> adj_;
+};
+
+/** Result of a maximum-matching computation. */
+struct MatchingResult
+{
+    std::size_t size = 0;
+    /** matchLeft[l] = matched right vertex or npos. */
+    std::vector<std::size_t> matchLeft;
+    /** matchRight[r] = matched left vertex or npos. */
+    std::vector<std::size_t> matchRight;
+
+    static constexpr std::size_t npos = static_cast<std::size_t>(-1);
+};
+
+/** Hopcroft-Karp maximum matching, O(E * sqrt(V)). */
+MatchingResult maximumMatching(const BipartiteGraph &graph);
+
+} // namespace sched
+} // namespace rsin

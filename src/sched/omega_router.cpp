@@ -1,0 +1,126 @@
+#include "omega_router.hpp"
+
+#include "common/error.hpp"
+
+namespace rsin {
+namespace sched {
+
+OmegaRouter::OmegaRouter(const topology::MultistageNetwork &net,
+                         RoutingPolicy policy)
+    : net_(&net), policy_(policy)
+{
+}
+
+std::vector<std::vector<std::size_t>>
+OmegaRouter::availabilityMap(const topology::CircuitState &circuit,
+                             const ResourcePool &pool,
+                             std::size_t type) const
+{
+    const std::size_t n = net_->size();
+    const std::size_t stages = net_->stages();
+    RSIN_REQUIRE(pool.ports() == n,
+                 "availabilityMap: pool ports != network outputs");
+
+    // avail[b][l] = free resources reachable when about to traverse
+    // segment (b, l); zero when that segment is itself held.
+    std::vector<std::vector<std::size_t>> avail(
+        stages + 1, std::vector<std::size_t>(n, 0));
+    for (std::size_t l = 0; l < n; ++l) {
+        avail[stages][l] =
+            circuit.segmentFree(stages, l) ? pool.freeCount(l, type) : 0;
+    }
+    for (std::size_t b = stages; b-- > 0;) {
+        for (std::size_t l = 0; l < n; ++l) {
+            if (!circuit.segmentFree(b, l))
+                continue;
+            const std::size_t box = net_->boxOf(b, l);
+            avail[b][l] = avail[b + 1][net_->outputLink(box, 0)] +
+                          avail[b + 1][net_->outputLink(box, 1)];
+        }
+    }
+    return avail;
+}
+
+std::size_t
+OmegaRouter::availability(const topology::CircuitState &circuit,
+                          const ResourcePool &pool, std::size_t src,
+                          std::size_t type) const
+{
+    RSIN_REQUIRE(src < net_->size(), "availability: bad input");
+    return availabilityMap(circuit, pool, type)[0][src];
+}
+
+std::optional<RouteResult>
+OmegaRouter::tryRoute(topology::CircuitState &circuit, ResourcePool &pool,
+                      std::size_t src, Rng &rng, std::size_t type) const
+{
+    RSIN_REQUIRE(src < net_->size(), "tryRoute: bad input");
+    const auto avail = availabilityMap(circuit, pool, type);
+    if (avail[0][src] == 0)
+        return std::nullopt;
+
+    RouteResult result;
+    std::size_t link = src;
+    result.path.push_back(link);
+    for (std::size_t stage = 0; stage < net_->stages(); ++stage) {
+        const std::size_t box = net_->boxOf(stage, link);
+        const std::size_t up = net_->outputLink(box, 0);
+        const std::size_t down = net_->outputLink(box, 1);
+        const std::size_t a0 = avail[stage + 1][up];
+        const std::size_t a1 = avail[stage + 1][down];
+        RSIN_ASSERT(a0 + a1 > 0, "tryRoute: availability bookkeeping hole");
+        std::size_t q;
+        if (a0 == 0) {
+            q = 1;
+        } else if (a1 == 0) {
+            q = 0;
+        } else {
+            switch (policy_) {
+              case RoutingPolicy::MostResources:
+                // The S registers carry counts; take the richer subtree,
+                // breaking exact ties toward the upper port.
+                q = a1 > a0 ? 1 : 0;
+                break;
+              case RoutingPolicy::PreferUpper:
+                q = 0;
+                break;
+              case RoutingPolicy::RandomTie:
+                q = rng.uniformInt(std::uint64_t{2});
+                break;
+              default:
+                RSIN_PANIC("tryRoute: unknown policy");
+            }
+        }
+        link = q == 0 ? up : down;
+        result.path.push_back(link);
+        ++result.boxesTraversed;
+    }
+    result.outputPort = link;
+    circuit.claim(result.path);
+    result.resource = pool.claim(result.outputPort, type);
+    return result;
+}
+
+std::optional<RouteResult>
+OmegaRouter::tryRouteAddressed(topology::CircuitState &circuit,
+                               ResourcePool &pool, std::size_t src,
+                               std::size_t dst, std::size_t type) const
+{
+    RSIN_REQUIRE(src < net_->size() && dst < net_->size(),
+                 "tryRouteAddressed: bad endpoints");
+    if (!pool.hasFree(dst, type))
+        return std::nullopt;
+    const std::vector<std::size_t> path = net_->path(src, dst);
+    if (!circuit.pathFree(path))
+        return std::nullopt;
+    RouteResult result;
+    result.path = path;
+    result.outputPort = dst;
+    result.boxesTraversed = net_->stages();
+    circuit.claim(result.path);
+    result.resource = pool.claim(dst, type);
+    return result;
+}
+
+} // namespace sched
+} // namespace rsin

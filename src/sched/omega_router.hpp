@@ -1,0 +1,107 @@
+#pragma once
+
+/**
+ * @file
+ * Distributed resource routing over a circuit-switched multistage
+ * network (paper Section V), in the "status information is current"
+ * idealization that the queueing simulations use (assumption (c):
+ * negligible propagation delay).
+ *
+ * Availability registers: every interchange box keeps, per output port
+ * and per resource type, the number of free resources reachable through
+ * that port over currently-free links.  A request entering the network
+ * is steered at every box toward a port with positive availability; the
+ * claimed path's segments and the claimed resource are marked busy, so
+ * subsequent requests see updated status.  Because each output is
+ * reached by a unique path (banyan property), the availability counts
+ * are exact sums and greedy steering always terminates at a free
+ * resource when the entry availability is positive.
+ *
+ * The clocked, stale-status hardware realization of the same algorithm
+ * (Fig. 10) lives in omega_boxes.hpp; the two are compared in tests.
+ */
+
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "sched/resource_pool.hpp"
+#include "topology/multistage.hpp"
+
+namespace rsin {
+namespace sched {
+
+/** Tie-break policy when both box ports lead to free resources. */
+enum class RoutingPolicy
+{
+    MostResources, ///< S-register counts: take the richer subtree
+    PreferUpper,   ///< deterministic: port 0 when possible
+    RandomTie,     ///< break ties uniformly at random
+};
+
+/** Outcome of a successful route. */
+struct RouteResult
+{
+    std::vector<std::size_t> path; ///< boundary links, size stages()+1
+    std::size_t outputPort = 0;    ///< port whose bus now transmits
+    ResourceRef resource;          ///< the claimed resource
+    std::size_t boxesTraversed = 0;
+};
+
+/**
+ * Greedy distributed router with exact (instantaneous) status.
+ * Owns neither the circuit state nor the pool; callers hold them so the
+ * same objects can feed several cooperating components.
+ */
+class OmegaRouter
+{
+  public:
+    OmegaRouter(const topology::MultistageNetwork &net,
+                RoutingPolicy policy = RoutingPolicy::MostResources);
+
+    RoutingPolicy policy() const { return policy_; }
+
+    /**
+     * Availability of type-@p type resources from input @p src given
+     * current circuit and pool state: the count of free resources
+     * reachable over free segments.  Positive iff tryRoute would
+     * succeed.
+     */
+    std::size_t availability(const topology::CircuitState &circuit,
+                             const ResourcePool &pool, std::size_t src,
+                             std::size_t type = 0) const;
+
+    /**
+     * Attempt to connect input @p src to any free resource of
+     * @p type.  On success the path segments are claimed in
+     * @p circuit, the resource in @p pool, and the result returned.
+     */
+    std::optional<RouteResult> tryRoute(topology::CircuitState &circuit,
+                                        ResourcePool &pool,
+                                        std::size_t src, Rng &rng,
+                                        std::size_t type = 0) const;
+
+    /**
+     * Address-mapping baseline: route @p src to the *specific* output
+     * @p dst (routing tags); fails if any path segment is busy or no
+     * type-@p type resource is free there.  Used for the Section V
+     * blocking-probability comparison.
+     */
+    std::optional<RouteResult>
+    tryRouteAddressed(topology::CircuitState &circuit, ResourcePool &pool,
+                      std::size_t src, std::size_t dst,
+                      std::size_t type = 0) const;
+
+  private:
+    /** Per-boundary-link availability counts (backward pass). */
+    std::vector<std::vector<std::size_t>>
+    availabilityMap(const topology::CircuitState &circuit,
+                    const ResourcePool &pool, std::size_t type) const;
+
+    const topology::MultistageNetwork *net_;
+    RoutingPolicy policy_;
+};
+
+} // namespace sched
+} // namespace rsin

@@ -1,0 +1,77 @@
+#include "workload.hpp"
+
+#include <cmath>
+
+namespace rsin {
+namespace workload {
+
+void
+WorkloadParams::validate() const
+{
+    RSIN_REQUIRE(lambda >= 0.0, "WorkloadParams: lambda must be >= 0");
+    RSIN_REQUIRE(muN > 0.0, "WorkloadParams: muN must be > 0");
+    RSIN_REQUIRE(muS > 0.0, "WorkloadParams: muS must be > 0");
+    RSIN_REQUIRE(resourceTypes >= 1,
+                 "WorkloadParams: need at least one resource type");
+}
+
+double
+sampleTime(Rng &rng, TimeDistribution dist, double rate)
+{
+    RSIN_REQUIRE(rate > 0.0, "sampleTime: rate must be positive");
+    switch (dist) {
+      case TimeDistribution::Exponential:
+        return rng.exponential(rate);
+      case TimeDistribution::Deterministic:
+        return 1.0 / rate;
+      case TimeDistribution::Erlang2:
+        // Two stages at twice the rate keep the mean at 1/rate.
+        return rng.erlang(2, 2.0 * rate);
+      case TimeDistribution::Hyper2: {
+        // Balanced-means two-phase hyperexponential with CV^2 = 4.
+        // Phase probabilities p and 1-p, rates 2p*rate and 2(1-p)*rate,
+        // keep the overall mean at 1/rate.
+        const double cv2 = 4.0;
+        const double p =
+            0.5 * (1.0 + std::sqrt((cv2 - 1.0) / (cv2 + 1.0)));
+        return rng.hyperExponential(p, 2.0 * p * rate,
+                                    2.0 * (1.0 - p) * rate);
+      }
+    }
+    RSIN_PANIC("sampleTime: unknown distribution");
+}
+
+TaskSource::TaskSource(std::size_t processor, const WorkloadParams &params,
+                       Rng rng)
+    : processor_(processor), params_(params), rng_(rng)
+{
+    params_.validate();
+}
+
+double
+TaskSource::nextInterarrival()
+{
+    RSIN_REQUIRE(params_.lambda > 0.0,
+                 "nextInterarrival: zero arrival rate source");
+    return rng_.exponential(params_.lambda);
+}
+
+Task
+TaskSource::makeTask(double now, std::uint64_t id)
+{
+    Task task;
+    task.id = id;
+    task.processor = processor_;
+    task.arrival = now;
+    task.transmitTime = sampleTime(rng_, params_.transmitDist, params_.muN);
+    task.serviceTime = sampleTime(rng_, params_.serviceDist, params_.muS);
+    if (params_.resourceTypes > 1) {
+        task.resourceType = static_cast<std::size_t>(
+            rng_.uniformInt(static_cast<std::uint64_t>(
+                params_.resourceTypes)));
+    }
+    return task;
+}
+
+} // namespace workload
+} // namespace rsin

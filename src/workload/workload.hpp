@@ -1,0 +1,115 @@
+#pragma once
+
+/**
+ * @file
+ * Task model and stochastic workload description (paper Section II).
+ *
+ * A task is generated at a processor, waits in that processor's FIFO
+ * queue until the network connects it to a free resource, occupies the
+ * network path for its transmission time, then occupies the resource for
+ * its service time (the path is released at the start of service --
+ * the disconnection property that distinguishes RSINs from conventional
+ * continuously-connected accesses).
+ */
+
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace rsin {
+namespace workload {
+
+/** Distribution family for transmit/service times. */
+enum class TimeDistribution
+{
+    Exponential,    ///< the paper's assumption (a)
+    Deterministic,  ///< constant time (extension)
+    Erlang2,        ///< CV < 1 (extension)
+    Hyper2,         ///< CV > 1, balanced-means 2-phase (extension)
+};
+
+/** A single task flowing through the system. */
+struct Task
+{
+    static constexpr double kUnset = -1.0;
+
+    std::uint64_t id = 0;
+    std::size_t processor = 0;
+    std::size_t resourceType = 0; ///< 0 in the single-type study
+
+    double arrival = kUnset;        ///< generation time at the processor
+    double transmitStart = kUnset;  ///< connection established
+    double transmitEnd = kUnset;    ///< data fully delivered
+    double serviceEnd = kUnset;     ///< resource finished
+
+    double transmitTime = 0.0;      ///< sampled transmission duration
+    double serviceTime = 0.0;       ///< sampled service duration
+
+    std::size_t resource = 0;       ///< resource that served the task
+    std::uint32_t routingAttempts = 0; ///< rejects + 1 (network stats)
+    std::uint32_t boxesTraversed = 0;  ///< interchange boxes visited
+
+    /** Queueing delay d: wait before the connection is established. */
+    double
+    queueingDelay() const
+    {
+        RSIN_ASSERT(transmitStart >= arrival, "task times inconsistent");
+        return transmitStart - arrival;
+    }
+
+    /** Total response time (queue + transmit + service). */
+    double
+    responseTime() const
+    {
+        RSIN_ASSERT(serviceEnd >= arrival, "task times inconsistent");
+        return serviceEnd - arrival;
+    }
+};
+
+/** Stochastic parameters of the offered load. */
+struct WorkloadParams
+{
+    double lambda = 0.1; ///< per-processor arrival rate
+    double muN = 1.0;    ///< transmission rate (1/mean transmit time)
+    double muS = 1.0;    ///< service rate (1/mean service time)
+    TimeDistribution transmitDist = TimeDistribution::Exponential;
+    TimeDistribution serviceDist = TimeDistribution::Exponential;
+    /** Resource types; tasks request a type uniformly at random.  The
+     *  paper's main study uses 1 (Section V sketches the extension). */
+    std::size_t resourceTypes = 1;
+
+    /** The paper's key workload ratio mu_s / mu_n. */
+    double ratio() const { return muS / muN; }
+
+    void validate() const;
+};
+
+/** Sample a duration with the given mean-rate and distribution family. */
+double sampleTime(Rng &rng, TimeDistribution dist, double rate);
+
+/** Per-processor Poisson task source. */
+class TaskSource
+{
+  public:
+    TaskSource(std::size_t processor, const WorkloadParams &params,
+               Rng rng);
+
+    /** Time until the next task arrives at this processor. */
+    double nextInterarrival();
+
+    /** Materialize the next task arriving at absolute time @p now. */
+    Task makeTask(double now, std::uint64_t id);
+
+    std::size_t processor() const { return processor_; }
+
+  private:
+    std::size_t processor_;
+    WorkloadParams params_;
+    Rng rng_;
+};
+
+} // namespace workload
+} // namespace rsin

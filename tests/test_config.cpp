@@ -1,0 +1,138 @@
+/**
+ * @file
+ * Tests for the configuration notation parser and the Table II advisor.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "rsin/advisor.hpp"
+#include "rsin/config.hpp"
+
+namespace rsin {
+namespace {
+
+TEST(ConfigTest, ParsesPaperExamples)
+{
+    const auto sbus = SystemConfig::parse("16/16x1x1 SBUS/2");
+    EXPECT_EQ(sbus.processors, 16u);
+    EXPECT_EQ(sbus.networks, 16u);
+    EXPECT_EQ(sbus.network, NetworkClass::SingleBus);
+    EXPECT_EQ(sbus.resourcesPerPort, 2u);
+    EXPECT_EQ(sbus.totalResources(), 32u);
+    EXPECT_EQ(sbus.processorsPerNet(), 1u);
+
+    const auto xbar = SystemConfig::parse("16/1x16x32 XBAR/1");
+    EXPECT_EQ(xbar.network, NetworkClass::Crossbar);
+    EXPECT_EQ(xbar.inputsPerNet, 16u);
+    EXPECT_EQ(xbar.outputsPerNet, 32u);
+    EXPECT_EQ(xbar.totalResources(), 32u);
+
+    const auto omega = SystemConfig::parse("16/1x16x16 OMEGA/2");
+    EXPECT_EQ(omega.network, NetworkClass::Omega);
+    EXPECT_EQ(omega.totalResources(), 32u);
+}
+
+TEST(ConfigTest, ParserIsFlexible)
+{
+    EXPECT_EQ(SystemConfig::parse("8/1X8X8 omega/1").network,
+              NetworkClass::Omega);
+    EXPECT_EQ(SystemConfig::parse(" 8 / 1*8*8  CUBE / 4 ").network,
+              NetworkClass::Cube);
+    EXPECT_EQ(SystemConfig::parse("16/2x1x1 sbus/16").networks, 2u);
+}
+
+TEST(ConfigTest, RoundTripThroughStr)
+{
+    for (const char *text :
+         {"16/16x1x1 SBUS/2", "16/1x16x32 XBAR/1", "16/4x4x4 OMEGA/2",
+          "8/1x8x8 CUBE/4"}) {
+        const auto cfg = SystemConfig::parse(text);
+        EXPECT_EQ(SystemConfig::parse(cfg.str()).str(), cfg.str());
+    }
+}
+
+TEST(ConfigTest, RejectsMalformedStrings)
+{
+    EXPECT_THROW(SystemConfig::parse(""), FatalError);
+    EXPECT_THROW(SystemConfig::parse("16/1x16 OMEGA/2"), FatalError);
+    EXPECT_THROW(SystemConfig::parse("16/1x16x16 FOO/2"), FatalError);
+    EXPECT_THROW(SystemConfig::parse("16 1x16x16 OMEGA 2"), FatalError);
+    EXPECT_THROW(SystemConfig::parse("0/1x16x16 OMEGA/2"), FatalError);
+    EXPECT_THROW(SystemConfig::parse("16/1x16x16OMEGA/2"), FatalError);
+}
+
+TEST(ConfigTest, RejectsInconsistentShapes)
+{
+    // p != i*j for a switched network.
+    EXPECT_THROW(SystemConfig::parse("16/1x8x8 OMEGA/2"), FatalError);
+    // Multistage must be square and a power of two.
+    EXPECT_THROW(SystemConfig::parse("16/1x16x8 OMEGA/2"), FatalError);
+    EXPECT_THROW(SystemConfig::parse("12/1x12x12 OMEGA/2"), FatalError);
+    // SBUS must use the 1x1 convention.
+    EXPECT_THROW(SystemConfig::parse("16/2x8x1 SBUS/4"), FatalError);
+    // p must divide over i.
+    EXPECT_THROW(SystemConfig::parse("16/3x1x1 SBUS/4"), FatalError);
+}
+
+TEST(ConfigTest, CrossbarMayBeRectangular)
+{
+    const auto cfg = SystemConfig::parse("16/2x8x4 XBAR/2");
+    EXPECT_EQ(cfg.totalResources(), 16u);
+    EXPECT_NO_THROW(cfg.validate());
+}
+
+TEST(AdvisorTest, TableTwoDecisions)
+{
+    // Row 1: cost_net << cost_res.
+    auto rec = selectNetwork(CostRegime::NetworkMuchCheaper, 0.1);
+    EXPECT_EQ(rec.network, NetworkClass::Omega);
+    EXPECT_FALSE(rec.manySmallNetworks);
+    rec = selectNetwork(CostRegime::NetworkMuchCheaper, 10.0);
+    EXPECT_EQ(rec.network, NetworkClass::Crossbar);
+    EXPECT_FALSE(rec.manySmallNetworks);
+    // Row 2: comparable costs.
+    rec = selectNetwork(CostRegime::Comparable, 0.1);
+    EXPECT_EQ(rec.network, NetworkClass::Omega);
+    EXPECT_TRUE(rec.manySmallNetworks);
+    EXPECT_TRUE(rec.extraResources);
+    rec = selectNetwork(CostRegime::Comparable, 10.0);
+    EXPECT_EQ(rec.network, NetworkClass::Crossbar);
+    EXPECT_TRUE(rec.manySmallNetworks);
+    // Row 3: cost_net >> cost_res -> private buses, any ratio.
+    for (double ratio : {0.1, 1.0, 10.0}) {
+        rec = selectNetwork(CostRegime::NetworkMuchCostlier, ratio);
+        EXPECT_EQ(rec.network, NetworkClass::SingleBus);
+        EXPECT_TRUE(rec.extraResources);
+    }
+}
+
+TEST(AdvisorTest, RejectsBadRatio)
+{
+    EXPECT_THROW(selectNetwork(CostRegime::Comparable, 0.0), FatalError);
+    EXPECT_THROW(selectNetwork(CostRegime::Comparable, -1.0), FatalError);
+}
+
+TEST(AdvisorTest, GateCostOrdering)
+{
+    // For the same 16-processor, 32-resource system the crossbar costs
+    // more gates than the Omega network, which costs more than buses
+    // (the O(N^2) vs O(N log N) comparison of Section V).
+    const auto xbar = SystemConfig::parse("16/1x16x32 XBAR/1");
+    const auto omega = SystemConfig::parse("16/1x16x16 OMEGA/2");
+    const auto sbus = SystemConfig::parse("16/16x1x1 SBUS/2");
+    EXPECT_GT(networkGateCost(xbar), networkGateCost(omega));
+    EXPECT_GT(networkGateCost(omega), networkGateCost(sbus));
+}
+
+TEST(AdvisorTest, CostRegimeThresholds)
+{
+    const auto omega = SystemConfig::parse("16/1x16x16 OMEGA/2");
+    // Expensive resources dwarf the network cost.
+    EXPECT_EQ(costRegime(omega, 100000), CostRegime::NetworkMuchCheaper);
+    // Very cheap resources make the network dominate.
+    EXPECT_EQ(costRegime(omega, 1), CostRegime::NetworkMuchCostlier);
+}
+
+} // namespace
+} // namespace rsin

@@ -1,0 +1,230 @@
+/**
+ * @file
+ * Unit tests for the discrete-event simulation kernel.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "des/simulator.hpp"
+
+namespace rsin {
+namespace des {
+namespace {
+
+TEST(SimulatorTest, FiresInTimeOrder)
+{
+    Simulator sim;
+    std::vector<int> order;
+    sim.schedule(3.0, [&] { order.push_back(3); });
+    sim.schedule(1.0, [&] { order.push_back(1); });
+    sim.schedule(2.0, [&] { order.push_back(2); });
+    sim.runAll();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+    EXPECT_DOUBLE_EQ(sim.now(), 3.0);
+}
+
+TEST(SimulatorTest, TiesBreakInScheduleOrder)
+{
+    Simulator sim;
+    std::vector<int> order;
+    for (int i = 0; i < 5; ++i)
+        sim.schedule(1.0, [&order, i] { order.push_back(i); });
+    sim.runAll();
+    EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(SimulatorTest, NestedScheduling)
+{
+    Simulator sim;
+    double fired_at = -1.0;
+    sim.schedule(1.0, [&] {
+        sim.schedule(2.5, [&] { fired_at = sim.now(); });
+    });
+    sim.runAll();
+    EXPECT_DOUBLE_EQ(fired_at, 3.5);
+}
+
+TEST(SimulatorTest, CancelPreventsFiring)
+{
+    Simulator sim;
+    bool fired = false;
+    auto handle = sim.schedule(1.0, [&] { fired = true; });
+    EXPECT_TRUE(handle.pending());
+    sim.cancel(handle);
+    EXPECT_FALSE(handle.pending());
+    sim.runAll();
+    EXPECT_FALSE(fired);
+    EXPECT_EQ(sim.fired(), 0u);
+}
+
+TEST(SimulatorTest, CancelAfterFireIsNoop)
+{
+    Simulator sim;
+    auto handle = sim.schedule(0.5, [] {});
+    sim.runAll();
+    EXPECT_FALSE(handle.pending());
+    EXPECT_NO_THROW(sim.cancel(handle));
+}
+
+TEST(SimulatorTest, RunUntilStopsAtBoundary)
+{
+    Simulator sim;
+    int fired = 0;
+    for (int i = 1; i <= 10; ++i)
+        sim.schedule(static_cast<double>(i), [&] { ++fired; });
+    sim.runUntil(5.0);
+    EXPECT_EQ(fired, 5); // events at t = 1..5 inclusive
+    EXPECT_EQ(sim.pending(), 5u);
+    sim.runAll();
+    EXPECT_EQ(fired, 10);
+}
+
+TEST(SimulatorTest, RejectsPastScheduling)
+{
+    Simulator sim;
+    sim.schedule(1.0, [] {});
+    sim.runAll();
+    EXPECT_THROW(sim.scheduleAt(0.5, [] {}), FatalError);
+    EXPECT_THROW(sim.schedule(-1.0, [] {}), FatalError);
+}
+
+TEST(SimulatorTest, PendingCountTracksCancellation)
+{
+    Simulator sim;
+    auto h1 = sim.schedule(1.0, [] {});
+    auto h2 = sim.schedule(2.0, [] {});
+    EXPECT_EQ(sim.pending(), 2u);
+    sim.cancel(h1);
+    EXPECT_EQ(sim.pending(), 1u);
+    sim.cancel(h1); // double cancel is a no-op
+    EXPECT_EQ(sim.pending(), 1u);
+    sim.runAll();
+    EXPECT_EQ(sim.pending(), 0u);
+    (void)h2;
+}
+
+TEST(SimulatorTest, ZeroDelayFiresAtCurrentTime)
+{
+    Simulator sim;
+    double t = -1.0;
+    sim.schedule(2.0, [&] {
+        sim.schedule(0.0, [&] { t = sim.now(); });
+    });
+    sim.runAll();
+    EXPECT_DOUBLE_EQ(t, 2.0);
+}
+
+TEST(SimulatorTest, CancelInsideCallback)
+{
+    // An event may cancel a later event from within its own firing.
+    Simulator sim;
+    bool second_fired = false;
+    EventHandle second = sim.schedule(2.0, [&] { second_fired = true; });
+    sim.schedule(1.0, [&] { sim.cancel(second); });
+    sim.runAll();
+    EXPECT_FALSE(second_fired);
+    EXPECT_EQ(sim.fired(), 1u);
+}
+
+TEST(SimulatorTest, RescheduleFromCallbackKeepsOrdering)
+{
+    // A callback scheduling an earlier-deadline event than already
+    // queued ones must still fire it in time order.
+    Simulator sim;
+    std::vector<int> order;
+    sim.schedule(10.0, [&] { order.push_back(10); });
+    sim.schedule(1.0, [&] {
+        order.push_back(1);
+        sim.schedule(2.0, [&] { order.push_back(3); }); // fires at t=3
+    });
+    sim.runAll();
+    EXPECT_EQ(order, (std::vector<int>{1, 3, 10}));
+}
+
+TEST(SimulatorTest, RunUntilThenContinue)
+{
+    Simulator sim;
+    int fired = 0;
+    for (int i = 1; i <= 4; ++i)
+        sim.schedule(static_cast<double>(i), [&] { ++fired; });
+    sim.runUntil(2.0);
+    EXPECT_EQ(fired, 2);
+    // Scheduling relative to now() == 2 interleaves correctly.
+    sim.schedule(0.5, [&] { ++fired; });
+    sim.runAll();
+    EXPECT_EQ(fired, 5);
+}
+
+TEST(SimulatorTest, CancelledHeadDoesNotAdvanceClock)
+{
+    Simulator sim;
+    auto early = sim.schedule(1.0, [] {});
+    sim.schedule(5.0, [] {});
+    sim.cancel(early);
+    sim.runUntil(0.5); // nothing fires; cancelled head must not move t
+    EXPECT_DOUBLE_EQ(sim.now(), 0.0);
+    sim.runAll();
+    EXPECT_DOUBLE_EQ(sim.now(), 5.0);
+}
+
+TEST(SimulatorTest, StressRandomScheduleCancel)
+{
+    // Randomized property: with random schedule/cancel interleavings,
+    // fired + cancelled == scheduled, and firing times never decrease.
+    Simulator sim;
+    rsin::Rng rng(2025);
+    std::uint64_t cancelled = 0;
+    double last_time = 0.0;
+    bool monotone = true;
+    std::vector<EventHandle> handles;
+    std::function<void()> noop = [&] {
+        if (sim.now() < last_time)
+            monotone = false;
+        last_time = sim.now();
+    };
+    std::uint64_t scheduled = 0;
+    for (int round = 0; round < 200; ++round) {
+        for (int i = 0; i < 20; ++i) {
+            handles.push_back(
+                sim.schedule(rng.uniform(0.0, 10.0), noop));
+            ++scheduled;
+        }
+        for (int i = 0; i < 5; ++i) {
+            auto &h = handles[rng.uniformInt(
+                static_cast<std::uint64_t>(handles.size()))];
+            if (h.pending()) {
+                sim.cancel(h);
+                ++cancelled;
+            }
+        }
+        // Drain a slice of time.
+        sim.runUntil(sim.now() + rng.uniform(0.0, 3.0));
+    }
+    sim.runAll();
+    EXPECT_TRUE(monotone);
+    EXPECT_EQ(sim.fired() + cancelled, scheduled);
+    EXPECT_EQ(sim.pending(), 0u);
+}
+
+TEST(SimulatorTest, ManyEventsThroughput)
+{
+    Simulator sim;
+    std::uint64_t count = 0;
+    // A self-rescheduling process, 100k steps.
+    std::function<void()> step = [&] {
+        if (++count < 100000)
+            sim.schedule(0.001, step);
+    };
+    sim.schedule(0.0, step);
+    sim.runAll();
+    EXPECT_EQ(count, 100000u);
+    EXPECT_EQ(sim.fired(), 100000u);
+}
+
+} // namespace
+} // namespace des
+} // namespace rsin

@@ -1,0 +1,361 @@
+/**
+ * @file
+ * Cross-module integration tests reproducing the paper's qualitative
+ * findings end-to-end: figure shapes, the Section VI comparison, the
+ * blocking-probability gap, and analytic/simulation agreement across
+ * network classes.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "rsin/advisor.hpp"
+#include "rsin/analysis.hpp"
+#include "rsin/factory.hpp"
+#include "sched/omega_boxes.hpp"
+#include "sched/omega_router.hpp"
+
+namespace rsin {
+namespace {
+
+SimOptions
+opts(std::uint64_t seed)
+{
+    SimOptions o;
+    o.seed = seed;
+    o.warmupTasks = 2000;
+    o.measureTasks = 15000;
+    return o;
+}
+
+TEST(FigureShapeTest, Fig4MorePartitionsLowerDelayAtModerateLoad)
+{
+    // Fig. 4 (ratio 0.1), rho = 0.3: delay decreases with partitions
+    // (1 -> 2 -> 8), analytically.  (The single-bus system saturates
+    // just beyond rho ~ 0.375 -- its bus must carry all 16 processors'
+    // traffic -- so the common comparison point sits below that.)
+    const double mu_n = 1.0, mu_s = 0.1;
+    double prev = 1e100;
+    for (const char *text : {"16/1x1x1 SBUS/32", "16/2x1x1 SBUS/16",
+                             "16/8x1x1 SBUS/4"}) {
+        const auto cfg = SystemConfig::parse(text);
+        const double lambda = lambdaForRho(cfg, 0.3, mu_n, mu_s);
+        const auto sol = analyzeSbus(cfg, lambda, mu_n, mu_s);
+        ASSERT_TRUE(sol.stable) << text;
+        EXPECT_LT(sol.normalizedDelay, prev) << text;
+        prev = sol.normalizedDelay;
+    }
+    // The 1-partition curve leaves the figure early: beyond its bus
+    // capacity the system is unstable while 8 partitions still serve.
+    const auto one = SystemConfig::parse("16/1x1x1 SBUS/32");
+    const auto eight = SystemConfig::parse("16/8x1x1 SBUS/4");
+    const double heavy = lambdaForRho(one, 0.6, mu_n, mu_s);
+    EXPECT_FALSE(analyzeSbus(one, heavy, mu_n, mu_s).stable);
+    EXPECT_TRUE(analyzeSbus(eight, heavy, mu_n, mu_s).stable);
+}
+
+TEST(FigureShapeTest, Fig4SixteenPartitionCrossover)
+{
+    // The paper's "strange behavior": at ratio 0.1 the 16-partition
+    // system (2 resources each) is worse than the 2-partition system
+    // under light load (resource bottleneck) but better under heavy
+    // load (bus bottleneck).
+    const double mu_n = 1.0, mu_s = 0.1;
+    const auto p16 = SystemConfig::parse("16/16x1x1 SBUS/2");
+    const auto p2 = SystemConfig::parse("16/2x1x1 SBUS/16");
+
+    auto delay = [&](const SystemConfig &cfg, double rho) {
+        const auto sol =
+            analyzeSbus(cfg, lambdaForRho(cfg, rho, mu_n, mu_s), mu_n,
+                        mu_s);
+        return sol.stable ? sol.normalizedDelay : 1e100;
+    };
+    // Light load: 16 partitions worse.
+    EXPECT_GT(delay(p16, 0.3), delay(p2, 0.3));
+    // Heavy load: 16 partitions better (crossover near rho ~ 0.64).
+    EXPECT_LT(delay(p16, 0.85), delay(p2, 0.85));
+}
+
+TEST(FigureShapeTest, Fig5NoCrossoverAtRatioOne)
+{
+    // At ratio 1.0 the bus is always the bottleneck: more partitions
+    // is uniformly better, light or heavy load.  (With mu_s/mu_n = 1
+    // every task occupies its bus for as long as a service, so the
+    // 2-partition system saturates already near rho ~ 0.17; compare
+    // inside its stable window.)
+    const double mu_n = 1.0, mu_s = 1.0;
+    const auto p16 = SystemConfig::parse("16/16x1x1 SBUS/2");
+    const auto p2 = SystemConfig::parse("16/2x1x1 SBUS/16");
+    for (double rho : {0.05, 0.10, 0.15}) {
+        const auto d16 =
+            analyzeSbus(p16, lambdaForRho(p16, rho, mu_n, mu_s), mu_n,
+                        mu_s);
+        const auto d2 =
+            analyzeSbus(p2, lambdaForRho(p2, rho, mu_n, mu_s), mu_n,
+                        mu_s);
+        ASSERT_TRUE(d16.stable && d2.stable);
+        EXPECT_LT(d16.normalizedDelay, d2.normalizedDelay)
+            << "rho " << rho;
+    }
+}
+
+TEST(FigureShapeTest, Fig4PrivateBusesImproveWithMoreResources)
+{
+    // Private buses with r = 2, 3, 4 resources: delay nearly halves
+    // from 2 to 4 at moderate load (paper's observation on Fig. 4).
+    const double mu_n = 1.0, mu_s = 0.1;
+    const double rho = 0.5;
+    std::vector<double> delays;
+    for (const char *text : {"16/16x1x1 SBUS/2", "16/16x1x1 SBUS/3",
+                             "16/16x1x1 SBUS/4"}) {
+        const auto cfg = SystemConfig::parse(text);
+        // Use the 32-resource normalization so all three configs see
+        // the *same* arrival rate, as in the figure.
+        const auto base = SystemConfig::parse("16/16x1x1 SBUS/2");
+        const double lambda = lambdaForRho(base, rho, mu_n, mu_s);
+        const auto sol = analyzeSbus(cfg, lambda, mu_n, mu_s);
+        ASSERT_TRUE(sol.stable);
+        delays.push_back(sol.normalizedDelay);
+    }
+    EXPECT_LT(delays[1], delays[0]);
+    EXPECT_LT(delays[2], delays[1]);
+    EXPECT_LT(delays[2], 0.75 * delays[0]);
+}
+
+TEST(SectionSixTest, SmallBusesWithMoreResourcesBeatSmallSwitches)
+{
+    // Section VI: "a 16/16x1x1 SBUS/3 system has a much better delay
+    // behavior than a 16/4x4x4 OMEGA/2 or a 16/4x4x4 XBAR/2 system."
+    // The advantage comes from the larger resource pool (48 vs 32),
+    // which pays off under heavy load where the resources are the
+    // bottleneck; at light load the pooled switches are slightly ahead.
+    const double mu_n = 1.0, mu_s = 0.1, rho = 0.9;
+    const auto sbus3 = SystemConfig::parse("16/16x1x1 SBUS/3");
+    const auto omega = SystemConfig::parse("16/4x4x4 OMEGA/2");
+    const auto xbar = SystemConfig::parse("16/4x4x4 XBAR/2");
+
+    // Same per-processor arrival rate everywhere (32-resource basis).
+    const double lambda = lambdaForRho(omega, rho, mu_n, mu_s);
+    workload::WorkloadParams params;
+    params.lambda = lambda;
+    params.muN = mu_n;
+    params.muS = mu_s;
+
+    const auto d_sbus = analyzeSbus(sbus3, lambda, mu_n, mu_s);
+    ASSERT_TRUE(d_sbus.stable);
+    const auto d_omega = simulate(omega, params, opts(31));
+    const auto d_xbar = simulate(xbar, params, opts(32));
+    ASSERT_FALSE(d_omega.saturated);
+    ASSERT_FALSE(d_xbar.saturated);
+    EXPECT_LT(d_sbus.normalizedDelay, d_omega.normalizedDelay);
+    EXPECT_LT(d_sbus.normalizedDelay, d_xbar.normalizedDelay);
+}
+
+TEST(AdvisorValidationTest, TableTwoChoiceWinsAtItsOwnRatio)
+{
+    // Table II says: at comparable costs use multistage when
+    // mu_s/mu_n is small and crossbar when large.  Validate that the
+    // advisor's preference agrees with measured delays in each regime:
+    // at ratio 0.1 the Omega matches the crossbar (so the cheaper
+    // fabric wins on cost); at ratio 1.0 the crossbar is strictly
+    // faster, which is why the advisor switches.
+    const auto omega = SystemConfig::parse("16/1x16x16 OMEGA/2");
+    const auto xbar = SystemConfig::parse("16/1x16x16 XBAR/2");
+    const double mu_n = 1.0;
+    auto measured = [&](const SystemConfig &cfg, double mu_s) {
+        workload::WorkloadParams params;
+        params.muN = mu_n;
+        params.muS = mu_s;
+        params.lambda = lambdaForRho(cfg, 0.8, mu_n, mu_s);
+        SimOptions o = opts(601);
+        o.measureTasks = 30000;
+        const auto res = simulate(cfg, params, o);
+        EXPECT_FALSE(res.saturated);
+        return res.normalizedDelay;
+    };
+    // Ratio small: delays within a few percent -> Omega recommended
+    // (same performance, O(N log N) cost instead of O(N^2)).
+    const double omega_01 = measured(omega, 0.1);
+    const double xbar_01 = measured(xbar, 0.1);
+    EXPECT_NEAR(omega_01, xbar_01, 0.15 * xbar_01 + 0.01);
+    EXPECT_EQ(selectNetwork(CostRegime::NetworkMuchCheaper, 0.1).network,
+              NetworkClass::Omega);
+    // Ratio large: the crossbar's nonblocking fabric shows a real gap.
+    const double omega_10 = measured(omega, 1.0);
+    const double xbar_10 = measured(xbar, 1.0);
+    EXPECT_GT(omega_10, xbar_10);
+    EXPECT_EQ(selectNetwork(CostRegime::NetworkMuchCheaper, 10.0).network,
+              NetworkClass::Crossbar);
+}
+
+TEST(BlockingProbabilityTest, DistributedWellBelowAddressMapping)
+{
+    // Section V: ~0.15 blocking for the 8x8 RSIN Omega versus ~0.3
+    // under conventional address mapping, over random request/resource
+    // sets on a free network.
+    const topology::MultistageNetwork net(
+        topology::MultistageKind::Omega, 8);
+    Rng rng(101);
+    std::size_t distributed_blocked = 0, addressed_blocked = 0,
+                total_possible = 0;
+    const sched::OmegaRouter router(net);
+    for (int trial = 0; trial < 2000; ++trial) {
+        const std::size_t x = 1 + rng.uniformInt(std::uint64_t{8});
+        const std::size_t y = 1 + rng.uniformInt(std::uint64_t{8});
+        auto sources = rng.sampleWithoutReplacement(8, x);
+        auto frees = rng.sampleWithoutReplacement(8, y);
+
+        // Distributed: route greedily one by one.
+        topology::CircuitState c1(net);
+        sched::ResourcePool pool1(8, 1);
+        for (std::size_t port = 0; port < 8; ++port)
+            if (std::find(frees.begin(), frees.end(), port) ==
+                frees.end())
+                pool1.forceBusy(port, 0);
+        std::size_t served_d = 0;
+        for (std::size_t src : sources)
+            if (router.tryRoute(c1, pool1, src, rng))
+                ++served_d;
+
+        // Address mapping: each request is handed a distinct random
+        // free resource up-front, then routed by tags.
+        topology::CircuitState c2(net);
+        sched::ResourcePool pool2(8, 1);
+        for (std::size_t port = 0; port < 8; ++port)
+            if (std::find(frees.begin(), frees.end(), port) ==
+                frees.end())
+                pool2.forceBusy(port, 0);
+        rng.shuffle(frees);
+        std::size_t served_a = 0;
+        const std::size_t pairs = std::min(x, y);
+        for (std::size_t k = 0; k < pairs; ++k)
+            if (router.tryRouteAddressed(c2, pool2, sources[k],
+                                         frees[k]))
+                ++served_a;
+
+        total_possible += pairs;
+        distributed_blocked += pairs - std::min(served_d, pairs);
+        addressed_blocked += pairs - served_a;
+    }
+    const double p_dist = static_cast<double>(distributed_blocked) /
+                          static_cast<double>(total_possible);
+    const double p_addr = static_cast<double>(addressed_blocked) /
+                          static_cast<double>(total_possible);
+    // The distributed scheduler must block markedly less -- the paper
+    // reports roughly a factor of two.
+    EXPECT_LT(p_dist, 0.6 * p_addr);
+    EXPECT_LT(p_dist, 0.20);
+    EXPECT_GT(p_addr, 0.15);
+}
+
+TEST(ClockedVsExactStatusTest, SameServiceCountWithoutContention)
+{
+    // One request at a time: the clocked hardware and the exact-status
+    // router must make identical success/failure decisions.
+    const topology::MultistageNetwork net(
+        topology::MultistageKind::Omega, 8);
+    Rng rng(202);
+    for (int trial = 0; trial < 100; ++trial) {
+        const std::size_t y = 1 + rng.uniformInt(std::uint64_t{8});
+        const auto frees = rng.sampleWithoutReplacement(8, y);
+        const std::size_t src = rng.uniformInt(std::uint64_t{8});
+
+        auto make_pool = [&]() {
+            sched::ResourcePool pool(8, 1);
+            for (std::size_t port = 0; port < 8; ++port)
+                if (std::find(frees.begin(), frees.end(), port) ==
+                    frees.end())
+                    pool.forceBusy(port, 0);
+            return pool;
+        };
+        topology::CircuitState c1(net), c2(net);
+        auto p1 = make_pool();
+        auto p2 = make_pool();
+        const sched::OmegaRouter router(net);
+        const bool exact_ok =
+            router.tryRoute(c1, p1, src, rng).has_value();
+        sched::ClockedOmegaScheduler clocked(net);
+        const auto round = clocked.scheduleRound(c2, p2, {src}, rng);
+        EXPECT_EQ(round.served == 1, exact_ok);
+    }
+}
+
+/**
+ * Property sweep: the event-driven SBUS simulator must agree with the
+ * exact Markov solution across the parameter space -- the strongest
+ * end-to-end validation of both the chain construction and the DES
+ * semantics.
+ */
+class SbusSimVsAnalytic
+    : public ::testing::TestWithParam<
+          std::tuple<std::size_t, std::size_t, double, double>>
+{
+};
+
+TEST_P(SbusSimVsAnalytic, SimulationMatchesMarkov)
+{
+    const auto [p, r, ratio, rho] = GetParam();
+    SystemConfig cfg;
+    cfg.processors = p;
+    cfg.networks = 1;
+    cfg.inputsPerNet = 1;
+    cfg.outputsPerNet = 1;
+    cfg.network = NetworkClass::SingleBus;
+    cfg.resourcesPerPort = r;
+
+    const double mu_n = 1.0;
+    const double mu_s = ratio;
+    workload::WorkloadParams params;
+    params.muN = mu_n;
+    params.muS = mu_s;
+    params.lambda = lambdaForRho(cfg, rho, mu_n, mu_s);
+
+    const auto analytic =
+        analyzeSbus(cfg, params.lambda, mu_n, mu_s);
+    if (!analytic.stable)
+        GTEST_SKIP() << "beyond saturation at this rho";
+
+    SimOptions sim_opts = opts(500 + p * 7 + r);
+    sim_opts.measureTasks = 25000;
+    const auto sim = simulate(cfg, params, sim_opts);
+    ASSERT_FALSE(sim.saturated);
+    const double tol =
+        0.12 * std::max(analytic.queueingDelay, 0.02) +
+        2.0 * sim.delayHalfWidth + 0.005;
+    EXPECT_NEAR(sim.meanDelay, analytic.queueingDelay, tol)
+        << "p=" << p << " r=" << r << " ratio=" << ratio
+        << " rho=" << rho;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, SbusSimVsAnalytic,
+    ::testing::Combine(::testing::Values(std::size_t{2}, std::size_t{8}),
+                       ::testing::Values(std::size_t{1}, std::size_t{4}),
+                       ::testing::Values(0.1, 1.0),
+                       ::testing::Values(0.3, 0.7)));
+
+TEST(OmegaVsXbarTest, HeavyLoadRatioPointOneNearlyIdentical)
+{
+    // Section VI: at ratio 0.1 and heavy load the resources are the
+    // bottleneck, so Omega and crossbar delays nearly coincide.
+    const auto omega = SystemConfig::parse("16/1x16x16 OMEGA/2");
+    const auto xbar = SystemConfig::parse("16/1x16x16 XBAR/2");
+    const double mu_n = 1.0, mu_s = 0.1, rho = 0.8;
+    workload::WorkloadParams params;
+    params.muN = mu_n;
+    params.muS = mu_s;
+    params.lambda = lambdaForRho(omega, rho, mu_n, mu_s);
+    const auto o = simulate(omega, params, opts(41));
+    const auto x = simulate(xbar, params, opts(42));
+    ASSERT_FALSE(o.saturated);
+    ASSERT_FALSE(x.saturated);
+    EXPECT_NEAR(o.normalizedDelay, x.normalizedDelay,
+                0.15 * x.normalizedDelay + 0.02);
+}
+
+} // namespace
+} // namespace rsin

@@ -1,0 +1,163 @@
+/**
+ * @file
+ * Unit tests for the dense linear algebra module.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "la/matrix.hpp"
+
+namespace rsin {
+namespace la {
+namespace {
+
+TEST(MatrixTest, ConstructionAndIndexing)
+{
+    Matrix m(2, 3, 1.5);
+    EXPECT_EQ(m.rows(), 2u);
+    EXPECT_EQ(m.cols(), 3u);
+    EXPECT_DOUBLE_EQ(m(1, 2), 1.5);
+    m(0, 0) = 7.0;
+    EXPECT_DOUBLE_EQ(m(0, 0), 7.0);
+}
+
+TEST(MatrixTest, InitializerListAndRagged)
+{
+    Matrix m{{1, 2}, {3, 4}};
+    EXPECT_DOUBLE_EQ(m(1, 0), 3.0);
+    auto make_ragged = [] { return Matrix{{1, 2}, {3}}; };
+    EXPECT_THROW(make_ragged(), FatalError);
+}
+
+TEST(MatrixTest, ArithmeticAndTranspose)
+{
+    Matrix a{{1, 2}, {3, 4}};
+    Matrix b{{5, 6}, {7, 8}};
+    Matrix sum = a + b;
+    EXPECT_DOUBLE_EQ(sum(0, 1), 8.0);
+    Matrix diff = b - a;
+    EXPECT_DOUBLE_EQ(diff(1, 1), 4.0);
+    Matrix prod = a * b;
+    EXPECT_DOUBLE_EQ(prod(0, 0), 19.0);
+    EXPECT_DOUBLE_EQ(prod(1, 1), 50.0);
+    Matrix t = a.transpose();
+    EXPECT_DOUBLE_EQ(t(0, 1), 3.0);
+    Matrix scaled = a * 2.0;
+    EXPECT_DOUBLE_EQ(scaled(1, 0), 6.0);
+}
+
+TEST(MatrixTest, IdentityAndMatVec)
+{
+    Matrix eye = Matrix::identity(3);
+    Vector v{1, 2, 3};
+    Vector out = eye * v;
+    EXPECT_EQ(out, v);
+    Matrix a{{1, 0, 2}, {0, 3, 0}, {4, 0, 5}};
+    Vector w = a * v;
+    EXPECT_DOUBLE_EQ(w[0], 7.0);
+    EXPECT_DOUBLE_EQ(w[1], 6.0);
+    EXPECT_DOUBLE_EQ(w[2], 19.0);
+}
+
+TEST(MatrixTest, ShapeMismatchThrows)
+{
+    Matrix a(2, 2), b(3, 3);
+    EXPECT_THROW(a + b, FatalError);
+    EXPECT_THROW(a * b, FatalError);
+    const Vector v3{1, 2, 3};
+    EXPECT_THROW(a * v3, FatalError);
+}
+
+TEST(LuTest, SolvesKnownSystem)
+{
+    Matrix a{{2, 1, -1}, {-3, -1, 2}, {-2, 1, 2}};
+    Vector b{8, -11, -3};
+    Vector x = solve(a, b);
+    EXPECT_NEAR(x[0], 2.0, 1e-12);
+    EXPECT_NEAR(x[1], 3.0, 1e-12);
+    EXPECT_NEAR(x[2], -1.0, 1e-12);
+}
+
+TEST(LuTest, SingularThrows)
+{
+    Matrix a{{1, 2}, {2, 4}};
+    EXPECT_THROW(LuFactors{a}, FatalError);
+}
+
+TEST(LuTest, Determinant)
+{
+    Matrix a{{3, 0}, {0, 4}};
+    EXPECT_NEAR(LuFactors(a).determinant(), 12.0, 1e-12);
+    Matrix swap{{0, 1}, {1, 0}};
+    EXPECT_NEAR(LuFactors(swap).determinant(), -1.0, 1e-12);
+}
+
+TEST(LuTest, RandomRoundTripProperty)
+{
+    Rng rng(99);
+    for (int trial = 0; trial < 50; ++trial) {
+        const std::size_t n = 1 + rng.uniformInt(std::uint64_t{12});
+        Matrix a(n, n);
+        for (std::size_t i = 0; i < n; ++i) {
+            for (std::size_t j = 0; j < n; ++j)
+                a(i, j) = rng.uniform(-1.0, 1.0);
+            a(i, i) += static_cast<double>(n); // diagonally dominant
+        }
+        Vector x_true(n);
+        for (auto &v : x_true)
+            v = rng.uniform(-5.0, 5.0);
+        const Vector b = a * x_true;
+        const Vector x = solve(a, b);
+        EXPECT_LT(normInf(subtract(x, x_true)), 1e-9);
+    }
+}
+
+TEST(VectorOpsTest, NormsAndDot)
+{
+    Vector v{3, 4};
+    EXPECT_DOUBLE_EQ(norm2(v), 5.0);
+    EXPECT_DOUBLE_EQ(normInf(Vector{-7, 2}), 7.0);
+    EXPECT_DOUBLE_EQ(dot(Vector{1, 2, 3}, Vector{4, 5, 6}), 32.0);
+    EXPECT_THROW(dot(Vector{1}, Vector{1, 2}), FatalError);
+}
+
+TEST(StationaryTest, TwoStateChain)
+{
+    // Generator for rates a=2 (0->1), b=3 (1->0): pi = (b, a)/(a+b).
+    Matrix q{{-2, 2}, {3, -3}};
+    Vector pi = stationaryFromGenerator(q);
+    EXPECT_NEAR(pi[0], 0.6, 1e-12);
+    EXPECT_NEAR(pi[1], 0.4, 1e-12);
+}
+
+TEST(StationaryTest, RandomBirthDeathMatchesClosedForm)
+{
+    Rng rng(7);
+    for (int trial = 0; trial < 20; ++trial) {
+        const std::size_t n = 2 + rng.uniformInt(std::uint64_t{8});
+        std::vector<double> birth(n - 1), death(n - 1);
+        for (auto &x : birth)
+            x = rng.uniform(0.5, 3.0);
+        for (auto &x : death)
+            x = rng.uniform(0.5, 3.0);
+        Matrix q(n, n, 0.0);
+        for (std::size_t i = 0; i + 1 < n; ++i) {
+            q(i, i + 1) += birth[i];
+            q(i, i) -= birth[i];
+            q(i + 1, i) += death[i];
+            q(i + 1, i + 1) -= death[i];
+        }
+        const Vector pi = stationaryFromGenerator(q);
+        // Detailed balance: pi_i * birth_i = pi_{i+1} * death_i.
+        for (std::size_t i = 0; i + 1 < n; ++i)
+            EXPECT_NEAR(pi[i] * birth[i], pi[i + 1] * death[i], 1e-10);
+    }
+}
+
+} // namespace
+} // namespace la
+} // namespace rsin

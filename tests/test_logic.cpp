@@ -1,0 +1,540 @@
+/**
+ * @file
+ * Gate-level tests: netlist primitives, the Section IV crossbar cell
+ * against Table I, the paper's gate-count and cycle-length claims, and
+ * the fabric's allocation behaviour including the asymmetric priority.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "logic/arbiters.hpp"
+#include "logic/crossbar_cell.hpp"
+#include "logic/netlist.hpp"
+
+namespace rsin {
+namespace logic {
+namespace {
+
+TEST(NetlistTest, BasicGates)
+{
+    Netlist nl;
+    const NetId a = nl.makeNet("a");
+    const NetId b = nl.makeNet("b");
+    const NetId and_out = nl.andGate(a, b);
+    const NetId or_out = nl.orGate(a, b);
+    const NetId not_out = nl.inv(a);
+    const NetId xor_out = nl.xorGate(a, b);
+    LogicSim sim(nl);
+    for (int mask = 0; mask < 4; ++mask) {
+        const bool va = mask & 1, vb = mask & 2;
+        sim.set(a, va);
+        sim.set(b, vb);
+        sim.settle();
+        EXPECT_EQ(sim.get(and_out), va && vb);
+        EXPECT_EQ(sim.get(or_out), va || vb);
+        EXPECT_EQ(sim.get(not_out), !va);
+        EXPECT_EQ(sim.get(xor_out), va != vb);
+    }
+}
+
+TEST(NetlistTest, ThreeInputAndInvertedGates)
+{
+    Netlist nl;
+    const NetId a = nl.makeNet(), b = nl.makeNet(), c = nl.makeNet();
+    const NetId and3_out = nl.and3(a, b, c);
+    const NetId or3_out = nl.or3(a, b, c);
+    const NetId nand_out = nl.nandGate(a, b);
+    const NetId nor_out = nl.norGate(a, b);
+    const NetId buf_out = nl.buf(a);
+    LogicSim sim(nl);
+    for (int mask = 0; mask < 8; ++mask) {
+        const bool va = mask & 1, vb = mask & 2, vc = mask & 4;
+        sim.set(a, va);
+        sim.set(b, vb);
+        sim.set(c, vc);
+        sim.settle();
+        EXPECT_EQ(sim.get(and3_out), va && vb && vc);
+        EXPECT_EQ(sim.get(or3_out), va || vb || vc);
+        EXPECT_EQ(sim.get(nand_out), !(va && vb));
+        EXPECT_EQ(sim.get(nor_out), !(va || vb));
+        EXPECT_EQ(sim.get(buf_out), va);
+    }
+}
+
+TEST(NetlistTest, GateAndPadCounts)
+{
+    Netlist nl;
+    const NetId a = nl.makeNet(), b = nl.makeNet();
+    nl.andGate(a, b);
+    nl.buf(a);
+    nl.buf(b);
+    const NetId q = nl.makeNet();
+    nl.latch(q, a, b);
+    EXPECT_EQ(nl.combinationalGates(), 1u);
+    EXPECT_EQ(nl.delayPads(), 2u);
+    EXPECT_EQ(nl.latches(), 1u);
+    EXPECT_EQ(nl.gates(), 4u);
+}
+
+TEST(NetlistTest, SettleCountsGateDelays)
+{
+    // A chain of k inverters settles in exactly k sweeps after an input
+    // flip.
+    Netlist nl;
+    const NetId in = nl.makeNet();
+    NetId wire = in;
+    const int k = 7;
+    for (int i = 0; i < k; ++i)
+        wire = nl.inv(wire);
+    LogicSim sim(nl);
+    sim.set(in, false);
+    sim.settle();
+    sim.set(in, true);
+    EXPECT_EQ(sim.settle(), static_cast<std::size_t>(k));
+}
+
+TEST(NetlistTest, LatchSetHoldReset)
+{
+    Netlist nl;
+    const NetId s = nl.makeNet("S");
+    const NetId r = nl.makeNet("R");
+    const NetId q = nl.makeNet("Q");
+    nl.latch(q, s, r);
+    LogicSim sim(nl);
+    sim.settle();
+    EXPECT_FALSE(sim.get(q));
+    sim.set(s, true);
+    sim.settle();
+    EXPECT_TRUE(sim.get(q));
+    sim.set(s, false);
+    sim.settle();
+    EXPECT_TRUE(sim.get(q)); // holds
+    sim.set(r, true);
+    sim.settle();
+    EXPECT_FALSE(sim.get(q));
+    sim.set(r, false);
+    sim.settle();
+    EXPECT_FALSE(sim.get(q));
+}
+
+TEST(NetlistTest, OscillationDetected)
+{
+    Netlist nl;
+    // A net driven by its own inversion oscillates forever.
+    const NetId a = nl.makeNet();
+    nl.drive(GateKind::Not, a, a);
+    LogicSim sim(nl);
+    ScopedPanicThrows guard;
+    EXPECT_THROW(sim.settle(100), PanicError);
+}
+
+TEST(CrossbarCellTest, GateCountMatchesPaper)
+{
+    // "Each cell can be realized with eleven gates and one latch."
+    Netlist nl;
+    const NetId mode = nl.makeNet();
+    const NetId x = nl.makeNet();
+    const NetId y = nl.makeNet();
+    buildCrossbarCell(nl, mode, x, y);
+    EXPECT_EQ(nl.combinationalGates(), 11u);
+    EXPECT_EQ(nl.latches(), 1u);
+}
+
+/** Drive one cell through every Table I input row and check outputs. */
+class TableITest : public ::testing::TestWithParam<std::tuple<bool, bool,
+                                                              bool>>
+{
+};
+
+/**
+ * Settle a freshly built cell into its quiescent state: the power-on
+ * all-zero state is not stable for the NAND/NOR set path (the NAND
+ * rests at 1), so the first sweeps emit a set pulse that a power-on
+ * reset would clear in hardware.
+ */
+void
+warmUpCell(LogicSim &sim, const CellPorts &cell)
+{
+    sim.settle();
+    sim.set(cell.latchQ, false);
+    sim.settle();
+}
+
+TEST_P(TableITest, TruthTable)
+{
+    const auto [mode, x, y] = GetParam();
+    Netlist nl;
+    const NetId mode_net = nl.makeNet();
+    const NetId x_net = nl.makeNet();
+    const NetId y_net = nl.makeNet();
+    const CellPorts cell = buildCrossbarCell(nl, mode_net, x_net, y_net);
+    LogicSim sim(nl);
+    warmUpCell(sim, cell);
+    sim.set(mode_net, mode);
+    sim.set(x_net, x);
+    sim.set(y_net, y);
+    sim.settle();
+
+    if (!mode) {
+        // Request mode rows of Table I (latch initially off).
+        EXPECT_EQ(sim.get(cell.xOut), x && !y);
+        const bool expect_latch = x && y;
+        EXPECT_EQ(sim.get(cell.latchQ), expect_latch);
+        // Y_out: consumed when allocated; passed (through !L) when the
+        // cell is idle; blocked while the cell holds the bus.
+        if (x && y)
+            EXPECT_FALSE(sim.get(cell.yOut));
+        else
+            EXPECT_EQ(sim.get(cell.yOut), y && !x);
+    } else {
+        // Reset mode: X passes along the row, Y passes down the column.
+        EXPECT_EQ(sim.get(cell.xOut), x);
+        EXPECT_EQ(sim.get(cell.yOut), y);
+        EXPECT_FALSE(sim.get(cell.latchQ));
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllRows, TableITest,
+    ::testing::Combine(::testing::Bool(), ::testing::Bool(),
+                       ::testing::Bool()));
+
+TEST(CrossbarCellTest, SetLatchShieldsResourceSignal)
+{
+    // After an allocation, X drops to 0 while Y stays 1; the latched
+    // cell must keep Y_out low so later cells do not double-book the
+    // bus (the "L-bar" behaviour discussed under Table I).
+    Netlist nl;
+    const NetId mode = nl.makeNet();
+    const NetId x = nl.makeNet();
+    const NetId y = nl.makeNet();
+    const CellPorts cell = buildCrossbarCell(nl, mode, x, y);
+    LogicSim sim(nl);
+    warmUpCell(sim, cell);
+    sim.set(x, true);
+    sim.set(y, true);
+    sim.settle();
+    EXPECT_TRUE(sim.get(cell.latchQ));
+    sim.set(x, false); // request satisfied, line returns to 0
+    sim.settle();
+    EXPECT_TRUE(sim.get(cell.latchQ));
+    EXPECT_FALSE(sim.get(cell.yOut)); // still shielded
+}
+
+TEST(CrossbarCellTest, ResetModeClearsLatch)
+{
+    Netlist nl;
+    const NetId mode = nl.makeNet();
+    const NetId x = nl.makeNet();
+    const NetId y = nl.makeNet();
+    const CellPorts cell = buildCrossbarCell(nl, mode, x, y);
+    LogicSim sim(nl);
+    warmUpCell(sim, cell);
+    sim.set(x, true);
+    sim.set(y, true);
+    sim.settle();
+    ASSERT_TRUE(sim.get(cell.latchQ));
+    sim.set(y, false);
+    sim.set(mode, true); // reset mode
+    sim.settle();
+    EXPECT_FALSE(sim.get(cell.latchQ));
+}
+
+TEST(CrossbarFabricTest, SingleRequestGetsFirstFreeBus)
+{
+    CrossbarFabric fab(4, 4);
+    auto res = fab.requestCycle({true, false, false, false},
+                                {false, true, true, false});
+    EXPECT_EQ(res.allocation[0], 1u); // first available bus
+    EXPECT_TRUE(res.unserved.empty());
+    EXPECT_EQ(fab.connectionOf(0), 1u);
+}
+
+TEST(CrossbarFabricTest, AsymmetricPriorityFavorsLowIndices)
+{
+    // Two processors contend for one bus: processor 0 must win
+    // (Section IV: "it favors processors with small index numbers").
+    CrossbarFabric fab(3, 1);
+    auto res = fab.requestCycle({true, true, true}, {true});
+    EXPECT_EQ(res.allocation[0], 0u);
+    EXPECT_EQ(res.allocation[1], CrossbarFabric::npos);
+    ASSERT_EQ(res.unserved.size(), 2u);
+    EXPECT_EQ(res.unserved[0], 1u);
+    EXPECT_EQ(res.unserved[1], 2u);
+}
+
+TEST(CrossbarFabricTest, DistinctBusesForDistinctRequests)
+{
+    CrossbarFabric fab(4, 4);
+    auto res = fab.requestCycle({true, true, true, true},
+                                {true, true, true, true});
+    std::vector<bool> bus_used(4, false);
+    for (std::size_t i = 0; i < 4; ++i) {
+        ASSERT_NE(res.allocation[i], CrossbarFabric::npos);
+        EXPECT_FALSE(bus_used[res.allocation[i]]);
+        bus_used[res.allocation[i]] = true;
+    }
+    EXPECT_TRUE(res.unserved.empty());
+}
+
+TEST(CrossbarFabricTest, RequestCycleWithinFourPPlusM)
+{
+    // Section IV: the request cycle is at most 4(p+m) gate delays.
+    for (std::size_t p : {2u, 4u, 8u}) {
+        for (std::size_t m : {2u, 4u, 8u}) {
+            CrossbarFabric fab(p, m);
+            auto res = fab.requestCycle(std::vector<bool>(p, true),
+                                        std::vector<bool>(m, true));
+            EXPECT_LE(res.gateDelays, 4 * (p + m))
+                << "p=" << p << " m=" << m;
+            EXPECT_GE(res.gateDelays, 1u);
+        }
+    }
+}
+
+TEST(CrossbarFabricTest, ResetCycleWithinThreePPlusM)
+{
+    // The paper idealizes the reset wave at one gate delay per cell
+    // (cycle <= p+m); our realization pays the two synchronization
+    // delay pads in the X path, so the bound is 3(p+m).
+    CrossbarFabric fab(8, 8);
+    fab.requestCycle(std::vector<bool>(8, true),
+                     std::vector<bool>(8, true));
+    auto reset = fab.resetCycle(std::vector<bool>(8, true));
+    EXPECT_LE(reset.gateDelays, 3u * (8u + 8u));
+    for (std::size_t i = 0; i < 8; ++i)
+        EXPECT_EQ(fab.connectionOf(i), CrossbarFabric::npos);
+}
+
+TEST(CrossbarFabricTest, StandingConnectionsSurviveNewRequests)
+{
+    CrossbarFabric fab(3, 3);
+    auto first = fab.requestCycle({true, false, false},
+                                  {true, true, true});
+    ASSERT_EQ(first.allocation[0], 0u);
+    // A later cycle must not disturb processor 0's standing connection.
+    auto second = fab.requestCycle({false, true, false},
+                                   {false, true, true});
+    EXPECT_EQ(fab.connectionOf(0), 0u);
+    EXPECT_EQ(second.allocation[1], 1u);
+}
+
+TEST(CrossbarFabricTest, SelectiveResetKeepsOthers)
+{
+    CrossbarFabric fab(2, 2);
+    fab.requestCycle({true, true}, {true, true});
+    ASSERT_EQ(fab.connectionOf(0), 0u);
+    ASSERT_EQ(fab.connectionOf(1), 1u);
+    fab.resetCycle({true, false}); // only processor 0 relinquishes
+    EXPECT_EQ(fab.connectionOf(0), CrossbarFabric::npos);
+    EXPECT_EQ(fab.connectionOf(1), 1u);
+}
+
+TEST(CrossbarFabricTest, NoBusNoAllocation)
+{
+    CrossbarFabric fab(2, 2);
+    auto res = fab.requestCycle({true, true}, {false, false});
+    EXPECT_EQ(res.allocation[0], CrossbarFabric::npos);
+    EXPECT_EQ(res.allocation[1], CrossbarFabric::npos);
+    EXPECT_EQ(res.unserved.size(), 2u);
+}
+
+TEST(CrossbarFabricTest, GateCountScalesAsPTimesM)
+{
+    CrossbarFabric fab(5, 7);
+    EXPECT_EQ(fab.gateCount(), 5u * 7u * 11u);
+    EXPECT_EQ(fab.latchCount(), 35u);
+}
+
+TEST(CrossbarFabricTest, DataPathFollowsConnection)
+{
+    CrossbarFabric fab(3, 3);
+    auto res = fab.requestCycle({false, true, false},
+                                {false, false, true});
+    ASSERT_EQ(res.allocation[1], 2u);
+    fab.driveData(1, true);
+    EXPECT_TRUE(fab.busData(2));
+    EXPECT_FALSE(fab.busData(0));
+    EXPECT_FALSE(fab.busData(1));
+    fab.driveData(1, false);
+    EXPECT_FALSE(fab.busData(2));
+    // Data from an unconnected processor reaches no bus.
+    fab.driveData(0, true);
+    for (std::size_t j = 0; j < 3; ++j)
+        EXPECT_FALSE(fab.busData(j));
+}
+
+/**
+ * Behavioral reference for the fabric's request-mode semantics: the
+ * asymmetric priority design serves processors in index order, each
+ * taking the lowest-numbered bus that is still available.
+ */
+std::vector<std::size_t>
+referenceAllocation(const std::vector<bool> &requesting,
+                    std::vector<bool> available,
+                    const std::vector<std::size_t> &standing)
+{
+    // Buses already held by standing connections are not available.
+    for (std::size_t bus : standing)
+        if (bus != CrossbarFabric::npos)
+            available[bus] = false;
+    std::vector<std::size_t> alloc(requesting.size(),
+                                   CrossbarFabric::npos);
+    for (std::size_t i = 0; i < requesting.size(); ++i) {
+        if (!requesting[i] || standing[i] != CrossbarFabric::npos)
+            continue;
+        for (std::size_t j = 0; j < available.size(); ++j) {
+            if (available[j]) {
+                alloc[i] = j;
+                available[j] = false;
+                break;
+            }
+        }
+    }
+    return alloc;
+}
+
+/** Randomized equivalence of the gate-level fabric and the reference. */
+class FabricRandomized
+    : public ::testing::TestWithParam<std::tuple<std::size_t,
+                                                 std::size_t>>
+{
+};
+
+TEST_P(FabricRandomized, MatchesBehavioralPrioritySemantics)
+{
+    const auto [p, m] = GetParam();
+    rsin::Rng rng(1000 + p * 31 + m);
+    CrossbarFabric fab(p, m);
+    std::vector<std::size_t> standing(p, CrossbarFabric::npos);
+
+    for (int cycle = 0; cycle < 60; ++cycle) {
+        // Random request pattern; standing connections never re-request.
+        std::vector<bool> requesting(p), available(m);
+        for (std::size_t i = 0; i < p; ++i)
+            requesting[i] = standing[i] == CrossbarFabric::npos &&
+                            rng.bernoulli(0.5);
+        // A bus offers itself iff it is not held (the controller knows).
+        std::vector<bool> held_bus(m, false);
+        for (std::size_t bus : standing)
+            if (bus != CrossbarFabric::npos)
+                held_bus[bus] = true;
+        for (std::size_t j = 0; j < m; ++j)
+            available[j] = !held_bus[j] && rng.bernoulli(0.6);
+
+        const auto expect =
+            referenceAllocation(requesting, available, standing);
+        const auto res = fab.requestCycle(requesting, available);
+        for (std::size_t i = 0; i < p; ++i) {
+            EXPECT_EQ(res.allocation[i], expect[i])
+                << "cycle " << cycle << " processor " << i;
+            if (expect[i] != CrossbarFabric::npos)
+                standing[i] = expect[i];
+        }
+        // Standing connections must never be disturbed.
+        for (std::size_t i = 0; i < p; ++i) {
+            if (standing[i] != CrossbarFabric::npos) {
+                EXPECT_EQ(fab.connectionOf(i), standing[i]);
+            }
+        }
+        // No two processors may hold the same bus.
+        std::vector<int> owners(m, 0);
+        for (std::size_t i = 0; i < p; ++i)
+            if (standing[i] != CrossbarFabric::npos)
+                ++owners[standing[i]];
+        for (std::size_t j = 0; j < m; ++j)
+            ASSERT_LE(owners[j], 1) << "bus " << j << " double-held";
+
+        // Randomly release some connections through a reset cycle.
+        std::vector<bool> releasing(p, false);
+        bool any = false;
+        for (std::size_t i = 0; i < p; ++i) {
+            if (standing[i] != CrossbarFabric::npos &&
+                rng.bernoulli(0.4)) {
+                releasing[i] = true;
+                standing[i] = CrossbarFabric::npos;
+                any = true;
+            }
+        }
+        if (any)
+            fab.resetCycle(releasing);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sizes, FabricRandomized,
+    ::testing::Values(std::make_tuple(std::size_t{2}, std::size_t{2}),
+                      std::make_tuple(std::size_t{4}, std::size_t{4}),
+                      std::make_tuple(std::size_t{3}, std::size_t{6}),
+                      std::make_tuple(std::size_t{6}, std::size_t{3}),
+                      std::make_tuple(std::size_t{8}, std::size_t{8})));
+
+TEST(ArbiterTest, GrantsLowestActiveRequest)
+{
+    for (auto builder : {&ArbiterCircuit::daisyChain,
+                         &ArbiterCircuit::parallelPrefix}) {
+        auto arb = builder(8);
+        auto grant = arb.select({false, false, true, false, true,
+                                 false, false, true});
+        EXPECT_EQ(grant.index, 2u);
+        grant = arb.select({false, false, false, false, false, false,
+                            false, true});
+        EXPECT_EQ(grant.index, 7u);
+        grant = arb.select(std::vector<bool>(8, false));
+        EXPECT_EQ(grant.index, ArbiterCircuit::npos);
+    }
+}
+
+TEST(ArbiterTest, CircuitsAgreeOnRandomPatterns)
+{
+    rsin::Rng rng(555);
+    for (std::size_t width : {4u, 8u, 16u, 32u}) {
+        auto daisy = ArbiterCircuit::daisyChain(width);
+        auto prefix = ArbiterCircuit::parallelPrefix(width);
+        for (int trial = 0; trial < 50; ++trial) {
+            std::vector<bool> reqs(width);
+            for (std::size_t i = 0; i < width; ++i)
+                reqs[i] = rng.bernoulli(0.3);
+            EXPECT_EQ(daisy.select(reqs).index,
+                      prefix.select(reqs).index);
+        }
+    }
+}
+
+TEST(ArbiterTest, DelaysScaleAsClaimed)
+{
+    // Daisy chain: linear; parallel prefix: logarithmic.  Measure the
+    // worst case for the ripple: only the last line requesting after
+    // all lines were active (maximum inhibit-chain movement).
+    std::vector<std::size_t> daisy_delay, prefix_delay;
+    for (std::size_t width : {8u, 16u, 32u, 64u}) {
+        auto daisy = ArbiterCircuit::daisyChain(width);
+        auto prefix = ArbiterCircuit::parallelPrefix(width);
+        std::vector<bool> all(width, true);
+        std::vector<bool> last(width, false);
+        last[width - 1] = true;
+        daisy.select(all);
+        daisy_delay.push_back(daisy.select(last).gateDelays);
+        prefix.select(all);
+        prefix_delay.push_back(prefix.select(last).gateDelays);
+    }
+    // Doubling the width roughly doubles the daisy delay...
+    EXPECT_GE(daisy_delay[3], 2 * daisy_delay[1]);
+    // ...but adds only ~1 level to the prefix tree.
+    EXPECT_LE(prefix_delay[3], prefix_delay[1] + 4);
+    EXPECT_LT(prefix_delay[3], daisy_delay[3] / 2);
+}
+
+TEST(ArbiterTest, PrefixCostsMoreGates)
+{
+    // The O(log m) speed is bought with O(m log m) gates.
+    const auto daisy = ArbiterCircuit::daisyChain(32);
+    const auto prefix = ArbiterCircuit::parallelPrefix(32);
+    EXPECT_GT(prefix.gateCount(), daisy.gateCount());
+}
+
+} // namespace
+} // namespace logic
+} // namespace rsin

@@ -1,0 +1,160 @@
+/**
+ * @file
+ * Tests for Hopcroft-Karp maximum matching, including a brute-force
+ * cross-check and the relation to the enumerative link-aware scheduler
+ * (matching ignores link conflicts, so it upper-bounds allocations).
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "sched/centralized.hpp"
+#include "sched/matching.hpp"
+#include "topology/multistage.hpp"
+
+namespace rsin {
+namespace sched {
+namespace {
+
+/** Exponential-time reference: try all subsets of left vertices. */
+std::size_t
+bruteForceMatching(const BipartiteGraph &g)
+{
+    const std::size_t nl = g.leftSize();
+    RSIN_REQUIRE(nl <= 12, "brute force too large");
+    std::size_t best = 0;
+    // Recursive assignment with used-right bitmask.
+    std::vector<std::size_t> stack;
+    std::function<void(std::size_t, std::size_t, std::size_t)> go =
+        [&](std::size_t l, std::size_t used, std::size_t count) {
+            best = std::max(best, count);
+            if (l == nl)
+                return;
+            go(l + 1, used, count); // leave l unmatched
+            for (std::size_t r : g.neighbours(l)) {
+                if (!(used & (std::size_t{1} << r)))
+                    go(l + 1, used | (std::size_t{1} << r), count + 1);
+            }
+        };
+    go(0, 0, 0);
+    return best;
+}
+
+TEST(MatchingTest, EmptyGraph)
+{
+    BipartiteGraph g(3, 3);
+    const auto m = maximumMatching(g);
+    EXPECT_EQ(m.size, 0u);
+    for (auto v : m.matchLeft)
+        EXPECT_EQ(v, MatchingResult::npos);
+}
+
+TEST(MatchingTest, PerfectMatchingOnIdentity)
+{
+    BipartiteGraph g(4, 4);
+    for (std::size_t i = 0; i < 4; ++i)
+        g.addEdge(i, i);
+    const auto m = maximumMatching(g);
+    EXPECT_EQ(m.size, 4u);
+    for (std::size_t i = 0; i < 4; ++i)
+        EXPECT_EQ(m.matchLeft[i], i);
+}
+
+TEST(MatchingTest, AugmentingPathNeeded)
+{
+    // l0-{r0}, l1-{r0, r1}: greedy on l1 first would block l0; HK must
+    // find the size-2 matching.
+    BipartiteGraph g(2, 2);
+    g.addEdge(0, 0);
+    g.addEdge(1, 0);
+    g.addEdge(1, 1);
+    const auto m = maximumMatching(g);
+    EXPECT_EQ(m.size, 2u);
+    EXPECT_EQ(m.matchLeft[0], 0u);
+    EXPECT_EQ(m.matchLeft[1], 1u);
+}
+
+TEST(MatchingTest, RejectsBadEdges)
+{
+    BipartiteGraph g(2, 2);
+    EXPECT_THROW(g.addEdge(2, 0), FatalError);
+    EXPECT_THROW(g.addEdge(0, 2), FatalError);
+}
+
+TEST(MatchingTest, MatchesAreConsistent)
+{
+    Rng rng(5);
+    for (int trial = 0; trial < 50; ++trial) {
+        const std::size_t nl = 1 + rng.uniformInt(std::uint64_t{8});
+        const std::size_t nr = 1 + rng.uniformInt(std::uint64_t{8});
+        BipartiteGraph g(nl, nr);
+        for (std::size_t l = 0; l < nl; ++l)
+            for (std::size_t r = 0; r < nr; ++r)
+                if (rng.bernoulli(0.4))
+                    g.addEdge(l, r);
+        const auto m = maximumMatching(g);
+        std::size_t count = 0;
+        for (std::size_t l = 0; l < nl; ++l) {
+            const std::size_t r = m.matchLeft[l];
+            if (r == MatchingResult::npos)
+                continue;
+            ++count;
+            ASSERT_LT(r, nr);
+            EXPECT_EQ(m.matchRight[r], l);
+            // Matched pairs must be actual edges.
+            const auto &nb = g.neighbours(l);
+            EXPECT_NE(std::find(nb.begin(), nb.end(), r), nb.end());
+        }
+        EXPECT_EQ(count, m.size);
+    }
+}
+
+TEST(MatchingTest, SizeMatchesBruteForce)
+{
+    Rng rng(7);
+    for (int trial = 0; trial < 100; ++trial) {
+        const std::size_t nl = 1 + rng.uniformInt(std::uint64_t{7});
+        const std::size_t nr = 1 + rng.uniformInt(std::uint64_t{7});
+        BipartiteGraph g(nl, nr);
+        for (std::size_t l = 0; l < nl; ++l)
+            for (std::size_t r = 0; r < nr; ++r)
+                if (rng.bernoulli(0.35))
+                    g.addEdge(l, r);
+        EXPECT_EQ(maximumMatching(g).size, bruteForceMatching(g))
+            << "trial " << trial;
+    }
+}
+
+TEST(MatchingTest, UpperBoundsLinkAwareScheduler)
+{
+    // The enumerative scheduler respects link conflicts, so it can
+    // never allocate more pairs than the reachability matching.
+    const topology::MultistageNetwork net(
+        topology::MultistageKind::Omega, 8);
+    Rng rng(11);
+    for (int trial = 0; trial < 60; ++trial) {
+        const std::size_t x = 1 + rng.uniformInt(std::uint64_t{6});
+        const std::size_t y = 1 + rng.uniformInt(std::uint64_t{6});
+        const auto sources = rng.sampleWithoutReplacement(8, x);
+        const auto outputs = rng.sampleWithoutReplacement(8, y);
+        BipartiteGraph g(x, y);
+        for (std::size_t i = 0; i < x; ++i)
+            for (std::size_t j = 0; j < y; ++j)
+                if (net.reaches(0, sources[i], outputs[j]))
+                    g.addEdge(i, j);
+        const auto bound = maximumMatching(g);
+        topology::CircuitState circuit(net);
+        const auto exact = optimalMapping(net, circuit, sources, outputs);
+        EXPECT_LE(exact.maxAllocations, bound.size);
+        // Full-access banyan: the matching bound is min(x, y).
+        EXPECT_EQ(bound.size, std::min(x, y));
+    }
+}
+
+} // namespace
+} // namespace sched
+} // namespace rsin
