@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_fairness.dir/ablation_fairness.cpp.o"
+  "CMakeFiles/ablation_fairness.dir/ablation_fairness.cpp.o.d"
+  "ablation_fairness"
+  "ablation_fairness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_fairness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/blocking_probability.dir/blocking_probability.cpp.o"
+  "CMakeFiles/blocking_probability.dir/blocking_probability.cpp.o.d"
+  "blocking_probability"
+  "blocking_probability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/blocking_probability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

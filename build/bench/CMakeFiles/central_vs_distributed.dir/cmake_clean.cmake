@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/central_vs_distributed.dir/central_vs_distributed.cpp.o"
+  "CMakeFiles/central_vs_distributed.dir/central_vs_distributed.cpp.o.d"
+  "central_vs_distributed"
+  "central_vs_distributed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/central_vs_distributed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

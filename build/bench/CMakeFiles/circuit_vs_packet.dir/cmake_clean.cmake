@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/circuit_vs_packet.dir/circuit_vs_packet.cpp.o"
+  "CMakeFiles/circuit_vs_packet.dir/circuit_vs_packet.cpp.o.d"
+  "circuit_vs_packet"
+  "circuit_vs_packet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/circuit_vs_packet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig04_sbus_ratio01.dir/fig04_sbus_ratio01.cpp.o"
+  "CMakeFiles/fig04_sbus_ratio01.dir/fig04_sbus_ratio01.cpp.o.d"
+  "fig04_sbus_ratio01"
+  "fig04_sbus_ratio01.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig04_sbus_ratio01.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

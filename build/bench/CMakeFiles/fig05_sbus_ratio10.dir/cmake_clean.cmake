@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig05_sbus_ratio10.dir/fig05_sbus_ratio10.cpp.o"
+  "CMakeFiles/fig05_sbus_ratio10.dir/fig05_sbus_ratio10.cpp.o.d"
+  "fig05_sbus_ratio10"
+  "fig05_sbus_ratio10.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig05_sbus_ratio10.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig05_sbus_ratio10.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig08_xbar_ratio10.dir/fig08_xbar_ratio10.cpp.o"
+  "CMakeFiles/fig08_xbar_ratio10.dir/fig08_xbar_ratio10.cpp.o.d"
+  "fig08_xbar_ratio10"
+  "fig08_xbar_ratio10.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_xbar_ratio10.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig08_xbar_ratio10.
+# This may be replaced when dependencies are built.

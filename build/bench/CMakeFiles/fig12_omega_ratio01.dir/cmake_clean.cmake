@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_omega_ratio01.dir/fig12_omega_ratio01.cpp.o"
+  "CMakeFiles/fig12_omega_ratio01.dir/fig12_omega_ratio01.cpp.o.d"
+  "fig12_omega_ratio01"
+  "fig12_omega_ratio01.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_omega_ratio01.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

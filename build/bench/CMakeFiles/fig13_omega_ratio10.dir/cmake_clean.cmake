@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_omega_ratio10.dir/fig13_omega_ratio10.cpp.o"
+  "CMakeFiles/fig13_omega_ratio10.dir/fig13_omega_ratio10.cpp.o.d"
+  "fig13_omega_ratio10"
+  "fig13_omega_ratio10.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_omega_ratio10.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

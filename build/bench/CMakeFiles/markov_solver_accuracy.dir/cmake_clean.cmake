@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/markov_solver_accuracy.dir/markov_solver_accuracy.cpp.o"
+  "CMakeFiles/markov_solver_accuracy.dir/markov_solver_accuracy.cpp.o.d"
+  "markov_solver_accuracy"
+  "markov_solver_accuracy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/markov_solver_accuracy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

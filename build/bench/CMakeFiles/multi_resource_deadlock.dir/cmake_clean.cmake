@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multi_resource_deadlock.dir/multi_resource_deadlock.cpp.o"
+  "CMakeFiles/multi_resource_deadlock.dir/multi_resource_deadlock.cpp.o.d"
+  "multi_resource_deadlock"
+  "multi_resource_deadlock.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multi_resource_deadlock.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

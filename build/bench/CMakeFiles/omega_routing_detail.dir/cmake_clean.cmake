@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/omega_routing_detail.dir/omega_routing_detail.cpp.o"
+  "CMakeFiles/omega_routing_detail.dir/omega_routing_detail.cpp.o.d"
+  "omega_routing_detail"
+  "omega_routing_detail.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/omega_routing_detail.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/resource_placement.dir/resource_placement.cpp.o"
+  "CMakeFiles/resource_placement.dir/resource_placement.cpp.o.d"
+  "resource_placement"
+  "resource_placement.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/resource_placement.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/return_network.dir/return_network.cpp.o"
+  "CMakeFiles/return_network.dir/return_network.cpp.o.d"
+  "return_network"
+  "return_network.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/return_network.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/section6_comparison.dir/section6_comparison.cpp.o"
+  "CMakeFiles/section6_comparison.dir/section6_comparison.cpp.o.d"
+  "section6_comparison"
+  "section6_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/section6_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

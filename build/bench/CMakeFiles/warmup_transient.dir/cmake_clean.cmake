@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/warmup_transient.dir/warmup_transient.cpp.o"
+  "CMakeFiles/warmup_transient.dir/warmup_transient.cpp.o.d"
+  "warmup_transient"
+  "warmup_transient.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/warmup_transient.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

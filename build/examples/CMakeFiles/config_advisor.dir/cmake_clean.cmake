@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/config_advisor.dir/config_advisor.cpp.o"
+  "CMakeFiles/config_advisor.dir/config_advisor.cpp.o.d"
+  "config_advisor"
+  "config_advisor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/config_advisor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

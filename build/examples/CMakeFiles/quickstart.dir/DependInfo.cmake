@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/quickstart.cpp" "examples/CMakeFiles/quickstart.dir/quickstart.cpp.o" "gcc" "examples/CMakeFiles/quickstart.dir/quickstart.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/rsin/CMakeFiles/rsin_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/logic/CMakeFiles/rsin_logic.dir/DependInfo.cmake"
+  "/root/repo/build/src/markov/CMakeFiles/rsin_markov.dir/DependInfo.cmake"
+  "/root/repo/build/src/la/CMakeFiles/rsin_la.dir/DependInfo.cmake"
+  "/root/repo/build/src/packet/CMakeFiles/rsin_packet.dir/DependInfo.cmake"
+  "/root/repo/build/src/des/CMakeFiles/rsin_des.dir/DependInfo.cmake"
+  "/root/repo/build/src/queueing/CMakeFiles/rsin_queueing.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/rsin_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/topology/CMakeFiles/rsin_topology.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/rsin_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/rsin_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rsin_sweep.dir/rsin_sweep.cpp.o"
+  "CMakeFiles/rsin_sweep.dir/rsin_sweep.cpp.o.d"
+  "rsin_sweep"
+  "rsin_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rsin_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vlsi_function_units.dir/vlsi_function_units.cpp.o"
+  "CMakeFiles/vlsi_function_units.dir/vlsi_function_units.cpp.o.d"
+  "vlsi_function_units"
+  "vlsi_function_units.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vlsi_function_units.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/examples
+# Build directory: /root/repo/build/examples
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(example_quickstart "/root/repo/build/examples/quickstart" "8/1x8x8 OMEGA/2" "0.4" "1.0" "0.2")
+set_tests_properties(example_quickstart PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;13;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_config_advisor "/root/repo/build/examples/config_advisor" "16/4x4x4 XBAR/2" "2.0" "500")
+set_tests_properties(example_config_advisor PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;15;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_sweep "/root/repo/build/examples/rsin_sweep" "8/8x1x1 SBUS/2" "--ratio" "0.5" "--steps" "3" "--tasks" "3000" "--analytic" "--csv")
+set_tests_properties(example_sweep PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;17;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_sweep_help "/root/repo/build/examples/rsin_sweep" "--help")
+set_tests_properties(example_sweep_help PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;20;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_load_balancing "/root/repo/build/examples/load_balancing")
+set_tests_properties(example_load_balancing PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;21;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_vlsi_function_units "/root/repo/build/examples/vlsi_function_units")
+set_tests_properties(example_vlsi_function_units PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;22;add_test;/root/repo/examples/CMakeLists.txt;0;")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rsin_common.dir/args.cpp.o"
+  "CMakeFiles/rsin_common.dir/args.cpp.o.d"
+  "CMakeFiles/rsin_common.dir/error.cpp.o"
+  "CMakeFiles/rsin_common.dir/error.cpp.o.d"
+  "CMakeFiles/rsin_common.dir/rng.cpp.o"
+  "CMakeFiles/rsin_common.dir/rng.cpp.o.d"
+  "CMakeFiles/rsin_common.dir/stats.cpp.o"
+  "CMakeFiles/rsin_common.dir/stats.cpp.o.d"
+  "CMakeFiles/rsin_common.dir/table.cpp.o"
+  "CMakeFiles/rsin_common.dir/table.cpp.o.d"
+  "CMakeFiles/rsin_common.dir/text.cpp.o"
+  "CMakeFiles/rsin_common.dir/text.cpp.o.d"
+  "librsin_common.a"
+  "librsin_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rsin_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

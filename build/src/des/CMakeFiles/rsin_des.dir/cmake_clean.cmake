@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rsin_des.dir/simulator.cpp.o"
+  "CMakeFiles/rsin_des.dir/simulator.cpp.o.d"
+  "librsin_des.a"
+  "librsin_des.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rsin_des.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

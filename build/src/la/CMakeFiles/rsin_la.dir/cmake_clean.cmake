@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rsin_la.dir/matrix.cpp.o"
+  "CMakeFiles/rsin_la.dir/matrix.cpp.o.d"
+  "librsin_la.a"
+  "librsin_la.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rsin_la.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/logic/arbiters.cpp" "src/logic/CMakeFiles/rsin_logic.dir/arbiters.cpp.o" "gcc" "src/logic/CMakeFiles/rsin_logic.dir/arbiters.cpp.o.d"
+  "/root/repo/src/logic/crossbar_cell.cpp" "src/logic/CMakeFiles/rsin_logic.dir/crossbar_cell.cpp.o" "gcc" "src/logic/CMakeFiles/rsin_logic.dir/crossbar_cell.cpp.o.d"
+  "/root/repo/src/logic/netlist.cpp" "src/logic/CMakeFiles/rsin_logic.dir/netlist.cpp.o" "gcc" "src/logic/CMakeFiles/rsin_logic.dir/netlist.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/rsin_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rsin_logic.dir/arbiters.cpp.o"
+  "CMakeFiles/rsin_logic.dir/arbiters.cpp.o.d"
+  "CMakeFiles/rsin_logic.dir/crossbar_cell.cpp.o"
+  "CMakeFiles/rsin_logic.dir/crossbar_cell.cpp.o.d"
+  "CMakeFiles/rsin_logic.dir/netlist.cpp.o"
+  "CMakeFiles/rsin_logic.dir/netlist.cpp.o.d"
+  "librsin_logic.a"
+  "librsin_logic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rsin_logic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

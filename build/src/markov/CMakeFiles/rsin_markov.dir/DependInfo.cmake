@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/markov/ctmc.cpp" "src/markov/CMakeFiles/rsin_markov.dir/ctmc.cpp.o" "gcc" "src/markov/CMakeFiles/rsin_markov.dir/ctmc.cpp.o.d"
+  "/root/repo/src/markov/sbus_model.cpp" "src/markov/CMakeFiles/rsin_markov.dir/sbus_model.cpp.o" "gcc" "src/markov/CMakeFiles/rsin_markov.dir/sbus_model.cpp.o.d"
+  "/root/repo/src/markov/sbus_solvers.cpp" "src/markov/CMakeFiles/rsin_markov.dir/sbus_solvers.cpp.o" "gcc" "src/markov/CMakeFiles/rsin_markov.dir/sbus_solvers.cpp.o.d"
+  "/root/repo/src/markov/transient.cpp" "src/markov/CMakeFiles/rsin_markov.dir/transient.cpp.o" "gcc" "src/markov/CMakeFiles/rsin_markov.dir/transient.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/rsin_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/la/CMakeFiles/rsin_la.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rsin_markov.dir/ctmc.cpp.o"
+  "CMakeFiles/rsin_markov.dir/ctmc.cpp.o.d"
+  "CMakeFiles/rsin_markov.dir/sbus_model.cpp.o"
+  "CMakeFiles/rsin_markov.dir/sbus_model.cpp.o.d"
+  "CMakeFiles/rsin_markov.dir/sbus_solvers.cpp.o"
+  "CMakeFiles/rsin_markov.dir/sbus_solvers.cpp.o.d"
+  "CMakeFiles/rsin_markov.dir/transient.cpp.o"
+  "CMakeFiles/rsin_markov.dir/transient.cpp.o.d"
+  "librsin_markov.a"
+  "librsin_markov.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rsin_markov.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rsin_packet.dir/buffered_network.cpp.o"
+  "CMakeFiles/rsin_packet.dir/buffered_network.cpp.o.d"
+  "librsin_packet.a"
+  "librsin_packet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rsin_packet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rsin_queueing.dir/mm_queues.cpp.o"
+  "CMakeFiles/rsin_queueing.dir/mm_queues.cpp.o.d"
+  "librsin_queueing.a"
+  "librsin_queueing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rsin_queueing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

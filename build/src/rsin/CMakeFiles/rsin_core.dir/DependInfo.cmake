@@ -1,0 +1,37 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rsin/advisor.cpp" "src/rsin/CMakeFiles/rsin_core.dir/advisor.cpp.o" "gcc" "src/rsin/CMakeFiles/rsin_core.dir/advisor.cpp.o.d"
+  "/root/repo/src/rsin/analysis.cpp" "src/rsin/CMakeFiles/rsin_core.dir/analysis.cpp.o" "gcc" "src/rsin/CMakeFiles/rsin_core.dir/analysis.cpp.o.d"
+  "/root/repo/src/rsin/config.cpp" "src/rsin/CMakeFiles/rsin_core.dir/config.cpp.o" "gcc" "src/rsin/CMakeFiles/rsin_core.dir/config.cpp.o.d"
+  "/root/repo/src/rsin/factory.cpp" "src/rsin/CMakeFiles/rsin_core.dir/factory.cpp.o" "gcc" "src/rsin/CMakeFiles/rsin_core.dir/factory.cpp.o.d"
+  "/root/repo/src/rsin/multi_resource.cpp" "src/rsin/CMakeFiles/rsin_core.dir/multi_resource.cpp.o" "gcc" "src/rsin/CMakeFiles/rsin_core.dir/multi_resource.cpp.o.d"
+  "/root/repo/src/rsin/omega_system.cpp" "src/rsin/CMakeFiles/rsin_core.dir/omega_system.cpp.o" "gcc" "src/rsin/CMakeFiles/rsin_core.dir/omega_system.cpp.o.d"
+  "/root/repo/src/rsin/packet_system.cpp" "src/rsin/CMakeFiles/rsin_core.dir/packet_system.cpp.o" "gcc" "src/rsin/CMakeFiles/rsin_core.dir/packet_system.cpp.o.d"
+  "/root/repo/src/rsin/sbus_system.cpp" "src/rsin/CMakeFiles/rsin_core.dir/sbus_system.cpp.o" "gcc" "src/rsin/CMakeFiles/rsin_core.dir/sbus_system.cpp.o.d"
+  "/root/repo/src/rsin/system.cpp" "src/rsin/CMakeFiles/rsin_core.dir/system.cpp.o" "gcc" "src/rsin/CMakeFiles/rsin_core.dir/system.cpp.o.d"
+  "/root/repo/src/rsin/xbar_system.cpp" "src/rsin/CMakeFiles/rsin_core.dir/xbar_system.cpp.o" "gcc" "src/rsin/CMakeFiles/rsin_core.dir/xbar_system.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/rsin_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/des/CMakeFiles/rsin_des.dir/DependInfo.cmake"
+  "/root/repo/build/src/markov/CMakeFiles/rsin_markov.dir/DependInfo.cmake"
+  "/root/repo/build/src/packet/CMakeFiles/rsin_packet.dir/DependInfo.cmake"
+  "/root/repo/build/src/queueing/CMakeFiles/rsin_queueing.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/rsin_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/topology/CMakeFiles/rsin_topology.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/rsin_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/la/CMakeFiles/rsin_la.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

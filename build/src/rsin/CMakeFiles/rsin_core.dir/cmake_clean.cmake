@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rsin_core.dir/advisor.cpp.o"
+  "CMakeFiles/rsin_core.dir/advisor.cpp.o.d"
+  "CMakeFiles/rsin_core.dir/analysis.cpp.o"
+  "CMakeFiles/rsin_core.dir/analysis.cpp.o.d"
+  "CMakeFiles/rsin_core.dir/config.cpp.o"
+  "CMakeFiles/rsin_core.dir/config.cpp.o.d"
+  "CMakeFiles/rsin_core.dir/factory.cpp.o"
+  "CMakeFiles/rsin_core.dir/factory.cpp.o.d"
+  "CMakeFiles/rsin_core.dir/multi_resource.cpp.o"
+  "CMakeFiles/rsin_core.dir/multi_resource.cpp.o.d"
+  "CMakeFiles/rsin_core.dir/omega_system.cpp.o"
+  "CMakeFiles/rsin_core.dir/omega_system.cpp.o.d"
+  "CMakeFiles/rsin_core.dir/packet_system.cpp.o"
+  "CMakeFiles/rsin_core.dir/packet_system.cpp.o.d"
+  "CMakeFiles/rsin_core.dir/sbus_system.cpp.o"
+  "CMakeFiles/rsin_core.dir/sbus_system.cpp.o.d"
+  "CMakeFiles/rsin_core.dir/system.cpp.o"
+  "CMakeFiles/rsin_core.dir/system.cpp.o.d"
+  "CMakeFiles/rsin_core.dir/xbar_system.cpp.o"
+  "CMakeFiles/rsin_core.dir/xbar_system.cpp.o.d"
+  "librsin_core.a"
+  "librsin_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rsin_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sched/centralized.cpp" "src/sched/CMakeFiles/rsin_sched.dir/centralized.cpp.o" "gcc" "src/sched/CMakeFiles/rsin_sched.dir/centralized.cpp.o.d"
+  "/root/repo/src/sched/matching.cpp" "src/sched/CMakeFiles/rsin_sched.dir/matching.cpp.o" "gcc" "src/sched/CMakeFiles/rsin_sched.dir/matching.cpp.o.d"
+  "/root/repo/src/sched/omega_boxes.cpp" "src/sched/CMakeFiles/rsin_sched.dir/omega_boxes.cpp.o" "gcc" "src/sched/CMakeFiles/rsin_sched.dir/omega_boxes.cpp.o.d"
+  "/root/repo/src/sched/omega_router.cpp" "src/sched/CMakeFiles/rsin_sched.dir/omega_router.cpp.o" "gcc" "src/sched/CMakeFiles/rsin_sched.dir/omega_router.cpp.o.d"
+  "/root/repo/src/sched/resource_pool.cpp" "src/sched/CMakeFiles/rsin_sched.dir/resource_pool.cpp.o" "gcc" "src/sched/CMakeFiles/rsin_sched.dir/resource_pool.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/rsin_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/topology/CMakeFiles/rsin_topology.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rsin_sched.dir/centralized.cpp.o"
+  "CMakeFiles/rsin_sched.dir/centralized.cpp.o.d"
+  "CMakeFiles/rsin_sched.dir/matching.cpp.o"
+  "CMakeFiles/rsin_sched.dir/matching.cpp.o.d"
+  "CMakeFiles/rsin_sched.dir/omega_boxes.cpp.o"
+  "CMakeFiles/rsin_sched.dir/omega_boxes.cpp.o.d"
+  "CMakeFiles/rsin_sched.dir/omega_router.cpp.o"
+  "CMakeFiles/rsin_sched.dir/omega_router.cpp.o.d"
+  "CMakeFiles/rsin_sched.dir/resource_pool.cpp.o"
+  "CMakeFiles/rsin_sched.dir/resource_pool.cpp.o.d"
+  "librsin_sched.a"
+  "librsin_sched.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rsin_sched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

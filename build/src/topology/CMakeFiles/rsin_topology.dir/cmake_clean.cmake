@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rsin_topology.dir/multistage.cpp.o"
+  "CMakeFiles/rsin_topology.dir/multistage.cpp.o.d"
+  "librsin_topology.a"
+  "librsin_topology.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rsin_topology.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

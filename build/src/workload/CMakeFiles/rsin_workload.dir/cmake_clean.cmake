@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rsin_workload.dir/metrics.cpp.o"
+  "CMakeFiles/rsin_workload.dir/metrics.cpp.o.d"
+  "CMakeFiles/rsin_workload.dir/workload.cpp.o"
+  "CMakeFiles/rsin_workload.dir/workload.cpp.o.d"
+  "librsin_workload.a"
+  "librsin_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rsin_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_multi_resource.dir/test_multi_resource.cpp.o"
+  "CMakeFiles/test_multi_resource.dir/test_multi_resource.cpp.o.d"
+  "test_multi_resource"
+  "test_multi_resource.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_multi_resource.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
