@@ -30,8 +30,9 @@ policyName(sched::RoutingPolicy p)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    initBench(argc, argv);
     const double mu_n = 1.0;
     for (double mu_s : {0.1, 1.0}) {
         std::vector<Curve> curves;

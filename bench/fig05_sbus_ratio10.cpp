@@ -11,10 +11,11 @@
 #include "figure_common.hpp"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace rsin;
     using namespace rsin::bench;
+    initBench(argc, argv);
     const double mu_n = 1.0, mu_s = 1.0;
 
     std::vector<Curve> curves;

@@ -16,16 +16,50 @@
 
 #include <cstdio>
 #include <iostream>
+#include <memory>
 #include <string>
 #include <vector>
 
+#include "common/args.hpp"
 #include "common/table.hpp"
 #include "common/text.hpp"
+#include "exec/sweep_runner.hpp"
+#include "exec/thread_pool.hpp"
 #include "rsin/analysis.hpp"
 #include "rsin/factory.hpp"
 
 namespace rsin {
 namespace bench {
+
+/** Process-wide worker pool shared by every simulated curve. */
+inline std::unique_ptr<exec::ThreadPool> &
+poolStorage()
+{
+    static std::unique_ptr<exec::ThreadPool> pool;
+    return pool;
+}
+
+/** The bench pool, or nullptr when running serially. */
+inline exec::ThreadPool *
+sweepPool()
+{
+    return poolStorage().get();
+}
+
+/**
+ * Parse the common bench options (--jobs N; 0 or absent means one
+ * worker per hardware thread) and size the sweep pool.  Cell results
+ * are seed-deterministic, so the jobs count changes wall-clock time
+ * only, never a table cell.
+ */
+inline void
+initBench(int argc, const char *const *argv)
+{
+    const ArgParser args(argc, argv, {}, {"jobs"});
+    const std::size_t jobs = args.getJobs();
+    if (jobs > 1)
+        poolStorage() = std::make_unique<exec::ThreadPool>(jobs);
+}
 
 /** The rho sweep used by all delay figures. */
 inline std::vector<double>
@@ -92,7 +126,12 @@ privateBusInfinityCurve(double mu_n, double mu_s)
     return curve;
 }
 
-/** Simulated curve for any configuration. */
+/**
+ * Simulated curve for any configuration.  Every (rho, replication)
+ * cell is an independent run whose seed depends only on its grid
+ * coordinates, so the cells fan out over the sweep pool and the table
+ * is identical at any --jobs setting (and to the old serial loop).
+ */
 inline Curve
 simulatedCurve(const std::string &config_text, double mu_n, double mu_s,
                const ModelOptions &model = {},
@@ -101,18 +140,34 @@ simulatedCurve(const std::string &config_text, double mu_n, double mu_s,
 {
     const auto cfg = SystemConfig::parse(config_text);
     Curve curve{config_text + " (sim)", {}};
-    std::uint64_t seed = 1000;
-    for (double rho : rhoGrid()) {
-        workload::WorkloadParams params;
-        params.muN = mu_n;
-        params.muS = mu_s;
-        params.lambda = lambdaAt(rho, mu_n, mu_s);
-        SimOptions opts;
-        opts.seed = seed++;
-        opts.warmupTasks = measure_tasks / 10;
-        opts.measureTasks = measure_tasks;
-        const auto res =
-            simulateReplicated(cfg, params, opts, replications, model);
+    const auto grid = rhoGrid();
+    const std::uint64_t base_seed = 1000;
+    std::vector<workload::WorkloadParams> params(grid.size());
+    std::vector<std::vector<std::uint64_t>> seeds(grid.size());
+    for (std::size_t p = 0; p < grid.size(); ++p) {
+        params[p].muN = mu_n;
+        params[p].muS = mu_s;
+        params[p].lambda = lambdaAt(grid[p], mu_n, mu_s);
+        seeds[p] = replicationSeeds(base_seed + p, replications);
+    }
+    std::vector<SimResult> runs(grid.size() * replications);
+    const exec::SweepRunner runner(sweepPool());
+    runner.run(1, grid.size(), replications, base_seed,
+               [&](const exec::SweepCell &sweep_cell) {
+                   SimOptions opts;
+                   opts.seed =
+                       seeds[sweep_cell.point][sweep_cell.replication];
+                   opts.warmupTasks = measure_tasks / 10;
+                   opts.measureTasks = measure_tasks;
+                   runs[sweep_cell.flat] =
+                       simulate(cfg, params[sweep_cell.point], opts, model);
+               });
+    for (std::size_t p = 0; p < grid.size(); ++p) {
+        std::vector<SimResult> slice(
+            runs.begin() + static_cast<std::ptrdiff_t>(p * replications),
+            runs.begin() +
+                static_cast<std::ptrdiff_t>((p + 1) * replications));
+        const auto res = aggregateReplications(std::move(slice), params[p]);
         curve.cells.push_back(cell(res.normalizedDelay, !res.saturated));
     }
     return curve;

@@ -9,6 +9,8 @@
 
 #include "common/rng.hpp"
 #include "des/simulator.hpp"
+#include "exec/sweep_runner.hpp"
+#include "exec/thread_pool.hpp"
 #include "logic/crossbar_cell.hpp"
 #include "markov/sbus_solvers.hpp"
 #include "rsin/factory.hpp"
@@ -35,6 +37,73 @@ BM_EventQueueScheduleFire(benchmark::State &state)
         state.iterations() * static_cast<std::int64_t>(batch)));
 }
 BENCHMARK(BM_EventQueueScheduleFire)->Arg(1000)->Arg(10000);
+
+void
+BM_SimulatorChurn(benchmark::State &state)
+{
+    // Steady-state schedule/fire/cancel churn on one long-lived
+    // simulator: the arena recycles slots instead of allocating, and
+    // every third event is cancelled to exercise lazy deletion.
+    const std::size_t horizon = static_cast<std::size_t>(state.range(0));
+    Rng rng(3);
+    des::Simulator sim;
+    std::vector<des::EventHandle> handles;
+    std::uint64_t spawned = 0;
+    for (auto _ : state) {
+        handles.clear();
+        for (std::size_t i = 0; i < horizon; ++i) {
+            auto handle = sim.schedule(rng.uniform01(), [&sim, &rng,
+                                                         &spawned] {
+                ++spawned;
+                sim.schedule(rng.uniform01(), [&spawned] { ++spawned; });
+            });
+            if (i % 3 == 0)
+                handles.push_back(handle);
+        }
+        for (auto &handle : handles)
+            sim.cancel(handle);
+        sim.runAll();
+        benchmark::DoNotOptimize(spawned);
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(
+        state.iterations() * static_cast<std::int64_t>(horizon)));
+}
+BENCHMARK(BM_SimulatorChurn)->Arg(1000)->Arg(10000);
+
+void
+BM_SweepRunner(benchmark::State &state)
+{
+    // The (config x rho x replication) fan-out used by the figure
+    // benches, on a small grid so the bench stays quick.  jobs = 0
+    // runs serially; jobs = N exercises the pool.
+    const auto jobs = static_cast<std::size_t>(state.range(0));
+    std::unique_ptr<exec::ThreadPool> pool;
+    if (jobs > 1)
+        pool = std::make_unique<exec::ThreadPool>(jobs);
+    const exec::SweepRunner runner(pool.get());
+    const auto cfg = SystemConfig::parse("16/1x16x16 OMEGA/2");
+    for (auto _ : state) {
+        std::vector<double> delays(4 * 2);
+        runner.run(1, 4, 2, 99,
+                   [&](const exec::SweepCell &cell) {
+                       workload::WorkloadParams params;
+                       params.muN = 1.0;
+                       params.muS = 0.1;
+                       params.lambda = 0.02 + 0.02 * static_cast<double>(
+                                                        cell.point);
+                       SimOptions opts;
+                       opts.seed = cell.seed;
+                       opts.warmupTasks = 100;
+                       opts.measureTasks = 1000;
+                       delays[cell.flat] =
+                           simulate(cfg, params, opts).meanDelay;
+                   });
+        benchmark::DoNotOptimize(delays.data());
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(
+        state.iterations() * 8));
+}
+BENCHMARK(BM_SweepRunner)->Arg(1)->Arg(4);
 
 void
 BM_OmegaAvailabilityPass(benchmark::State &state)

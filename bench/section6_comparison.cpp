@@ -11,10 +11,11 @@
 #include "rsin/advisor.hpp"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace rsin;
     using namespace rsin::bench;
+    initBench(argc, argv);
 
     for (double mu_s : {0.1, 1.0}) {
         const double mu_n = 1.0;

@@ -6,13 +6,18 @@
  *
  *   ./rsin_sweep "16/1x16x16 OMEGA/2" "16/1x16x16 XBAR/2" \
  *       --ratio 0.1 --rho-min 0.1 --rho-max 0.9 --steps 9 \
- *       --tasks 20000 --seed 7 [--csv] [--analytic] [--response]
+ *       --tasks 20000 --seed 7 --jobs 8 [--csv] [--analytic]
+ *       [--response]
  *
  * With --analytic, SBUS configurations are additionally solved with
- * the exact Markov model (matrix-geometric).
+ * the exact Markov model (matrix-geometric).  The (config, rho) cells
+ * are independent simulations seeded from their grid coordinates, so
+ * --jobs only changes wall-clock time, never a printed value.
  */
 
+#include <cstdint>
 #include <iostream>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -20,6 +25,8 @@
 #include "common/error.hpp"
 #include "common/table.hpp"
 #include "common/text.hpp"
+#include "exec/sweep_runner.hpp"
+#include "exec/thread_pool.hpp"
 #include "rsin/analysis.hpp"
 #include "rsin/factory.hpp"
 
@@ -31,16 +38,18 @@ main(int argc, char **argv)
         const ArgParser args(
             argc, argv, {"csv", "analytic", "response", "help"},
             {"ratio", "rho-min", "rho-max", "steps", "tasks", "seed",
-             "mu-n"});
+             "mu-n", "jobs"});
         if (args.flag("help") || args.positional().empty()) {
             std::cout
                 << "usage: " << args.program()
                 << " CONFIG [CONFIG...] [--ratio R] [--rho-min A]"
                    " [--rho-max B]\n"
                    "       [--steps N] [--tasks N] [--seed S] [--mu-n M]"
-                   " [--csv] [--analytic] [--response]\n"
+                   " [--jobs J] [--csv] [--analytic] [--response]\n"
                    "CONFIG uses the paper notation, e.g."
-                   " '16/1x16x16 OMEGA/2'.\n";
+                   " '16/1x16x16 OMEGA/2'.\n"
+                   "--jobs 0 (the default) uses every hardware"
+                   " thread.\n";
             return args.flag("help") ? 0 : 1;
         }
 
@@ -56,12 +65,47 @@ main(int argc, char **argv)
             static_cast<std::uint64_t>(args.getLong("seed", 1));
         const bool csv = args.flag("csv");
         const bool response = args.flag("response");
+        const std::size_t jobs = args.getJobs();
         RSIN_REQUIRE(steps >= 1, "need at least one sweep step");
         RSIN_REQUIRE(rho_max >= rho_min, "rho-max must be >= rho-min");
 
         std::vector<SystemConfig> configs;
         for (const auto &text : args.positional())
             configs.push_back(SystemConfig::parse(text));
+
+        const auto rhoAt = [&](long step) {
+            return steps == 1 ? rho_min
+                              : rho_min + (rho_max - rho_min) *
+                                              static_cast<double>(step) /
+                                              static_cast<double>(steps - 1);
+        };
+
+        // Simulate every (config, rho) cell up front, fanned out over
+        // the worker pool; printing below then only reads results.
+        std::unique_ptr<exec::ThreadPool> pool;
+        if (jobs > 1)
+            pool = std::make_unique<exec::ThreadPool>(jobs);
+        const auto cells = static_cast<std::size_t>(steps);
+        std::vector<SimResult> results(configs.size() * cells);
+        const exec::SweepRunner runner(pool.get());
+        runner.run(configs.size(), cells, 1, seed,
+                   [&](const exec::SweepCell &sweep_cell) {
+                       workload::WorkloadParams params;
+                       params.muN = mu_n;
+                       params.muS = mu_s;
+                       params.lambda = lambdaForRho(
+                           configs[sweep_cell.config],
+                           rhoAt(static_cast<long>(sweep_cell.point)),
+                           mu_n, mu_s);
+                       SimOptions opts;
+                       opts.seed = seed + static_cast<std::uint64_t>(
+                                              sweep_cell.point);
+                       opts.warmupTasks = tasks / 10;
+                       opts.measureTasks = tasks;
+                       results[sweep_cell.flat] =
+                           simulate(configs[sweep_cell.config], params,
+                                    opts);
+                   });
 
         std::vector<std::string> head{"rho"};
         for (const auto &cfg : configs) {
@@ -76,22 +120,13 @@ main(int argc, char **argv)
         std::vector<std::vector<std::string>> csv_rows;
 
         for (long step = 0; step < steps; ++step) {
-            const double rho =
-                steps == 1 ? rho_min
-                           : rho_min + (rho_max - rho_min) *
-                                           static_cast<double>(step) /
-                                           static_cast<double>(steps - 1);
+            const double rho = rhoAt(step);
             std::vector<std::string> row{formatf("%.3f", rho)};
-            for (const auto &cfg : configs) {
-                workload::WorkloadParams params;
-                params.muN = mu_n;
-                params.muS = mu_s;
-                params.lambda = lambdaForRho(cfg, rho, mu_n, mu_s);
-                SimOptions opts;
-                opts.seed = seed + static_cast<std::uint64_t>(step);
-                opts.warmupTasks = tasks / 10;
-                opts.measureTasks = tasks;
-                const auto res = simulate(cfg, params, opts);
+            for (std::size_t c = 0; c < configs.size(); ++c) {
+                const auto &cfg = configs[c];
+                const double lambda = lambdaForRho(cfg, rho, mu_n, mu_s);
+                const auto &res =
+                    results[c * cells + static_cast<std::size_t>(step)];
                 if (res.saturated) {
                     row.push_back("inf");
                 } else {
@@ -101,8 +136,7 @@ main(int argc, char **argv)
                 }
                 if (args.flag("analytic") &&
                     cfg.network == NetworkClass::SingleBus) {
-                    const auto sol =
-                        analyzeSbus(cfg, params.lambda, mu_n, mu_s);
+                    const auto sol = analyzeSbus(cfg, lambda, mu_n, mu_s);
                     // The analytic column always reports mu_s*d (the
                     // Markov model covers the queueing delay only).
                     row.push_back(sol.stable

@@ -1,5 +1,7 @@
 #include "args.hpp"
 
+#include <thread>
+
 #include "error.hpp"
 #include "text.hpp"
 
@@ -78,6 +80,25 @@ ArgParser::getLong(const std::string &name, long fallback) const
     RSIN_REQUIRE(parsed.has_value(), "ArgParser: --", name,
                  " expects an integer, got '", it->second, "'");
     return *parsed;
+}
+
+std::size_t
+ArgParser::resolveJobs(long jobs)
+{
+    if (jobs > 0)
+        return static_cast<std::size_t>(jobs);
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw == 0 ? 1 : static_cast<std::size_t>(hw);
+}
+
+std::size_t
+ArgParser::getJobs(const std::string &name, long fallback) const
+{
+    const long raw = getLong(name, fallback);
+    RSIN_REQUIRE(raw >= 0, "ArgParser: --", name,
+                 " must be >= 0 (0 means all hardware threads), got ",
+                 raw);
+    return resolveJobs(raw);
 }
 
 } // namespace rsin

@@ -42,6 +42,17 @@ class ArgParser
     /** Integer option; throws FatalError on malformed numbers. */
     long getLong(const std::string &name, long fallback) const;
 
+    /**
+     * Worker count from a "--jobs N" style option: N >= 1 is taken
+     * literally, 0 (or an absent option with @p fallback 0) means one
+     * worker per hardware thread.
+     */
+    std::size_t getJobs(const std::string &name = "jobs",
+                        long fallback = 0) const;
+
+    /** Resolve a raw jobs value (0 -> hardware concurrency, min 1). */
+    static std::size_t resolveJobs(long jobs);
+
     const std::vector<std::string> &positional() const
     {
         return positional_;

@@ -1,5 +1,7 @@
 #include "simulator.hpp"
 
+#include <algorithm>
+
 #include "common/error.hpp"
 
 namespace rsin {
@@ -8,67 +10,282 @@ namespace des {
 bool
 EventHandle::pending() const
 {
-    return record_ && !record_->cancelled && !record_->fired;
+    return sim_ && sim_->slotPending(slot_, seq_);
 }
 
-EventHandle
-Simulator::schedule(double delay, std::function<void()> action)
+bool
+Simulator::slotPending(std::uint32_t slot, std::uint64_t seq) const
+{
+    // A recycled or freed slot carries a different seq, so stale
+    // handles (fired or cancelled-and-popped events) read false here.
+    if (slot & kLargeBit) {
+        const std::uint32_t index = slot & ~kLargeBit;
+        return index < large_.count() && large_.seq(index) == seq &&
+               !large_.cancelled(index);
+    }
+    return slot < small_.count() && small_.seq(slot) == seq &&
+           !small_.cancelled(slot);
+}
+
+void
+Simulator::requireDelay(double delay)
 {
     RSIN_REQUIRE(delay >= 0.0, "schedule: negative delay ", delay);
-    return scheduleAt(now_ + delay, std::move(action));
 }
 
-EventHandle
-Simulator::scheduleAt(double when, std::function<void()> action)
+void
+Simulator::requireTime(double when, double now)
 {
-    RSIN_REQUIRE(when >= now_, "scheduleAt: time ", when,
-                 " is in the past (now ", now_, ")");
-    RSIN_REQUIRE(static_cast<bool>(action), "scheduleAt: empty action");
-    auto record = std::make_shared<EventHandle::Record>();
-    record->action = std::move(action);
-    calendar_.push({when, nextSeq_++, record});
-    ++live_;
-    return EventHandle(record);
+    RSIN_REQUIRE(when >= now, "scheduleAt: time ", when,
+                 " is in the past (now ", now, ")");
+}
+
+void
+Simulator::requireNonEmpty(bool non_empty)
+{
+    RSIN_REQUIRE(non_empty, "scheduleAt: empty action");
+}
+
+void
+Simulator::pushEntry(QueueEntry entry)
+{
+    // 4-ary hole-based sift-up: bubble the hole to the insertion
+    // point, one move per level; with random keys this is O(1) moves
+    // on average.
+    heap_.push_back(entry);
+    std::size_t i = heap_.size() - 1;
+    while (i > 0) {
+        const std::size_t parent = (i - 1) >> 2;
+        if (!earlier(entry, heap_[parent]))
+            break;
+        heap_[i] = heap_[parent];
+        i = parent;
+    }
+    heap_[i] = entry;
+}
+
+void
+Simulator::popEntry()
+{
+    const std::size_t n = heap_.size() - 1;
+    const QueueEntry item = heap_[n];
+    heap_.pop_back();
+    if (n == 0)
+        return;
+    // 4-ary hole-based sift-down: the earliest of up to four
+    // contiguous children moves up into the hole, one move per level,
+    // until the displaced tail fits.  The min-of-four scan compiles to
+    // conditional moves on the 128-bit keys; with random keys a
+    // branchy scan would mispredict about half the picks.
+    const QueueEntry *heap = heap_.data();
+    const unsigned __int128 item_key = item.key;
+    std::size_t i = 0;
+    while ((i << 2) + 4 < n) {
+        const std::size_t first = (i << 2) + 1;
+        // The next level reads one of the four grandchild groups; pull
+        // all of them in while this level's compare chain resolves.
+        if ((first << 2) + 16 < n) {
+            const QueueEntry *grand = heap + (first << 2) + 1;
+            __builtin_prefetch(grand);
+            __builtin_prefetch(grand + 4);
+            __builtin_prefetch(grand + 8);
+            __builtin_prefetch(grand + 12);
+        }
+        const unsigned __int128 k0 = heap[first].key;
+        const unsigned __int128 k1 = heap[first + 1].key;
+        const unsigned __int128 k2 = heap[first + 2].key;
+        const unsigned __int128 k3 = heap[first + 3].key;
+        const std::size_t c01 = k1 < k0;
+        const std::size_t c23 = k3 < k2;
+        const unsigned __int128 ka = c01 ? k1 : k0;
+        const unsigned __int128 kb = c23 ? k3 : k2;
+        const std::size_t cab = kb < ka;
+        const unsigned __int128 kbest = cab ? kb : ka;
+        if (kbest >= item_key)
+            goto place;
+        heap_[i].key = kbest;
+        i = first + (cab ? 2 + c23 : c01);
+    }
+    // Bottom level with a partial child group.
+    {
+        const std::size_t first = (i << 2) + 1;
+        if (first < n) {
+            std::size_t best = first;
+            for (std::size_t c = first + 1; c < n; ++c)
+                best = earlier(heap[c], heap[best]) ? c : best;
+            if (earlier(heap[best], item)) {
+                heap_[i] = heap[best];
+                i = best;
+            }
+        }
+    }
+place:
+    heap_[i] = item;
+}
+
+void
+Simulator::flushStaging()
+{
+    if (staging_.empty())
+        return;
+    if (staging_.size() <= kBulkThreshold) {
+        // Steady state: a few events scheduled since the last pop go
+        // through the ordinary heap sift.
+        for (const QueueEntry &entry : staging_)
+            pushEntry(entry);
+        staging_.clear();
+        return;
+    }
+    // Burst: one stable LSD radix sort on the 64 time bits instead of
+    // thousands of random-access sifts (or a comparison sort, whose
+    // data-dependent branches mispredict half the time on random
+    // keys).  Staging holds entries in schedule order, so stability
+    // alone realizes the (time, seq) tie-break exactly.  Passes whose
+    // byte is constant across the batch (common for exponent bytes)
+    // are skipped.
+    const std::size_t m = staging_.size();
+    scratch_.resize(m);
+    static constexpr int kPasses = 8;
+    std::uint32_t hist[kPasses][256];
+    __builtin_memset(hist, 0, sizeof(hist));
+    for (const QueueEntry &entry : staging_) {
+        const auto t = static_cast<std::uint64_t>(entry.key >> 64);
+        for (int b = 0; b < kPasses; ++b)
+            ++hist[b][(t >> (8 * b)) & 0xff];
+    }
+    QueueEntry *src = staging_.data();
+    QueueEntry *dst = scratch_.data();
+    for (int b = 0; b < kPasses; ++b) {
+        std::uint32_t *h = hist[b];
+        int lead = 0;
+        while (h[lead] == 0)
+            ++lead;
+        if (h[lead] == m)
+            continue; // whole batch shares this byte
+        std::uint32_t offset = 0;
+        for (int v = 0; v < 256; ++v) {
+            const std::uint32_t n_here = h[v];
+            h[v] = offset;
+            offset += n_here;
+        }
+        for (std::size_t i = 0; i < m; ++i) {
+            const auto t = static_cast<std::uint64_t>(src[i].key >> 64);
+            dst[h[(t >> (8 * b)) & 0xff]++] = src[i];
+        }
+        std::swap(src, dst);
+    }
+    // src now holds the batch ascending; the run drains from the back,
+    // so fold it in descending.
+    if (run_.empty()) {
+        run_.resize(m);
+        for (std::size_t i = 0; i < m; ++i)
+            run_[i] = src[m - 1 - i];
+    } else {
+        // Backward in-place merge: fill from the new end, consuming
+        // the smaller of (old run back, batch front) first.  The write
+        // cursor never catches the old-run read cursor.
+        const std::size_t old = run_.size();
+        run_.resize(old + m);
+        std::size_t read = old;  // old-run elements left
+        std::size_t take = 0;    // batch elements consumed
+        std::size_t write = old + m;
+        while (read > 0 && take < m) {
+            if (run_[read - 1].key < src[take].key)
+                run_[--write] = run_[--read];
+            else
+                run_[--write] = src[take++];
+        }
+        while (take < m)
+            run_[--write] = src[take++];
+    }
+    staging_.clear();
+}
+
+const Simulator::QueueEntry *
+Simulator::peekMin() const
+{
+    if (heap_.empty())
+        return run_.empty() ? nullptr : &run_.back();
+    if (run_.empty())
+        return &heap_[0];
+    return run_.back().key < heap_[0].key ? &run_.back() : &heap_[0];
+}
+
+void
+Simulator::popMin()
+{
+    if (!run_.empty() &&
+        (heap_.empty() || run_.back().key < heap_[0].key))
+        run_.pop_back();
+    else
+        popEntry();
+}
+
+const Simulator::QueueEntry *
+Simulator::settleTop()
+{
+    flushStaging();
+    // Fast path: with no cancelled entries parked anywhere in the
+    // calendar, the top is live and we skip the slot-header probe.
+    if (cancelledParked_ == 0)
+        return peekMin();
+    while (const QueueEntry *top = peekMin()) {
+        const std::uint32_t slot = top->slot();
+        if (!cancelledAt(slot))
+            return top;
+        if (const detail::EventOps *ops = opsAt(slot))
+            ops->destroy(storageAt(slot));
+        popMin();
+        releaseAt(slot);
+        --cancelledParked_;
+    }
+    return nullptr;
 }
 
 void
 Simulator::cancel(EventHandle &handle)
 {
-    if (handle.pending()) {
-        handle.record_->cancelled = true;
+    if (handle.sim_ == this && slotPending(handle.slot_, handle.seq_)) {
+        // Mark only; the calendar entry is dropped lazily when popped.
+        cancelledAt(handle.slot_) = 1;
         --live_;
+        ++cancelledParked_;
     }
 }
 
 bool
 Simulator::step()
 {
-    while (!calendar_.empty()) {
-        QueueEntry entry = calendar_.top();
-        calendar_.pop();
-        if (entry.record->cancelled)
-            continue;
-        now_ = entry.time;
-        entry.record->fired = true;
-        --live_;
-        ++fired_;
-        entry.record->action();
-        return true;
-    }
-    return false;
+    const QueueEntry *top = settleTop();
+    if (!top)
+        return false;
+    const QueueEntry entry = *top;
+    const detail::EventOps *&ops_ref = opsAt(entry.slot());
+    // Pull the metadata line in while the pop below runs.
+    __builtin_prefetch(&ops_ref);
+    popMin();
+    now_ = entry.time();
+    const detail::EventOps *ops = ops_ref;
+    // Move the callback out and recycle the slot *before* invoking so
+    // the action may schedule into it and handles to this event
+    // already read "not pending".
+    alignas(8) unsigned char action[kLargeCapacity];
+    ops->relocate(action, storageAt(entry.slot()));
+    ops_ref = nullptr;
+    releaseAt(entry.slot());
+    --live_;
+    ++fired_;
+    ops->invokeDestroy(action);
+    return true;
 }
 
 void
 Simulator::runUntil(double until)
 {
-    while (!calendar_.empty()) {
-        // Skip cancelled entries without advancing time.
-        if (calendar_.top().record->cancelled) {
-            calendar_.pop();
-            continue;
-        }
-        if (calendar_.top().time > until)
-            return;
+    // settleTop skips cancelled entries without advancing time.
+    for (const QueueEntry *top; (top = settleTop()) != nullptr;) {
+        if (top->time() > until)
+            break;
         step();
     }
 }

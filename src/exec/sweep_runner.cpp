@@ -1,0 +1,48 @@
+#include "sweep_runner.hpp"
+
+#include "common/rng.hpp"
+
+namespace rsin {
+namespace exec {
+
+std::uint64_t
+cellSeed(std::uint64_t baseSeed, std::size_t config, std::size_t point,
+         std::size_t replication)
+{
+    // Fold each coordinate into a SplitMix64 chain.  The golden-ratio
+    // increments keep (c, p, r) permutations from colliding.
+    constexpr std::uint64_t kGamma = 0x9e3779b97f4a7c15ULL;
+    std::uint64_t state = baseSeed;
+    state ^= splitmix64(state) + kGamma * (static_cast<std::uint64_t>(config) + 1);
+    state ^= splitmix64(state) + kGamma * (static_cast<std::uint64_t>(point) + 1);
+    state ^= splitmix64(state) +
+             kGamma * (static_cast<std::uint64_t>(replication) + 1);
+    return splitmix64(state);
+}
+
+void
+SweepRunner::run(std::size_t configs, std::size_t points,
+                 std::size_t replications, std::uint64_t baseSeed,
+                 const std::function<void(const SweepCell &)> &fn) const
+{
+    const std::size_t total = configs * points * replications;
+    const auto runCell = [&](std::size_t flat) {
+        SweepCell cell;
+        cell.flat = flat;
+        cell.replication = flat % replications;
+        cell.point = (flat / replications) % points;
+        cell.config = flat / (replications * points);
+        cell.seed =
+            cellSeed(baseSeed, cell.config, cell.point, cell.replication);
+        fn(cell);
+    };
+    if (parallel()) {
+        pool_->parallelFor(total, runCell);
+    } else {
+        for (std::size_t flat = 0; flat < total; ++flat)
+            runCell(flat);
+    }
+}
+
+} // namespace exec
+} // namespace rsin

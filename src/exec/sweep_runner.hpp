@@ -1,0 +1,71 @@
+#pragma once
+
+/**
+ * @file
+ * Deterministic fan-out of (config x point x replication) sweep grids.
+ *
+ * Every figure bench and the sweep tool iterate the same triple loop:
+ * a handful of configurations, a traffic-intensity grid, and a few
+ * independent replications per cell.  SweepRunner flattens that grid
+ * and distributes the cells over a ThreadPool.  Each cell carries a
+ * seed derived purely from (baseSeed, config, point, replication), so
+ * results are a function of the cell's coordinates alone — never of
+ * the execution schedule — and a parallel sweep is bit-identical to
+ * the serial loop.
+ */
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+
+#include "exec/thread_pool.hpp"
+
+namespace rsin {
+namespace exec {
+
+/** One cell of a sweep grid. */
+struct SweepCell
+{
+    std::size_t config = 0;      ///< configuration index
+    std::size_t point = 0;       ///< sweep-point (e.g. rho) index
+    std::size_t replication = 0; ///< replication index within the cell
+    std::size_t flat = 0;        ///< row-major flattened index
+    std::uint64_t seed = 0;      ///< deterministic per-cell seed
+};
+
+/**
+ * Seed for one sweep cell, mixed from the coordinates with SplitMix64
+ * (the same mixer Rng uses to expand seeds).  A pure function of its
+ * arguments: no generator state is threaded through the grid, so any
+ * subset of cells can be computed in any order or on any thread.
+ */
+std::uint64_t cellSeed(std::uint64_t baseSeed, std::size_t config,
+                       std::size_t point, std::size_t replication);
+
+/** Runs sweep grids over a ThreadPool (or serially without one). */
+class SweepRunner
+{
+  public:
+    /** @param pool worker pool; nullptr runs cells serially in-place. */
+    explicit SweepRunner(ThreadPool *pool) : pool_(pool) {}
+
+    /**
+     * Invoke @p fn once per cell of a configs x points x replications
+     * grid.  Cells run concurrently when a pool is attached; @p fn
+     * must therefore only write state owned by its own cell (e.g. its
+     * slot in a results vector).  Returns after every cell completed.
+     * Cell seeds are cellSeed(baseSeed, ...).
+     */
+    void run(std::size_t configs, std::size_t points,
+             std::size_t replications, std::uint64_t baseSeed,
+             const std::function<void(const SweepCell &)> &fn) const;
+
+    /** True when cells will actually run concurrently. */
+    bool parallel() const { return pool_ && pool_->size() > 1; }
+
+  private:
+    ThreadPool *pool_;
+};
+
+} // namespace exec
+} // namespace rsin

@@ -1,0 +1,78 @@
+#pragma once
+
+/**
+ * @file
+ * Fixed-size thread pool for fanning out independent simulation cells.
+ *
+ * Deliberately work-stealing-free: a single mutex-protected FIFO feeds
+ * a fixed set of workers.  Sweep cells are coarse (one full simulation
+ * run each, milliseconds to seconds), so queue contention is
+ * negligible and the simple design is easy to audit for races.
+ *
+ * parallelFor() is the main entry point.  The calling thread
+ * participates in the index loop, which makes nested calls safe: a
+ * worker that re-enters parallelFor simply drains the inner range
+ * itself instead of deadlocking on the (busy) pool.
+ */
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace rsin {
+namespace exec {
+
+/** Fixed-size thread pool with a shared FIFO task queue. */
+class ThreadPool
+{
+  public:
+    /**
+     * @param threads worker count; 0 means one per hardware thread.
+     */
+    explicit ThreadPool(std::size_t threads = 0);
+
+    /** Drains outstanding tasks, then joins the workers. */
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    /** Number of worker threads. */
+    std::size_t size() const { return workers_.size(); }
+
+    /** Enqueue a task for asynchronous execution. */
+    void submit(std::function<void()> task);
+
+    /** Block until every submitted task has finished. */
+    void wait();
+
+    /**
+     * Run body(0..n-1), distributing indices over the workers and the
+     * calling thread; returns when all n indices have completed.  The
+     * first exception thrown by @p body is rethrown here (remaining
+     * indices still run).  Safe to call from inside a pool task.
+     */
+    void parallelFor(std::size_t n,
+                     const std::function<void(std::size_t)> &body);
+
+    /** std::thread::hardware_concurrency with a floor of 1. */
+    static std::size_t hardwareThreads();
+
+  private:
+    void workerLoop();
+
+    std::vector<std::thread> workers_;
+    std::mutex mutex_;
+    std::condition_variable taskReady_;
+    std::condition_variable allIdle_;
+    std::deque<std::function<void()>> queue_;
+    std::size_t active_ = 0;
+    bool stopping_ = false;
+};
+
+} // namespace exec
+} // namespace rsin

@@ -4,6 +4,7 @@
 
 #include "common/error.hpp"
 #include "common/stats.hpp"
+#include "exec/thread_pool.hpp"
 
 namespace rsin {
 
@@ -34,35 +35,47 @@ simulate(const SystemConfig &config, const workload::WorkloadParams &params,
     return makeSystem(config, params, options, model)->run();
 }
 
-SimResult
-simulateReplicated(const SystemConfig &config,
-                   const workload::WorkloadParams &params,
-                   const SimOptions &options, std::size_t replications,
-                   const ModelOptions &model)
+std::vector<std::uint64_t>
+replicationSeeds(std::uint64_t baseSeed, std::size_t replications)
 {
-    RSIN_REQUIRE(replications >= 1,
-                 "simulateReplicated: need at least one replication");
-    std::vector<SimResult> runs;
-    runs.reserve(replications);
-    Rng seeder(options.seed);
+    std::vector<std::uint64_t> seeds(replications);
+    Rng seeder(baseSeed);
+    for (auto &seed : seeds)
+        seed = seeder.next();
+    return seeds;
+}
+
+SimResult
+aggregateReplications(std::vector<SimResult> runs,
+                      const workload::WorkloadParams &params)
+{
+    RSIN_REQUIRE(!runs.empty(),
+                 "aggregateReplications: need at least one run");
+    std::size_t saturated = 0;
     Accumulator delays;
-    for (std::size_t i = 0; i < replications; ++i) {
-        SimOptions opts = options;
-        opts.seed = seeder.next();
-        runs.push_back(simulate(config, params, opts, model));
-        if (!runs.back().saturated)
-            delays.add(runs.back().meanDelay);
+    for (const auto &run : runs) {
+        if (run.saturated)
+            ++saturated;
+        else
+            delays.add(run.meanDelay);
     }
+    // Saturated runs carry meanDelay == 0 and would sort to the front,
+    // letting a single saturated replication masquerade as the median
+    // of an otherwise stable cell — pick the median among stable runs
+    // whenever any exist.
+    const auto byDelay = [](const SimResult &a, const SimResult &b) {
+        return a.meanDelay < b.meanDelay;
+    };
+    std::vector<SimResult> pickFrom;
+    for (const auto &run : runs)
+        if (!run.saturated)
+            pickFrom.push_back(run);
+    if (pickFrom.empty())
+        pickFrom = runs;
+    std::sort(pickFrom.begin(), pickFrom.end(), byDelay);
+    SimResult result = pickFrom[pickFrom.size() / 2];
     // A majority of saturated replications means the point is beyond
     // the knee: report it as saturated.
-    std::size_t saturated = 0;
-    for (const auto &r : runs)
-        saturated += r.saturated ? 1 : 0;
-    std::sort(runs.begin(), runs.end(),
-              [](const SimResult &a, const SimResult &b) {
-                  return a.meanDelay < b.meanDelay;
-              });
-    SimResult result = runs[runs.size() / 2];
     if (saturated * 2 > runs.size())
         result.saturated = true;
     if (delays.count() >= 2) {
@@ -72,6 +85,30 @@ simulateReplicated(const SystemConfig &config,
             std::max(result.delayHalfWidth, delays.halfWidth());
     }
     return result;
+}
+
+SimResult
+simulateReplicated(const SystemConfig &config,
+                   const workload::WorkloadParams &params,
+                   const SimOptions &options, std::size_t replications,
+                   const ModelOptions &model, exec::ThreadPool *pool)
+{
+    RSIN_REQUIRE(replications >= 1,
+                 "simulateReplicated: need at least one replication");
+    const auto seeds = replicationSeeds(options.seed, replications);
+    std::vector<SimResult> runs(replications);
+    const auto runOne = [&](std::size_t i) {
+        SimOptions opts = options;
+        opts.seed = seeds[i];
+        runs[i] = simulate(config, params, opts, model);
+    };
+    if (pool && pool->size() > 1) {
+        pool->parallelFor(replications, runOne);
+    } else {
+        for (std::size_t i = 0; i < replications; ++i)
+            runOne(i);
+    }
+    return aggregateReplications(std::move(runs), params);
 }
 
 } // namespace rsin

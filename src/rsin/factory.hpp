@@ -11,6 +11,7 @@
  */
 
 #include <memory>
+#include <vector>
 
 #include "rsin/omega_system.hpp"
 #include "rsin/sbus_system.hpp"
@@ -18,6 +19,10 @@
 #include "rsin/xbar_system.hpp"
 
 namespace rsin {
+
+namespace exec {
+class ThreadPool;
+} // namespace exec
 
 /** Everything beyond config/workload/run-control a model can take. */
 struct ModelOptions
@@ -39,15 +44,35 @@ SimResult simulate(const SystemConfig &config,
                    const ModelOptions &model = {});
 
 /**
+ * Per-replication seeds derived from @p baseSeed, exactly the sequence
+ * simulateReplicated consumes.  Exposed so sweep drivers can fan the
+ * replications of many cells out in parallel and still aggregate
+ * results identical to the serial path.
+ */
+std::vector<std::uint64_t> replicationSeeds(std::uint64_t baseSeed,
+                                            std::size_t replications);
+
+/**
+ * Collapse independent replication runs into one SimResult: the median
+ * stable run (a majority of saturated runs marks the point saturated),
+ * with the mean delay and half-width widened to the
+ * between-replication spread.  Deterministic in the order of @p runs.
+ */
+SimResult aggregateReplications(std::vector<SimResult> runs,
+                                const workload::WorkloadParams &params);
+
+/**
  * Run @p replications independent runs (seeds derived from
- * options.seed) and return the run whose delay is the median, with the
- * half-width widened to the between-replication spread.  Benches use
- * this for smooth figure curves.
+ * options.seed) and aggregate them (see aggregateReplications).
+ * Benches use this for smooth figure curves.  With a @p pool the
+ * replications run concurrently; results are bit-identical to the
+ * serial path because each run's seed depends only on its index.
  */
 SimResult simulateReplicated(const SystemConfig &config,
                              const workload::WorkloadParams &params,
                              const SimOptions &options,
                              std::size_t replications,
-                             const ModelOptions &model = {});
+                             const ModelOptions &model = {},
+                             exec::ThreadPool *pool = nullptr);
 
 } // namespace rsin

@@ -210,6 +210,95 @@ TEST(SimulatorTest, StressRandomScheduleCancel)
     EXPECT_EQ(sim.pending(), 0u);
 }
 
+TEST(SimulatorTest, ArenaReusesSlotsAcrossBursts)
+{
+    // After a burst drains, the arena recycles its slots instead of
+    // growing: capacity reached at the first burst's high-water mark
+    // stays put through many more bursts.
+    Simulator sim;
+    rsin::Rng rng(7);
+    for (std::size_t i = 0; i < 500; ++i)
+        sim.schedule(rng.uniform01(), [] {});
+    sim.runAll();
+    const std::size_t capacity = sim.slotCapacity();
+    EXPECT_GE(capacity, 500u);
+    for (int burst = 0; burst < 10; ++burst) {
+        for (std::size_t i = 0; i < 500; ++i)
+            sim.schedule(rng.uniform01(), [] {});
+        sim.runAll();
+        EXPECT_EQ(sim.slotCapacity(), capacity);
+    }
+    EXPECT_EQ(sim.fired(), 5500u);
+}
+
+TEST(SimulatorTest, StaleHandleOnRecycledSlotStaysDead)
+{
+    // A handle to a fired event must read not-pending (and cancel must
+    // be a no-op) even after its arena slot is recycled by later
+    // events.
+    Simulator sim;
+    auto first = sim.schedule(1.0, [] {});
+    sim.runAll();
+    EXPECT_FALSE(first.pending());
+    // Recycle the slot many times over.
+    for (int i = 0; i < 100; ++i)
+        sim.schedule(1.0, [] {});
+    EXPECT_EQ(sim.pending(), 100u);
+    EXPECT_FALSE(first.pending());
+    sim.cancel(first); // must not cancel the slot's new occupant
+    EXPECT_EQ(sim.pending(), 100u);
+    sim.runAll();
+    EXPECT_EQ(sim.fired(), 101u);
+}
+
+TEST(SimulatorTest, CancellationAfterFireIsNoOpUnderChurn)
+{
+    // Interleave fire-then-cancel across recycled slots: cancelling a
+    // handle whose event already fired must never affect the pending
+    // population, whichever event now occupies the slot.
+    Simulator sim;
+    rsin::Rng rng(11);
+    std::vector<EventHandle> fired_handles;
+    for (int round = 0; round < 50; ++round) {
+        for (int i = 0; i < 8; ++i)
+            fired_handles.push_back(
+                sim.schedule(rng.uniform01(), [] {}));
+        sim.runAll();
+        for (auto &handle : fired_handles) {
+            EXPECT_FALSE(handle.pending());
+            sim.cancel(handle);
+        }
+        EXPECT_EQ(sim.pending(), 0u);
+    }
+    EXPECT_EQ(sim.fired(), 400u);
+}
+
+TEST(SimulatorTest, OversizedCaptureFallsBackToHeapBox)
+{
+    // Captures beyond the large inline class go through the heap-box
+    // path; behaviour (ordering, cancellation, destruction) must be
+    // identical.
+    Simulator sim;
+    struct Big
+    {
+        double values[64];
+    };
+    Big big{};
+    big.values[0] = 42.0;
+    double seen = 0.0;
+    auto handle = sim.schedule(1.0, [big, &seen] { seen = big.values[0]; });
+    EXPECT_TRUE(handle.pending());
+    sim.runAll();
+    EXPECT_DOUBLE_EQ(seen, 42.0);
+    // And a cancelled heap-boxed event must destroy, not leak or fire.
+    seen = 0.0;
+    auto doomed = sim.schedule(1.0, [big, &seen] { seen = big.values[0]; });
+    sim.cancel(doomed);
+    sim.runAll();
+    EXPECT_DOUBLE_EQ(seen, 0.0);
+    EXPECT_EQ(sim.pending(), 0u);
+}
+
 TEST(SimulatorTest, ManyEventsThroughput)
 {
     Simulator sim;
