@@ -116,5 +116,5 @@ main(int argc, char **argv)
         printCurves("Status-staleness ablation, mu_s/mu_n = 1.0",
                     curves);
     }
-    return 0;
+    return finishBench();
 }

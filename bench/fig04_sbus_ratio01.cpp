@@ -37,29 +37,28 @@ main(int argc, char **argv)
     // against the matrix-geometric curve above.
     {
         const auto cfg = SystemConfig::parse("16/16x1x1 SBUS/2");
-        Curve staged{"16/16x1x1 SBUS/2 (staged, paper's method)", {}};
-        for (double rho : rhoGrid()) {
-            const double lambda = lambdaAt(rho, mu_n, mu_s);
-            markov::SbusParams prm;
-            prm.p = cfg.processorsPerNet();
-            prm.lambda = lambda;
-            prm.muN = mu_n;
-            prm.muS = mu_s;
-            prm.r = cfg.resourcesPerPort;
-            const markov::SbusChain chain(prm);
-            if (!chain.stable()) {
-                staged.cells.push_back("inf");
-                continue;
-            }
-            const auto sol = markov::solveStaged(chain);
-            staged.cells.push_back(
-                cell(sol.normalizedDelay, sol.stable));
-        }
+        const auto staged = analyticCurve(
+            "16/16x1x1 SBUS/2 (staged, paper's method)",
+            "16/16x1x1 SBUS/2", mu_n, mu_s, [&](double lambda) {
+                markov::SbusParams prm;
+                prm.p = cfg.processorsPerNet();
+                prm.lambda = lambda;
+                prm.muN = mu_n;
+                prm.muS = mu_s;
+                prm.r = cfg.resourcesPerPort;
+                const markov::SbusChain chain(prm);
+                if (!chain.stable()) {
+                    markov::SbusSolution sol;
+                    sol.stable = false;
+                    return sol;
+                }
+                return markov::solveStaged(chain);
+            });
         printCurves("Fig. 4 cross-check (paper's staged solver + "
                     "event-driven simulation)",
                     {staged,
                      simulatedCurve("16/16x1x1 SBUS/2", mu_n, mu_s),
                      simulatedCurve("16/2x1x1 SBUS/16", mu_n, mu_s)});
     }
-    return 0;
+    return finishBench();
 }

@@ -29,5 +29,5 @@ main(int argc, char **argv)
 
     printCurves("Fig. 5 cross-check (event-driven simulation)",
                 {simulatedCurve("16/16x1x1 SBUS/2", mu_n, mu_s)});
-    return 0;
+    return finishBench();
 }

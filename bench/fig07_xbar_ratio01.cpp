@@ -31,16 +31,17 @@ main(int argc, char **argv)
 
     // Section IV approximations for the 16x16 shared-port crossbar.
     const auto cfg = SystemConfig::parse("16/1x16x16 XBAR/2");
-    Curve light{"16/1x16x16 XBAR/2 light-load approx", {}};
-    Curve heavy{"16/1x16x16 XBAR/2 heavy-load approx", {}};
-    for (double rho : rhoGrid()) {
-        const double lambda = lambdaAt(rho, mu_n, mu_s);
-        const auto lo = xbarLightLoad(cfg, lambda, mu_n, mu_s);
-        const auto hi = xbarHeavyLoad(cfg, lambda, mu_n, mu_s);
-        light.cells.push_back(cell(lo.normalizedDelay, lo.stable));
-        heavy.cells.push_back(cell(hi.normalizedDelay, hi.stable));
-    }
+    const auto light = analyticCurve(
+        "16/1x16x16 XBAR/2 light-load approx", "16/1x16x16 XBAR/2",
+        mu_n, mu_s, [&](double lambda) {
+            return xbarLightLoad(cfg, lambda, mu_n, mu_s);
+        });
+    const auto heavy = analyticCurve(
+        "16/1x16x16 XBAR/2 heavy-load approx", "16/1x16x16 XBAR/2",
+        mu_n, mu_s, [&](double lambda) {
+            return xbarHeavyLoad(cfg, lambda, mu_n, mu_s);
+        });
     printCurves("Fig. 7 -- Section IV analytic approximations",
                 {light, heavy});
-    return 0;
+    return finishBench();
 }

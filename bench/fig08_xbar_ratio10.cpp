@@ -26,13 +26,12 @@ main(int argc, char **argv)
                 curves);
 
     const auto cfg = SystemConfig::parse("16/1x16x16 XBAR/2");
-    Curve light{"16/1x16x16 XBAR/2 light-load approx", {}};
-    for (double rho : rhoGrid()) {
-        const double lambda = lambdaAt(rho, mu_n, mu_s);
-        const auto lo = xbarLightLoad(cfg, lambda, mu_n, mu_s);
-        light.cells.push_back(cell(lo.normalizedDelay, lo.stable));
-    }
+    const auto light = analyticCurve(
+        "16/1x16x16 XBAR/2 light-load approx", "16/1x16x16 XBAR/2",
+        mu_n, mu_s, [&](double lambda) {
+            return xbarLightLoad(cfg, lambda, mu_n, mu_s);
+        });
     printCurves("Fig. 8 -- Section IV light-load approximation",
                 {light});
-    return 0;
+    return finishBench();
 }

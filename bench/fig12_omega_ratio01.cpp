@@ -30,17 +30,13 @@ main(int argc, char **argv)
     // multistage network).
     {
         const auto cfg = SystemConfig::parse("16/1x16x16 OMEGA/2");
-        Curve anchor{"16/1x16x16 OMEGA/2 light-load approx", {}};
-        for (double rho : rhoGrid()) {
-            const double lambda = lambdaAt(rho, mu_n, mu_s);
-            const auto sol =
-                multistageLightLoad(cfg, lambda, mu_n, mu_s);
-            anchor.cells.push_back(
-                cell(sol.normalizedDelay, sol.stable));
-        }
-        curves.push_back(std::move(anchor));
+        curves.push_back(analyticCurve(
+            "16/1x16x16 OMEGA/2 light-load approx",
+            "16/1x16x16 OMEGA/2", mu_n, mu_s, [&](double lambda) {
+                return multistageLightLoad(cfg, lambda, mu_n, mu_s);
+            }));
     }
     printCurves("Fig. 12 -- OMEGA normalized delay, mu_s/mu_n = 0.1",
                 curves);
-    return 0;
+    return finishBench();
 }

@@ -29,5 +29,5 @@ main(int argc, char **argv)
     // The indirect binary n-cube wiring as an extension data point.
     printCurves("Fig. 13 extension -- indirect binary n-cube wiring",
                 {simulatedCurve("16/1x16x16 CUBE/2", mu_n, mu_s)});
-    return 0;
+    return finishBench();
 }

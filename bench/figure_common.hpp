@@ -12,8 +12,17 @@
  * rates at a given rho, as in the paper's figures; configurations with
  * more resources (e.g. private buses with r = 3, 4) are simply better
  * provisioned at the same offered load.
+ *
+ * Observability: every table point a bench prints is also appended to
+ * a process-wide obs::RunLog as a structured RunRecord (per
+ * replication plus the aggregate backing the cell).  The shared flags
+ * --out PATH / --format json|csv write the log as one artifact at
+ * finishBench(); --progress streams a live cell counter to stderr
+ * during parallel sweeps.
  */
 
+#include <chrono>
+#include <cmath>
 #include <cstdio>
 #include <iostream>
 #include <memory>
@@ -25,40 +34,94 @@
 #include "common/text.hpp"
 #include "exec/sweep_runner.hpp"
 #include "exec/thread_pool.hpp"
+#include "obs/run_log.hpp"
 #include "rsin/analysis.hpp"
 #include "rsin/factory.hpp"
 
 namespace rsin {
 namespace bench {
 
-/** Process-wide worker pool shared by every simulated curve. */
-inline std::unique_ptr<exec::ThreadPool> &
-poolStorage()
+/** Process-wide bench state: worker pool, run log, artifact options. */
+struct BenchContext
 {
-    static std::unique_ptr<exec::ThreadPool> pool;
-    return pool;
+    std::unique_ptr<exec::ThreadPool> pool;
+    std::unique_ptr<exec::SweepObserver> observer;
+    obs::RunLog log;
+    std::string out;                       ///< artifact path; "" = none
+    obs::Format format = obs::Format::Json;
+    std::chrono::steady_clock::time_point start;
+};
+
+inline BenchContext &
+benchContext()
+{
+    static BenchContext ctx;
+    return ctx;
 }
 
 /** The bench pool, or nullptr when running serially. */
 inline exec::ThreadPool *
 sweepPool()
 {
-    return poolStorage().get();
+    return benchContext().pool.get();
+}
+
+/** The bench's run log (always collecting; --out decides emission). */
+inline obs::RunLog &
+runLog()
+{
+    return benchContext().log;
 }
 
 /**
- * Parse the common bench options (--jobs N; 0 or absent means one
- * worker per hardware thread) and size the sweep pool.  Cell results
- * are seed-deterministic, so the jobs count changes wall-clock time
- * only, never a table cell.
+ * Parse the common bench options and size the sweep pool:
+ *   --jobs N        worker count (0 or absent: one per hardware thread)
+ *   --out PATH      write the collected run records to PATH at exit
+ *   --format F      artifact format, json (default) or csv
+ *   --progress      live cells-done line on stderr during sweeps
+ * Cell results are seed-deterministic, so none of these change a
+ * table cell, only wall-clock time and side artifacts.
  */
 inline void
 initBench(int argc, const char *const *argv)
 {
-    const ArgParser args(argc, argv, {}, {"jobs"});
+    const ArgParser args(argc, argv, {"progress"},
+                         {"jobs", "out", "format"});
+    auto &ctx = benchContext();
     const std::size_t jobs = args.getJobs();
     if (jobs > 1)
-        poolStorage() = std::make_unique<exec::ThreadPool>(jobs);
+        ctx.pool = std::make_unique<exec::ThreadPool>(jobs);
+    ctx.out = args.get("out");
+    ctx.format = obs::parseFormat(args.get("format", "json"));
+    std::string bench = args.program();
+    const auto slash = bench.find_last_of('/');
+    if (slash != std::string::npos)
+        bench = bench.substr(slash + 1);
+    ctx.log.setBench(bench);
+    ctx.observer = std::make_unique<exec::SweepObserver>(
+        bench, args.flag("progress") ? &std::cerr : nullptr);
+    ctx.start = std::chrono::steady_clock::now();
+}
+
+/**
+ * Flush the run log to --out (if given) and return main()'s exit
+ * status.  Call as the last statement of every bench main().
+ */
+inline int
+finishBench()
+{
+    auto &ctx = benchContext();
+    if (ctx.observer) {
+        const std::chrono::duration<double> wall =
+            std::chrono::steady_clock::now() - ctx.start;
+        ctx.log.noteSweep(ctx.observer->stats(), wall.count());
+    }
+    if (!ctx.out.empty()) {
+        ctx.log.writeFile(ctx.out, ctx.format);
+        std::cerr << "wrote " << ctx.log.size() << " run records to "
+                  << ctx.out << "\n";
+    }
+    return 0;
 }
 
 /** The rho sweep used by all delay figures. */
@@ -68,10 +131,15 @@ rhoGrid()
     return {0.10, 0.20, 0.30, 0.40, 0.50, 0.60, 0.70, 0.80, 0.90};
 }
 
-/** Format a normalized delay cell; saturated points print "inf". */
+/**
+ * Format a normalized delay cell; saturated points print "inf",
+ * no-data points (NaN) print "n/a" instead of leaking "nan".
+ */
 inline std::string
 cell(double normalized_delay, bool stable)
 {
+    if (std::isnan(normalized_delay))
+        return "n/a";
     if (!stable || normalized_delay > 1e6)
         return "inf";
     return formatf("%.4f", normalized_delay);
@@ -98,18 +166,75 @@ lambdaAt(double rho, double mu_n, double mu_s)
     return lambdaForRho(normalizationBase(), rho, mu_n, mu_s);
 }
 
+/** Append one record for a table point to the bench run log. */
+inline void
+logPoint(const std::string &curve, const std::string &config,
+         obs::RecordKind kind, double rho, double lambda, double mu_n,
+         double mu_s, std::uint64_t seed, int replication,
+         const SimResult &result, double wall_seconds,
+         std::string display)
+{
+    obs::RunRecord rec;
+    rec.curve = curve;
+    rec.config = config;
+    rec.kind = kind;
+    rec.rho = rho;
+    rec.lambda = lambda;
+    rec.muN = mu_n;
+    rec.muS = mu_s;
+    rec.seed = seed;
+    rec.replication = replication;
+    rec.display = std::move(display);
+    rec.wallSeconds = wall_seconds;
+    rec.result = result;
+    runLog().add(std::move(rec));
+}
+
+/** SimResult view of an analytic solver point, for the run log. */
+inline SimResult
+analyticResult(bool stable, double queueing_delay,
+               double normalized_delay)
+{
+    SimResult res;
+    res.status = stable ? RunStatus::Ok : RunStatus::Saturated;
+    res.saturated = !stable;
+    res.meanDelay = queueing_delay;
+    res.normalizedDelay = normalized_delay;
+    return res;
+}
+
+/**
+ * Build a Curve from any analytic solver closure (lambda ->
+ * markov::SbusSolution), logging each point as an Analytic record.
+ */
+template <typename Solver>
+inline Curve
+analyticCurve(const std::string &name, const std::string &config_text,
+              double mu_n, double mu_s, Solver &&solve)
+{
+    Curve curve{name, {}};
+    for (double rho : rhoGrid()) {
+        const double lambda = lambdaAt(rho, mu_n, mu_s);
+        const markov::SbusSolution sol = solve(lambda);
+        curve.cells.push_back(cell(sol.normalizedDelay, sol.stable));
+        logPoint(name, config_text, obs::RecordKind::Analytic, rho,
+                 lambda, mu_n, mu_s, 0, -1,
+                 analyticResult(sol.stable, sol.queueingDelay,
+                                sol.normalizedDelay),
+                 0.0, curve.cells.back());
+    }
+    return curve;
+}
+
 /** Analytic SBUS curve (matrix-geometric solver). */
 inline Curve
 sbusAnalyticCurve(const std::string &config_text, double mu_n, double mu_s)
 {
     const auto cfg = SystemConfig::parse(config_text);
-    Curve curve{config_text + " (analytic)", {}};
-    for (double rho : rhoGrid()) {
-        const double lambda = lambdaAt(rho, mu_n, mu_s);
-        const auto sol = analyzeSbus(cfg, lambda, mu_n, mu_s);
-        curve.cells.push_back(cell(sol.normalizedDelay, sol.stable));
-    }
-    return curve;
+    return analyticCurve(config_text + " (analytic)", config_text, mu_n,
+                         mu_s, [&](double lambda) {
+                             return analyzeSbus(cfg, lambda, mu_n, mu_s);
+                         });
 }
 
 /** M/M/1 curve for a private bus with unlimited resources. */
@@ -117,13 +242,12 @@ inline Curve
 privateBusInfinityCurve(double mu_n, double mu_s)
 {
     const auto cfg = SystemConfig::parse("16/16x1x1 SBUS/1");
-    Curve curve{"16/16x1x1 SBUS/inf (M/M/1)", {}};
-    for (double rho : rhoGrid()) {
-        const double lambda = lambdaAt(rho, mu_n, mu_s);
-        const auto sol = privateBusUnlimited(cfg, lambda, mu_n, mu_s);
-        curve.cells.push_back(cell(sol.normalizedDelay, sol.stable));
-    }
-    return curve;
+    return analyticCurve("16/16x1x1 SBUS/inf (M/M/1)",
+                         "16/16x1x1 SBUS/inf", mu_n, mu_s,
+                         [&](double lambda) {
+                             return privateBusUnlimited(cfg, lambda,
+                                                        mu_n, mu_s);
+                         });
 }
 
 /**
@@ -131,6 +255,8 @@ privateBusInfinityCurve(double mu_n, double mu_s)
  * cell is an independent run whose seed depends only on its grid
  * coordinates, so the cells fan out over the sweep pool and the table
  * is identical at any --jobs setting (and to the old serial loop).
+ * Each replication and the per-point aggregate are appended to the
+ * bench run log; the aggregate's display string IS the table cell.
  */
 inline Curve
 simulatedCurve(const std::string &config_text, double mu_n, double mu_s,
@@ -151,7 +277,9 @@ simulatedCurve(const std::string &config_text, double mu_n, double mu_s,
         seeds[p] = replicationSeeds(base_seed + p, replications);
     }
     std::vector<SimResult> runs(grid.size() * replications);
-    const exec::SweepRunner runner(sweepPool());
+    std::vector<double> wall(grid.size() * replications, 0.0);
+    const exec::SweepRunner runner(sweepPool(),
+                                   benchContext().observer.get());
     runner.run(1, grid.size(), replications, base_seed,
                [&](const exec::SweepCell &sweep_cell) {
                    SimOptions opts;
@@ -159,16 +287,34 @@ simulatedCurve(const std::string &config_text, double mu_n, double mu_s,
                        seeds[sweep_cell.point][sweep_cell.replication];
                    opts.warmupTasks = measure_tasks / 10;
                    opts.measureTasks = measure_tasks;
+                   const auto start = std::chrono::steady_clock::now();
                    runs[sweep_cell.flat] =
                        simulate(cfg, params[sweep_cell.point], opts, model);
+                   const std::chrono::duration<double> dt =
+                       std::chrono::steady_clock::now() - start;
+                   wall[sweep_cell.flat] = dt.count();
                });
     for (std::size_t p = 0; p < grid.size(); ++p) {
+        double point_wall = 0.0;
+        for (std::size_t r = 0; r < replications; ++r) {
+            const auto &run = runs[p * replications + r];
+            logPoint(curve.name, config_text, obs::RecordKind::Run,
+                     grid[p], params[p].lambda, mu_n, mu_s, seeds[p][r],
+                     static_cast<int>(r), run,
+                     wall[p * replications + r],
+                     obs::displayValue(run, run.normalizedDelay));
+            point_wall += wall[p * replications + r];
+        }
         std::vector<SimResult> slice(
             runs.begin() + static_cast<std::ptrdiff_t>(p * replications),
             runs.begin() +
                 static_cast<std::ptrdiff_t>((p + 1) * replications));
         const auto res = aggregateReplications(std::move(slice), params[p]);
-        curve.cells.push_back(cell(res.normalizedDelay, !res.saturated));
+        std::string text = obs::displayValue(res, res.normalizedDelay);
+        logPoint(curve.name, config_text, obs::RecordKind::Aggregate,
+                 grid[p], params[p].lambda, mu_n, mu_s, 0, -1, res,
+                 point_wall, text);
+        curve.cells.push_back(std::move(text));
     }
     return curve;
 }

@@ -43,5 +43,5 @@ main(int argc, char **argv)
                    formatf("%zu", cfg.totalResources())});
     }
     costs.print(std::cout);
-    return 0;
+    return finishBench();
 }

@@ -7,14 +7,20 @@
  *   ./rsin_sweep "16/1x16x16 OMEGA/2" "16/1x16x16 XBAR/2" \
  *       --ratio 0.1 --rho-min 0.1 --rho-max 0.9 --steps 9 \
  *       --tasks 20000 --seed 7 --jobs 8 [--csv] [--analytic]
- *       [--response]
+ *       [--response] [--progress] [--out run.json] [--format json|csv]
  *
  * With --analytic, SBUS configurations are additionally solved with
  * the exact Markov model (matrix-geometric).  The (config, rho) cells
  * are independent simulations seeded from their grid coordinates, so
  * --jobs only changes wall-clock time, never a printed value.
+ *
+ * Cells whose run produced no post-warmup observations (truncated or
+ * no-data status) print "n/a" -- distinct from "inf", which means the
+ * run was detected as saturated.  --out writes every cell as a
+ * structured run record (see docs/OBSERVABILITY.md).
  */
 
+#include <chrono>
 #include <cstdint>
 #include <iostream>
 #include <memory>
@@ -27,6 +33,7 @@
 #include "common/text.hpp"
 #include "exec/sweep_runner.hpp"
 #include "exec/thread_pool.hpp"
+#include "obs/run_log.hpp"
 #include "rsin/analysis.hpp"
 #include "rsin/factory.hpp"
 
@@ -36,9 +43,10 @@ main(int argc, char **argv)
     using namespace rsin;
     try {
         const ArgParser args(
-            argc, argv, {"csv", "analytic", "response", "help"},
+            argc, argv,
+            {"csv", "analytic", "response", "progress", "help"},
             {"ratio", "rho-min", "rho-max", "steps", "tasks", "seed",
-             "mu-n", "jobs"});
+             "mu-n", "jobs", "out", "format"});
         if (args.flag("help") || args.positional().empty()) {
             std::cout
                 << "usage: " << args.program()
@@ -46,10 +54,13 @@ main(int argc, char **argv)
                    " [--rho-max B]\n"
                    "       [--steps N] [--tasks N] [--seed S] [--mu-n M]"
                    " [--jobs J] [--csv] [--analytic] [--response]\n"
+                   "       [--progress] [--out PATH] [--format json|csv]\n"
                    "CONFIG uses the paper notation, e.g."
                    " '16/1x16x16 OMEGA/2'.\n"
                    "--jobs 0 (the default) uses every hardware"
-                   " thread.\n";
+                   " thread.\n"
+                   "--out writes every cell as a structured run record"
+                   " (json or csv).\n";
             return args.flag("help") ? 0 : 1;
         }
 
@@ -66,6 +77,9 @@ main(int argc, char **argv)
         const bool csv = args.flag("csv");
         const bool response = args.flag("response");
         const std::size_t jobs = args.getJobs();
+        const std::string out = args.get("out");
+        const obs::Format out_format =
+            obs::parseFormat(args.get("format", "json"));
         RSIN_REQUIRE(steps >= 1, "need at least one sweep step");
         RSIN_REQUIRE(rho_max >= rho_min, "rho-max must be >= rho-min");
 
@@ -80,6 +94,12 @@ main(int argc, char **argv)
                                               static_cast<double>(steps - 1);
         };
 
+        const auto start = std::chrono::steady_clock::now();
+        obs::RunLog log;
+        log.setBench("rsin_sweep");
+        exec::SweepObserver observer(
+            "rsin_sweep", args.flag("progress") ? &std::cerr : nullptr);
+
         // Simulate every (config, rho) cell up front, fanned out over
         // the worker pool; printing below then only reads results.
         std::unique_ptr<exec::ThreadPool> pool;
@@ -87,7 +107,8 @@ main(int argc, char **argv)
             pool = std::make_unique<exec::ThreadPool>(jobs);
         const auto cells = static_cast<std::size_t>(steps);
         std::vector<SimResult> results(configs.size() * cells);
-        const exec::SweepRunner runner(pool.get());
+        std::vector<double> wall(configs.size() * cells, 0.0);
+        const exec::SweepRunner runner(pool.get(), &observer);
         runner.run(configs.size(), cells, 1, seed,
                    [&](const exec::SweepCell &sweep_cell) {
                        workload::WorkloadParams params;
@@ -102,9 +123,13 @@ main(int argc, char **argv)
                                               sweep_cell.point);
                        opts.warmupTasks = tasks / 10;
                        opts.measureTasks = tasks;
+                       const auto t0 = std::chrono::steady_clock::now();
                        results[sweep_cell.flat] =
                            simulate(configs[sweep_cell.config], params,
                                     opts);
+                       const std::chrono::duration<double> dt =
+                           std::chrono::steady_clock::now() - t0;
+                       wall[sweep_cell.flat] = dt.count();
                    });
 
         std::vector<std::string> head{"rho"};
@@ -125,14 +150,31 @@ main(int argc, char **argv)
             for (std::size_t c = 0; c < configs.size(); ++c) {
                 const auto &cfg = configs[c];
                 const double lambda = lambdaForRho(cfg, rho, mu_n, mu_s);
-                const auto &res =
-                    results[c * cells + static_cast<std::size_t>(step)];
-                if (res.saturated) {
-                    row.push_back("inf");
-                } else {
-                    row.push_back(formatf(
-                        "%.5f", response ? res.meanResponse
-                                         : res.normalizedDelay));
+                const auto flat =
+                    c * cells + static_cast<std::size_t>(step);
+                const auto &res = results[flat];
+                // Saturated -> "inf"; truncated / no-data -> "n/a" (a
+                // run that completed nothing is not a zero delay).
+                row.push_back(obs::displayValue(
+                    res,
+                    response ? res.meanResponse : res.normalizedDelay,
+                    "%.5f"));
+                {
+                    obs::RunRecord rec;
+                    rec.curve = cfg.str();
+                    rec.config = cfg.str();
+                    rec.kind = obs::RecordKind::Run;
+                    rec.rho = rho;
+                    rec.lambda = lambda;
+                    rec.muN = mu_n;
+                    rec.muS = mu_s;
+                    rec.seed =
+                        seed + static_cast<std::uint64_t>(step);
+                    rec.replication = 0;
+                    rec.display = row.back();
+                    rec.wallSeconds = wall[flat];
+                    rec.result = res;
+                    log.add(std::move(rec));
                 }
                 if (args.flag("analytic") &&
                     cfg.network == NetworkClass::SingleBus) {
@@ -143,6 +185,23 @@ main(int argc, char **argv)
                                       ? formatf("%.5f",
                                                 sol.normalizedDelay)
                                       : "inf");
+                    obs::RunRecord rec;
+                    rec.curve = cfg.str() + " (analytic)";
+                    rec.config = cfg.str();
+                    rec.kind = obs::RecordKind::Analytic;
+                    rec.rho = rho;
+                    rec.lambda = lambda;
+                    rec.muN = mu_n;
+                    rec.muS = mu_s;
+                    rec.replication = -1;
+                    rec.display = row.back();
+                    rec.result.status = sol.stable
+                                            ? RunStatus::Ok
+                                            : RunStatus::Saturated;
+                    rec.result.saturated = !sol.stable;
+                    rec.result.meanDelay = sol.queueingDelay;
+                    rec.result.normalizedDelay = sol.normalizedDelay;
+                    log.add(std::move(rec));
                 }
             }
             if (csv)
@@ -162,6 +221,15 @@ main(int argc, char **argv)
             }
         } else {
             table.print(std::cout);
+        }
+
+        if (!out.empty()) {
+            const std::chrono::duration<double> elapsed =
+                std::chrono::steady_clock::now() - start;
+            log.noteSweep(observer.stats(), elapsed.count());
+            log.writeFile(out, out_format);
+            std::cerr << "wrote " << log.size() << " run records to "
+                      << out << "\n";
         }
     } catch (const FatalError &e) {
         std::cerr << e.what() << "\n";

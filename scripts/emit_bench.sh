@@ -1,0 +1,59 @@
+#!/usr/bin/env sh
+# Run the instrumented figure benches and collect their structured run
+# records into one directory of JSON artifacts (plus a combined file),
+# ready for plotting or regression diffing.  Every artifact's per-point
+# "display" field equals the table cell the bench printed.
+#
+# Usage: ./scripts/emit_bench.sh [outdir] [--jobs N]
+#   outdir  destination directory (default: bench-artifacts/)
+# Extra arguments after outdir are passed through to every bench.
+set -eu
+
+repo=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
+build="$repo/build"
+outdir="${1:-bench-artifacts}"
+[ $# -gt 0 ] && shift
+
+if [ ! -d "$build/bench" ]; then
+    echo "error: $build/bench not found; build the repo first:" >&2
+    echo "  cmake -B build -S . && cmake --build build -j" >&2
+    exit 1
+fi
+
+mkdir -p "$outdir"
+
+benches="fig04_sbus_ratio01 fig05_sbus_ratio10 fig07_xbar_ratio01 \
+         fig08_xbar_ratio10 fig12_omega_ratio01 fig13_omega_ratio10 \
+         section6_comparison ablation_policies"
+
+status=0
+for b in $benches; do
+    exe="$build/bench/$b"
+    if [ ! -x "$exe" ]; then
+        echo "skip: $b (not built)" >&2
+        continue
+    fi
+    echo "== $b =="
+    if ! "$exe" --out "$outdir/$b.json" --format json "$@" \
+        > "$outdir/$b.txt"; then
+        echo "FAILED: $b" >&2
+        status=1
+    fi
+done
+
+# One combined artifact: a JSON array of the per-bench documents.
+combined="$outdir/all_benches.json"
+{
+    printf '[\n'
+    first=1
+    for b in $benches; do
+        [ -f "$outdir/$b.json" ] || continue
+        [ $first -eq 1 ] || printf ',\n'
+        first=0
+        cat "$outdir/$b.json"
+    done
+    printf ']\n'
+} > "$combined"
+
+echo "artifacts in $outdir/ (combined: $combined)"
+exit $status

@@ -85,6 +85,10 @@ ArgParser::getLong(const std::string &name, long fallback) const
 std::size_t
 ArgParser::resolveJobs(long jobs)
 {
+    // Negative counts must not silently fall through (or, for callers
+    // that cast, wrap through std::size_t into an absurd pool size).
+    RSIN_REQUIRE(jobs >= 0, "jobs count must be >= 0 "
+                 "(0 means all hardware threads), got ", jobs);
     if (jobs > 0)
         return static_cast<std::size_t>(jobs);
     const unsigned hw = std::thread::hardware_concurrency();

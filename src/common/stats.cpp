@@ -107,7 +107,11 @@ TimeWeighted::finish(double now)
 double
 TimeWeighted::average() const
 {
-    return totalTime_ > 0.0 ? weightedSum_ / totalTime_ : 0.0;
+    // NaN, not 0: a window that never accumulated time has no average,
+    // and a fake 0 reads as "the queue was always empty" downstream.
+    if (totalTime_ <= 0.0)
+        return std::numeric_limits<double>::quiet_NaN();
+    return weightedSum_ / totalTime_;
 }
 
 void

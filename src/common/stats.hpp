@@ -77,7 +77,7 @@ class TimeWeighted
     /** Close the window at time @p now without changing the value. */
     void finish(double now);
 
-    /** Time-averaged value over the observed window. */
+    /** Time-averaged value; NaN when no time was observed. */
     double average() const;
 
     /** Total observed time. */

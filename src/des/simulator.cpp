@@ -250,6 +250,7 @@ Simulator::cancel(EventHandle &handle)
         cancelledAt(handle.slot_) = 1;
         --live_;
         ++cancelledParked_;
+        ++cancelledTotal_;
     }
 }
 

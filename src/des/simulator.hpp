@@ -42,6 +42,20 @@
 namespace rsin {
 namespace des {
 
+/**
+ * Lifetime counters of one Simulator, cheap enough to keep always on.
+ * Surfaced through SimResult/RunRecord so every emitted run artifact
+ * carries the kernel-side story of the run (how much work the calendar
+ * did and how much arena memory it grew to).
+ */
+struct KernelCounters
+{
+    std::uint64_t scheduled = 0; ///< schedule()/scheduleAt() calls
+    std::uint64_t fired = 0;     ///< events invoked
+    std::uint64_t cancelled = 0; ///< cancel() calls that hit a pending event
+    std::uint64_t arenaBytes = 0; ///< callback-slot storage high-water mark
+};
+
 namespace detail {
 
 /** Type-erased operations on a stored event callback. */
@@ -146,6 +160,15 @@ class SlotArena
     }
 
     std::uint32_t count() const { return count_; }
+
+    /** Bytes held by slot buffers plus per-slot metadata. */
+    std::size_t
+    bytes() const
+    {
+        return chunks_.size() * kChunkSlots * sizeof(Buf) +
+               count_ * (sizeof(std::uint64_t) + sizeof(const EventOps *) +
+                         sizeof(std::uint8_t));
+    }
 
     std::uint64_t &seq(std::uint32_t index) { return seq_[index]; }
     std::uint64_t seq(std::uint32_t index) const { return seq_[index]; }
@@ -315,6 +338,24 @@ class Simulator
     /** Total events fired so far (throughput metric for benches). */
     std::uint64_t fired() const { return fired_; }
 
+    /** Total schedule()/scheduleAt() calls so far. */
+    std::uint64_t scheduled() const { return nextSeq_; }
+
+    /** Total cancel() calls that actually cancelled a pending event. */
+    std::uint64_t cancelled() const { return cancelledTotal_; }
+
+    /** Snapshot of the lifetime kernel counters. */
+    KernelCounters
+    counters() const
+    {
+        KernelCounters c;
+        c.scheduled = nextSeq_;
+        c.fired = fired_;
+        c.cancelled = cancelledTotal_;
+        c.arenaBytes = small_.bytes() + large_.bytes();
+        return c;
+    }
+
     /** Arena capacity in slots (observability for tests/benches). */
     std::size_t
     slotCapacity() const
@@ -438,6 +479,7 @@ class Simulator
     double now_ = 0.0;
     std::uint64_t nextSeq_ = 0;
     std::uint64_t fired_ = 0;
+    std::uint64_t cancelledTotal_ = 0;
     std::size_t live_ = 0;
     /** Cancelled entries still parked in the calendar (lazy deletion). */
     std::size_t cancelledParked_ = 0;

@@ -1,5 +1,8 @@
 #include "sweep_runner.hpp"
 
+#include <chrono>
+#include <ostream>
+
 #include "common/rng.hpp"
 
 namespace rsin {
@@ -20,12 +23,60 @@ cellSeed(std::uint64_t baseSeed, std::size_t config, std::size_t point,
     return splitmix64(state);
 }
 
+SweepObserver::SweepObserver(std::string label,
+                             std::ostream *progress_stream)
+    : label_(std::move(label)), progress_(progress_stream)
+{
+}
+
+void
+SweepObserver::addWork(std::size_t cells)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    total_ += cells;
+}
+
+void
+SweepObserver::cellDone(const SweepCell &, double seconds)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++stats_.cellsDone;
+    stats_.cellSecondsTotal += seconds;
+    if (seconds > stats_.cellSecondsMax)
+        stats_.cellSecondsMax = seconds;
+    if (progress_) {
+        // One carriage-returned line; a newline only once the last
+        // announced cell lands, so logs stay single-line per sweep.
+        *progress_ << "\r" << label_ << ": " << stats_.cellsDone << "/"
+                   << total_ << " cells";
+        if (stats_.cellsDone >= total_)
+            *progress_ << "\n";
+        progress_->flush();
+    }
+}
+
+SweepStats
+SweepObserver::stats() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return stats_;
+}
+
+std::size_t
+SweepObserver::totalCells() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return total_;
+}
+
 void
 SweepRunner::run(std::size_t configs, std::size_t points,
                  std::size_t replications, std::uint64_t baseSeed,
                  const std::function<void(const SweepCell &)> &fn) const
 {
     const std::size_t total = configs * points * replications;
+    if (observer_)
+        observer_->addWork(total);
     const auto runCell = [&](std::size_t flat) {
         SweepCell cell;
         cell.flat = flat;
@@ -34,7 +85,15 @@ SweepRunner::run(std::size_t configs, std::size_t points,
         cell.config = flat / (replications * points);
         cell.seed =
             cellSeed(baseSeed, cell.config, cell.point, cell.replication);
-        fn(cell);
+        if (observer_) {
+            const auto start = std::chrono::steady_clock::now();
+            fn(cell);
+            const std::chrono::duration<double> elapsed =
+                std::chrono::steady_clock::now() - start;
+            observer_->cellDone(cell, elapsed.count());
+        } else {
+            fn(cell);
+        }
     };
     if (parallel()) {
         pool_->parallelFor(total, runCell);

@@ -17,6 +17,9 @@
 #include <cstddef>
 #include <cstdint>
 #include <functional>
+#include <iosfwd>
+#include <mutex>
+#include <string>
 
 #include "exec/thread_pool.hpp"
 
@@ -42,12 +45,66 @@ struct SweepCell
 std::uint64_t cellSeed(std::uint64_t baseSeed, std::size_t config,
                        std::size_t point, std::size_t replication);
 
+/** Aggregate work counters of one or more sweep grids. */
+struct SweepStats
+{
+    std::size_t cellsDone = 0;        ///< cells completed so far
+    double cellSecondsTotal = 0.0;    ///< summed per-cell wall time
+    double cellSecondsMax = 0.0;      ///< slowest single cell
+};
+
+/**
+ * Thread-safe sweep-side observability: counts finished cells and
+ * their wall time, and (opt-in) prints a live progress line while a
+ * parallel sweep runs.  Attach one observer to a SweepRunner; the
+ * runner times every cell and reports it here.  One observer may
+ * outlive many runner.run() calls and accumulates across them.
+ */
+class SweepObserver
+{
+  public:
+    /**
+     * @param label prefix of the progress line (e.g. the curve name)
+     * @param progress_stream stream for the live progress line, or
+     *        nullptr for silent counting (stats only)
+     */
+    explicit SweepObserver(std::string label = "sweep",
+                           std::ostream *progress_stream = nullptr);
+
+    /** Announce @p cells more cells of upcoming work. */
+    void addWork(std::size_t cells);
+
+    /** Record one finished cell and its wall time (thread-safe). */
+    void cellDone(const SweepCell &cell, double seconds);
+
+    /** Snapshot of the counters (thread-safe). */
+    SweepStats stats() const;
+
+    /** Total cells announced via addWork. */
+    std::size_t totalCells() const;
+
+  private:
+    mutable std::mutex mutex_;
+    std::string label_;
+    std::ostream *progress_; ///< nullptr disables the progress line
+    std::size_t total_ = 0;
+    SweepStats stats_;
+};
+
 /** Runs sweep grids over a ThreadPool (or serially without one). */
 class SweepRunner
 {
   public:
-    /** @param pool worker pool; nullptr runs cells serially in-place. */
-    explicit SweepRunner(ThreadPool *pool) : pool_(pool) {}
+    /**
+     * @param pool worker pool; nullptr runs cells serially in-place.
+     * @param observer optional progress/work-counter sink; when set,
+     *        every cell is timed and reported to it.
+     */
+    explicit SweepRunner(ThreadPool *pool,
+                         SweepObserver *observer = nullptr)
+        : pool_(pool), observer_(observer)
+    {
+    }
 
     /**
      * Invoke @p fn once per cell of a configs x points x replications
@@ -65,6 +122,7 @@ class SweepRunner
 
   private:
     ThreadPool *pool_;
+    SweepObserver *observer_;
 };
 
 } // namespace exec

@@ -1,0 +1,201 @@
+#include "json.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/text.hpp"
+
+namespace rsin {
+namespace obs {
+
+std::string
+escapeJson(std::string_view s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (const char c : s) {
+        switch (c) {
+          case '"':
+            out += "\\\"";
+            break;
+          case '\\':
+            out += "\\\\";
+            break;
+          case '\b':
+            out += "\\b";
+            break;
+          case '\f':
+            out += "\\f";
+            break;
+          case '\n':
+            out += "\\n";
+            break;
+          case '\r':
+            out += "\\r";
+            break;
+          case '\t':
+            out += "\\t";
+            break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20)
+                out += formatf("\\u%04x", c);
+            else
+                out += c;
+        }
+    }
+    return out;
+}
+
+std::string
+jsonNumber(double value)
+{
+    if (!std::isfinite(value))
+        return "null";
+    return formatf("%.17g", value);
+}
+
+JsonWriter::JsonWriter(std::ostream &os, int indent)
+    : os_(os), indent_(indent)
+{
+}
+
+JsonWriter::~JsonWriter()
+{
+    RSIN_ASSERT(stack_.empty(), "JsonWriter: unclosed container");
+}
+
+void
+JsonWriter::newline()
+{
+    if (indent_ <= 0)
+        return;
+    os_ << '\n';
+    for (std::size_t i = 0; i < stack_.size(); ++i)
+        for (int s = 0; s < indent_; ++s)
+            os_ << ' ';
+}
+
+void
+JsonWriter::beforeValue()
+{
+    if (stack_.empty()) {
+        RSIN_ASSERT(!keyPending_, "JsonWriter: key outside object");
+        return;
+    }
+    auto &[scope, has_elements] = stack_.back();
+    if (scope == Scope::Object) {
+        RSIN_ASSERT(keyPending_, "JsonWriter: object value needs a key");
+        keyPending_ = false;
+    } else {
+        if (has_elements)
+            os_ << ',';
+        newline();
+    }
+    has_elements = true;
+}
+
+void
+JsonWriter::beforeContainer(Scope scope)
+{
+    beforeValue();
+    stack_.emplace_back(scope, false);
+}
+
+void
+JsonWriter::beginObject()
+{
+    beforeContainer(Scope::Object);
+    os_ << '{';
+}
+
+void
+JsonWriter::endObject()
+{
+    RSIN_ASSERT(!stack_.empty() && stack_.back().first == Scope::Object &&
+                    !keyPending_,
+                "JsonWriter: mismatched endObject");
+    const bool had = stack_.back().second;
+    stack_.pop_back();
+    if (had)
+        newline();
+    os_ << '}';
+}
+
+void
+JsonWriter::beginArray()
+{
+    beforeContainer(Scope::Array);
+    os_ << '[';
+}
+
+void
+JsonWriter::endArray()
+{
+    RSIN_ASSERT(!stack_.empty() && stack_.back().first == Scope::Array,
+                "JsonWriter: mismatched endArray");
+    const bool had = stack_.back().second;
+    stack_.pop_back();
+    if (had)
+        newline();
+    os_ << ']';
+}
+
+void
+JsonWriter::key(std::string_view name)
+{
+    RSIN_ASSERT(!stack_.empty() && stack_.back().first == Scope::Object &&
+                    !keyPending_,
+                "JsonWriter: key outside object");
+    if (stack_.back().second)
+        os_ << ',';
+    newline();
+    os_ << '"' << escapeJson(name) << "\":";
+    if (indent_ > 0)
+        os_ << ' ';
+    keyPending_ = true;
+}
+
+void
+JsonWriter::value(std::string_view text)
+{
+    beforeValue();
+    os_ << '"' << escapeJson(text) << '"';
+}
+
+void
+JsonWriter::value(double number)
+{
+    beforeValue();
+    os_ << jsonNumber(number);
+}
+
+void
+JsonWriter::value(std::uint64_t number)
+{
+    beforeValue();
+    os_ << number;
+}
+
+void
+JsonWriter::value(std::int64_t number)
+{
+    beforeValue();
+    os_ << number;
+}
+
+void
+JsonWriter::value(bool flag)
+{
+    beforeValue();
+    os_ << (flag ? "true" : "false");
+}
+
+void
+JsonWriter::null()
+{
+    beforeValue();
+    os_ << "null";
+}
+
+} // namespace obs
+} // namespace rsin

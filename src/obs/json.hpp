@@ -1,0 +1,86 @@
+#pragma once
+
+/**
+ * @file
+ * Minimal dependency-free JSON emission for the observability layer.
+ *
+ * JsonWriter is a streaming writer: begin/end containers, key(), and
+ * typed value() calls; commas, quoting and indentation are handled
+ * here so callers cannot produce malformed documents by construction
+ * (nesting errors panic in test builds).  Doubles are printed with 17
+ * significant digits so every finite value round-trips bit-exactly;
+ * NaN and infinities -- which JSON cannot represent as numbers -- are
+ * emitted as null (run records carry an explicit status field, so no
+ * information is lost).
+ */
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace rsin {
+namespace obs {
+
+/** Escape a string for inclusion inside JSON quotes (no outer quotes). */
+std::string escapeJson(std::string_view s);
+
+/** Render a double as a JSON token: %.17g, or "null" if non-finite. */
+std::string jsonNumber(double value);
+
+/** Streaming JSON writer with automatic commas and indentation. */
+class JsonWriter
+{
+  public:
+    /** @param indent spaces per nesting level; 0 writes compact JSON. */
+    explicit JsonWriter(std::ostream &os, int indent = 2);
+
+    /** Emitting must have reached depth zero again by destruction. */
+    ~JsonWriter();
+
+    JsonWriter(const JsonWriter &) = delete;
+    JsonWriter &operator=(const JsonWriter &) = delete;
+
+    void beginObject();
+    void endObject();
+    void beginArray();
+    void endArray();
+
+    /** Emit an object key; must be followed by a value or container. */
+    void key(std::string_view name);
+
+    void value(std::string_view text);
+    void value(const char *text) { value(std::string_view(text)); }
+    void value(double number);
+    void value(std::uint64_t number);
+    void value(std::int64_t number);
+    void value(int number) { value(static_cast<std::int64_t>(number)); }
+    void value(bool flag);
+    void null();
+
+    /** key() + value() in one call. */
+    template <typename T>
+    void
+    field(std::string_view name, T v)
+    {
+        key(name);
+        value(v);
+    }
+
+  private:
+    enum class Scope : std::uint8_t { Object, Array };
+
+    void beforeValue();
+    void beforeContainer(Scope scope);
+    void newline();
+
+    std::ostream &os_;
+    int indent_;
+    bool keyPending_ = false;
+    /** Per-open-container flag: has it emitted its first element yet? */
+    std::vector<std::pair<Scope, bool>> stack_;
+};
+
+} // namespace obs
+} // namespace rsin

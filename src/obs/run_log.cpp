@@ -1,0 +1,217 @@
+#include "run_log.hpp"
+
+#include <cmath>
+#include <fstream>
+#include <ostream>
+
+#include "common/error.hpp"
+#include "common/text.hpp"
+#include "obs/json.hpp"
+
+namespace rsin {
+namespace obs {
+
+namespace {
+
+/** Quote a CSV field per RFC 4180 when it needs it. */
+std::string
+csvField(const std::string &s)
+{
+    if (s.find_first_of(",\"\n\r") == std::string::npos)
+        return s;
+    std::string out = "\"";
+    for (const char c : s) {
+        if (c == '"')
+            out += "\"\"";
+        else
+            out += c;
+    }
+    out += "\"";
+    return out;
+}
+
+/** CSV rendering of a double: full precision, nan/inf as text. */
+std::string
+csvNumber(double v)
+{
+    if (std::isnan(v))
+        return "nan";
+    if (std::isinf(v))
+        return v > 0 ? "inf" : "-inf";
+    return formatf("%.17g", v);
+}
+
+} // namespace
+
+Format
+parseFormat(const std::string &name)
+{
+    if (name == "json")
+        return Format::Json;
+    if (name == "csv")
+        return Format::Csv;
+    RSIN_FATAL("--format expects 'json' or 'csv', got '", name, "'");
+}
+
+void
+RunLog::setBench(std::string name)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    bench_ = std::move(name);
+}
+
+void
+RunLog::add(RunRecord record)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    records_.push_back(std::move(record));
+}
+
+void
+RunLog::noteSweep(const exec::SweepStats &stats, double wall_seconds)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    sweep_ = stats;
+    sweepWallSeconds_ = wall_seconds;
+    haveSweep_ = true;
+}
+
+std::size_t
+RunLog::size() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return records_.size();
+}
+
+std::vector<RunRecord>
+RunLog::records() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return records_;
+}
+
+void
+RunLog::writeRecordJson(JsonWriter &w, const RunRecord &r) const
+{
+    w.beginObject();
+    w.field("curve", r.curve);
+    w.field("config", r.config);
+    w.field("kind", toString(r.kind));
+    w.field("rho", r.rho);
+    w.field("lambda", r.lambda);
+    w.field("mu_n", r.muN);
+    w.field("mu_s", r.muS);
+    w.field("seed", r.seed);
+    w.field("replication", r.replication);
+    w.field("status", toString(r.result.status));
+    w.field("display", r.display);
+    w.field("wall_seconds", r.wallSeconds);
+    w.key("result");
+    w.beginObject();
+    w.field("mean_delay", r.result.meanDelay);
+    w.field("delay_half_width", r.result.delayHalfWidth);
+    w.field("normalized_delay", r.result.normalizedDelay);
+    w.field("mean_response", r.result.meanResponse);
+    w.field("mean_routing_attempts", r.result.meanRoutingAttempts);
+    w.field("mean_boxes_traversed", r.result.meanBoxesTraversed);
+    w.field("delay_imbalance", r.result.delayImbalance);
+    w.field("time_avg_queue", r.result.timeAvgQueue);
+    w.field("delay_p95", r.result.delayP95);
+    w.field("delay_p99", r.result.delayP99);
+    w.field("fraction_no_wait", r.result.fractionNoWait);
+    w.field("completed_tasks", r.result.completedTasks);
+    w.field("counted_tasks", r.result.countedTasks);
+    w.field("rejections", r.result.rejections);
+    w.field("simulated_time", r.result.simulatedTime);
+    w.endObject();
+    w.key("kernel");
+    w.beginObject();
+    w.field("events_scheduled", r.result.kernel.scheduled);
+    w.field("events_fired", r.result.kernel.fired);
+    w.field("events_cancelled", r.result.kernel.cancelled);
+    w.field("arena_bytes", r.result.kernel.arenaBytes);
+    w.endObject();
+    w.endObject();
+}
+
+void
+RunLog::writeJson(std::ostream &os) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    JsonWriter w(os);
+    w.beginObject();
+    w.field("schema", "rsin.run_record.v1");
+    w.field("bench", bench_);
+    if (haveSweep_) {
+        w.key("sweep");
+        w.beginObject();
+        w.field("cells_done", std::uint64_t{sweep_.cellsDone});
+        w.field("cell_seconds_total", sweep_.cellSecondsTotal);
+        w.field("cell_seconds_max", sweep_.cellSecondsMax);
+        w.field("wall_seconds", sweepWallSeconds_);
+        w.endObject();
+    }
+    w.key("records");
+    w.beginArray();
+    for (const auto &r : records_)
+        writeRecordJson(w, r);
+    w.endArray();
+    w.endObject();
+    os << "\n";
+}
+
+void
+RunLog::writeCsv(std::ostream &os) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    os << "bench,curve,config,kind,rho,lambda,mu_n,mu_s,seed,"
+          "replication,status,display,wall_seconds,mean_delay,"
+          "delay_half_width,normalized_delay,mean_response,"
+          "mean_routing_attempts,mean_boxes_traversed,delay_imbalance,"
+          "time_avg_queue,delay_p95,delay_p99,fraction_no_wait,"
+          "completed_tasks,counted_tasks,rejections,simulated_time,"
+          "events_scheduled,events_fired,events_cancelled,arena_bytes\n";
+    for (const auto &r : records_) {
+        os << csvField(bench_) << ',' << csvField(r.curve) << ','
+           << csvField(r.config) << ',' << toString(r.kind) << ','
+           << csvNumber(r.rho) << ',' << csvNumber(r.lambda) << ','
+           << csvNumber(r.muN) << ',' << csvNumber(r.muS) << ','
+           << r.seed << ',' << r.replication << ','
+           << toString(r.result.status) << ',' << csvField(r.display)
+           << ',' << csvNumber(r.wallSeconds) << ','
+           << csvNumber(r.result.meanDelay) << ','
+           << csvNumber(r.result.delayHalfWidth) << ','
+           << csvNumber(r.result.normalizedDelay) << ','
+           << csvNumber(r.result.meanResponse) << ','
+           << csvNumber(r.result.meanRoutingAttempts) << ','
+           << csvNumber(r.result.meanBoxesTraversed) << ','
+           << csvNumber(r.result.delayImbalance) << ','
+           << csvNumber(r.result.timeAvgQueue) << ','
+           << csvNumber(r.result.delayP95) << ','
+           << csvNumber(r.result.delayP99) << ','
+           << csvNumber(r.result.fractionNoWait) << ','
+           << r.result.completedTasks << ',' << r.result.countedTasks
+           << ',' << r.result.rejections << ','
+           << csvNumber(r.result.simulatedTime) << ','
+           << r.result.kernel.scheduled << ',' << r.result.kernel.fired
+           << ',' << r.result.kernel.cancelled << ','
+           << r.result.kernel.arenaBytes << '\n';
+    }
+}
+
+void
+RunLog::writeFile(const std::string &path, Format format) const
+{
+    std::ofstream os(path);
+    RSIN_REQUIRE(os.good(), "RunLog: cannot open '", path,
+                 "' for writing");
+    if (format == Format::Json)
+        writeJson(os);
+    else
+        writeCsv(os);
+    os.flush();
+    RSIN_REQUIRE(os.good(), "RunLog: write to '", path, "' failed");
+}
+
+} // namespace obs
+} // namespace rsin

@@ -1,0 +1,76 @@
+#pragma once
+
+/**
+ * @file
+ * RunLog: collects RunRecords across a sweep and writes one structured
+ * artifact per bench -- JSON (nested, self-describing, schema tag
+ * "rsin.run_record.v1") or CSV (flat, one row per record).  This is
+ * the first-class producer of the repo's BENCH_*.json-style outputs:
+ * benches append every table point they print, then writeFile() once.
+ *
+ * Thread-safe for concurrent add(); emission is single-threaded.
+ */
+
+#include <cstddef>
+#include <iosfwd>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "exec/sweep_runner.hpp"
+#include "obs/run_record.hpp"
+
+namespace rsin {
+namespace obs {
+
+/** Artifact serialization formats. */
+enum class Format
+{
+    Json,
+    Csv,
+};
+
+/** Parse "json" / "csv"; throws FatalError on anything else. */
+Format parseFormat(const std::string &name);
+
+/** Collects run records and sweep counters; writes one artifact. */
+class RunLog
+{
+  public:
+    /** Name the producing bench (lands in the artifact header). */
+    void setBench(std::string name);
+
+    const std::string &bench() const { return bench_; }
+
+    /** Append one record (thread-safe). */
+    void add(RunRecord record);
+
+    /** Attach sweep-engine counters and total wall time (once). */
+    void noteSweep(const exec::SweepStats &stats, double wallSeconds);
+
+    std::size_t size() const;
+
+    /** Snapshot of the collected records. */
+    std::vector<RunRecord> records() const;
+
+    void writeJson(std::ostream &os) const;
+
+    /** Flat CSV: header row plus one row per record. */
+    void writeCsv(std::ostream &os) const;
+
+    /** Write the artifact to @p path; throws FatalError on I/O error. */
+    void writeFile(const std::string &path, Format format) const;
+
+  private:
+    void writeRecordJson(class JsonWriter &w, const RunRecord &r) const;
+
+    mutable std::mutex mutex_;
+    std::string bench_;
+    std::vector<RunRecord> records_;
+    exec::SweepStats sweep_;
+    double sweepWallSeconds_ = 0.0;
+    bool haveSweep_ = false;
+};
+
+} // namespace obs
+} // namespace rsin

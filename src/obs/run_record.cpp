@@ -1,0 +1,45 @@
+#include "run_record.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/text.hpp"
+
+namespace rsin {
+namespace obs {
+
+const char *
+toString(RecordKind kind)
+{
+    switch (kind) {
+      case RecordKind::Run:
+        return "run";
+      case RecordKind::Aggregate:
+        return "aggregate";
+      case RecordKind::Analytic:
+        return "analytic";
+    }
+    RSIN_PANIC("toString: unknown RecordKind");
+}
+
+std::string
+displayValue(const SimResult &result, double value, const char *fmt)
+{
+    switch (result.status) {
+      case RunStatus::Saturated:
+        return "inf";
+      case RunStatus::Truncated:
+      case RunStatus::NoData:
+        return "n/a";
+      case RunStatus::Ok:
+        break;
+    }
+    if (std::isnan(value))
+        return "n/a";
+    if (value > 1e6)
+        return "inf";
+    return formatf(fmt, value);
+}
+
+} // namespace obs
+} // namespace rsin

@@ -51,33 +51,53 @@ aggregateReplications(std::vector<SimResult> runs,
 {
     RSIN_REQUIRE(!runs.empty(),
                  "aggregateReplications: need at least one run");
+    // Only Ok replications contribute estimates.  Saturated runs sit
+    // beyond the knee, truncated runs never reached steady state, and
+    // no-data runs carry NaN sentinels that would poison both the
+    // accumulator and the sort below.
     std::size_t saturated = 0;
     Accumulator delays;
+    std::vector<SimResult> usable, partial;
     for (const auto &run : runs) {
-        if (run.saturated)
+        switch (run.status) {
+          case RunStatus::Saturated:
             ++saturated;
-        else
+            break;
+          case RunStatus::Ok:
+            usable.push_back(run);
             delays.add(run.meanDelay);
+            break;
+          case RunStatus::Truncated:
+            partial.push_back(run);
+            break;
+          case RunStatus::NoData:
+            break;
+        }
     }
-    // Saturated runs carry meanDelay == 0 and would sort to the front,
-    // letting a single saturated replication masquerade as the median
-    // of an otherwise stable cell — pick the median among stable runs
-    // whenever any exist.
     const auto byDelay = [](const SimResult &a, const SimResult &b) {
         return a.meanDelay < b.meanDelay;
     };
-    std::vector<SimResult> pickFrom;
-    for (const auto &run : runs)
-        if (!run.saturated)
-            pickFrom.push_back(run);
-    if (pickFrom.empty())
-        pickFrom = runs;
-    std::sort(pickFrom.begin(), pickFrom.end(), byDelay);
-    SimResult result = pickFrom[pickFrom.size() / 2];
+    SimResult result;
+    if (!usable.empty()) {
+        std::sort(usable.begin(), usable.end(), byDelay);
+        result = usable[usable.size() / 2];
+    } else if (!partial.empty()) {
+        // Best effort: the median truncated run, still flagged so no
+        // consumer mistakes it for a converged estimate.
+        std::sort(partial.begin(), partial.end(), byDelay);
+        result = partial[partial.size() / 2];
+        result.status = RunStatus::Truncated;
+    } else {
+        // Every replication saturated or produced nothing.
+        result = runs.front();
+        result.status = saturated > 0 ? RunStatus::Saturated
+                                      : RunStatus::NoData;
+    }
     // A majority of saturated replications means the point is beyond
     // the knee: report it as saturated.
     if (saturated * 2 > runs.size())
-        result.saturated = true;
+        result.status = RunStatus::Saturated;
+    result.saturated = result.status == RunStatus::Saturated;
     if (delays.count() >= 2) {
         result.meanDelay = delays.mean();
         result.normalizedDelay = delays.mean() * params.muS;

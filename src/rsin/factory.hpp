@@ -54,9 +54,12 @@ std::vector<std::uint64_t> replicationSeeds(std::uint64_t baseSeed,
 
 /**
  * Collapse independent replication runs into one SimResult: the median
- * stable run (a majority of saturated runs marks the point saturated),
+ * Ok run (a majority of saturated runs marks the point saturated),
  * with the mean delay and half-width widened to the
- * between-replication spread.  Deterministic in the order of @p runs.
+ * between-replication spread.  Truncated and no-data replications are
+ * excluded from the estimates like saturated ones; if no replication
+ * is Ok the aggregate itself is flagged Truncated / Saturated /
+ * NoData.  Deterministic in the order of @p runs.
  */
 SimResult aggregateReplications(std::vector<SimResult> runs,
                                 const workload::WorkloadParams &params);

@@ -1,8 +1,39 @@
 #include "system.hpp"
 
+#include <cmath>
+#include <limits>
+
 #include "common/error.hpp"
+#include "common/text.hpp"
 
 namespace rsin {
+
+const char *
+toString(RunStatus status)
+{
+    switch (status) {
+      case RunStatus::Ok:
+        return "ok";
+      case RunStatus::Saturated:
+        return "saturated";
+      case RunStatus::Truncated:
+        return "truncated";
+      case RunStatus::NoData:
+        return "no_data";
+    }
+    RSIN_PANIC("toString: unknown RunStatus");
+}
+
+RunStatus
+parseRunStatus(const std::string &name)
+{
+    for (RunStatus status :
+         {RunStatus::Ok, RunStatus::Saturated, RunStatus::Truncated,
+          RunStatus::NoData})
+        if (name == toString(status))
+            return status;
+    RSIN_FATAL("parseRunStatus: unknown status '", name, "'");
+}
 
 SystemSimulation::SystemSimulation(std::size_t processors,
                                    const workload::WorkloadParams &params,
@@ -119,22 +150,42 @@ SystemSimulation::run()
     }
 
     SimResult result;
+    // Classify the stop reason.  A run cut off by maxEvents (or an
+    // emptied calendar) before its measurement quota used to fall
+    // through here as a zero-delay "success"; it is Truncated when it
+    // measured something and NoData when it measured nothing at all.
+    const std::uint64_t quota =
+        options_.warmupTasks + options_.measureTasks;
+    if (saturated_)
+        result.status = RunStatus::Saturated;
+    else if (metrics_->counted() == 0)
+        result.status = RunStatus::NoData;
+    else if (metrics_->completed() < quota)
+        result.status = RunStatus::Truncated;
+    else
+        result.status = RunStatus::Ok;
     result.saturated = saturated_;
-    result.meanDelay = metrics_->meanDelay();
-    result.delayHalfWidth = metrics_->delayHalfWidth();
-    result.normalizedDelay = metrics_->meanDelay() * params_.muS;
-    result.meanResponse = metrics_->meanResponse();
-    result.meanRoutingAttempts = metrics_->meanRoutingAttempts();
-    result.meanBoxesTraversed = metrics_->meanBoxesTraversed();
-    result.delayImbalance = metrics_->delayImbalance();
+    const bool no_data = metrics_->counted() == 0;
+    const double nan = std::numeric_limits<double>::quiet_NaN();
+    result.meanDelay = no_data ? nan : metrics_->meanDelay();
+    result.delayHalfWidth = no_data ? nan : metrics_->delayHalfWidth();
+    result.normalizedDelay = result.meanDelay * params_.muS;
+    result.meanResponse = no_data ? nan : metrics_->meanResponse();
+    result.meanRoutingAttempts =
+        no_data ? nan : metrics_->meanRoutingAttempts();
+    result.meanBoxesTraversed =
+        no_data ? nan : metrics_->meanBoxesTraversed();
+    result.delayImbalance = no_data ? nan : metrics_->delayImbalance();
     queueTrace_.finish(sim_.now());
     result.timeAvgQueue = queueTrace_.average();
     result.delayP95 = metrics_->delayQuantile(0.95);
     result.delayP99 = metrics_->delayQuantile(0.99);
-    result.fractionNoWait = metrics_->fractionZeroDelay();
+    result.fractionNoWait = no_data ? nan : metrics_->fractionZeroDelay();
     result.completedTasks = metrics_->completed();
+    result.countedTasks = metrics_->counted();
     result.rejections = metrics_->rejections();
     result.simulatedTime = sim_.now();
+    result.kernel = sim_.counters();
     return result;
 }
 

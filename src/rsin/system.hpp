@@ -47,9 +47,39 @@ struct SimOptions
     std::uint64_t maxEvents = 200000000;
 };
 
+/**
+ * Outcome classification of one simulation run.
+ *
+ * Every run ends in exactly one of these states; consumers must treat
+ * anything but Ok as "do not trust the point estimates":
+ *  - Ok: the run measured its full post-warm-up quota.
+ *  - Saturated: queues crossed the saturation limit; the system is
+ *    beyond its stability knee (tables render "inf").
+ *  - Truncated: the maxEvents safety valve (or an emptied calendar)
+ *    stopped the run after some post-warm-up completions but before
+ *    the measurement quota; estimates are under-sampled.
+ *  - NoData: the run ended with zero post-warm-up completions; there
+ *    is no estimate at all (tables render "n/a", metrics are NaN).
+ */
+enum class RunStatus
+{
+    Ok,
+    Saturated,
+    Truncated,
+    NoData,
+};
+
+/** Lower-case wire name of a status ("ok", "saturated", ...). */
+const char *toString(RunStatus status);
+
+/** Parse a wire name back into a status; throws FatalError on junk. */
+RunStatus parseRunStatus(const std::string &name);
+
 /** Summary of one simulation run. */
 struct SimResult
 {
+    /** How the run ended; anything but Ok taints the estimates. */
+    RunStatus status = RunStatus::Ok;
     bool saturated = false;     ///< aborted due to unbounded queues
     double meanDelay = 0.0;     ///< d: mean wait before connection
     double delayHalfWidth = 0.0; ///< 95% CI half-width on d
@@ -68,8 +98,15 @@ struct SimResult
     /** Fraction of tasks served without waiting (PASTA checkpoint). */
     double fractionNoWait = 0.0;
     std::uint64_t completedTasks = 0;
+    /** Post-warm-up completions actually measured (0 implies NoData). */
+    std::uint64_t countedTasks = 0;
     std::uint64_t rejections = 0;
     double simulatedTime = 0.0;
+    /** Event-kernel counters for the run (observability layer). */
+    des::KernelCounters kernel;
+
+    /** True when the point estimates are trustworthy. */
+    bool ok() const { return status == RunStatus::Ok; }
 };
 
 /** Base class: processors, queues, arrivals, measurement, run loop. */

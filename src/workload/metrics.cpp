@@ -1,6 +1,7 @@
 #include "metrics.hpp"
 
 #include <algorithm>
+#include <limits>
 
 namespace rsin {
 namespace workload {
@@ -56,8 +57,10 @@ MetricsCollector::fractionZeroDelay() const
 double
 MetricsCollector::delayQuantile(double q) const
 {
+    // No observations means no distribution: NaN, so that a truncated
+    // run cannot leak a fake zero-delay tail into tables or records.
     if (delaySamples_.empty())
-        return 0.0;
+        return std::numeric_limits<double>::quiet_NaN();
     std::vector<double> sorted = delaySamples_;
     std::sort(sorted.begin(), sorted.end());
     const double pos = q * static_cast<double>(sorted.size() - 1);

@@ -75,7 +75,7 @@ class MetricsCollector
     /**
      * Approximate delay quantile from a fixed-bin histogram (bins are
      * sized on the fly from the running maximum; accuracy ~1% of the
-     * observed range).  Returns 0 with no observations.
+     * observed range).  Returns NaN with no observations.
      */
     double delayQuantile(double q) const;
 

@@ -189,7 +189,8 @@ TEST(TimeWeightedTest, ClearResetsWindow)
     tw.finish(2.0);
     EXPECT_DOUBLE_EQ(tw.average(), 10.0);
     tw.clear();
-    EXPECT_DOUBLE_EQ(tw.average(), 0.0);
+    // An empty window has no average: NaN, never a fake 0.
+    EXPECT_TRUE(std::isnan(tw.average()));
     EXPECT_DOUBLE_EQ(tw.elapsed(), 0.0);
     // A fresh window may start at an earlier absolute time.
     tw.record(0.5, 1.0);
@@ -246,6 +247,35 @@ TEST(AccumulatorTest, MergeMatchesCombined)
     EXPECT_EQ(a.count(), all.count());
     EXPECT_NEAR(a.mean(), all.mean(), 1e-12);
     EXPECT_NEAR(a.variance(), all.variance(), 1e-9);
+}
+
+TEST(AccumulatorTest, MergeMatchesSinglePassOnRandomSplits)
+{
+    // Property: however a sample is partitioned -- including empty
+    // parts -- merging the partial accumulators must reproduce the
+    // single-pass moments and extrema.
+    for (std::uint64_t trial = 0; trial < 20; ++trial) {
+        Rng rng(1000 + trial);
+        const std::size_t parts = 1 + trial % 7;
+        std::vector<Accumulator> split(parts);
+        Accumulator all;
+        const std::size_t samples = trial * 37 % 400;
+        for (std::size_t i = 0; i < samples; ++i) {
+            const double v = rng.normal() * 100.0 + rng.uniform01();
+            split[rng.uniformInt(std::uint64_t{parts})].add(v);
+            all.add(v);
+        }
+        Accumulator merged;
+        for (const auto &part : split)
+            merged.merge(part);
+        EXPECT_EQ(merged.count(), all.count());
+        EXPECT_NEAR(merged.mean(), all.mean(), 1e-9);
+        EXPECT_NEAR(merged.variance(), all.variance(), 1e-6);
+        if (all.count() > 0) {
+            EXPECT_DOUBLE_EQ(merged.min(), all.min());
+            EXPECT_DOUBLE_EQ(merged.max(), all.max());
+        }
+    }
 }
 
 TEST(TimeWeightedTest, PiecewiseConstantAverage)

@@ -126,6 +126,24 @@ TEST(SweepRunnerTest, CellSeedIsPureAndCollisionFree)
     EXPECT_EQ(seeds.size(), 2u * 3u * 3u + 1u);
 }
 
+TEST(SweepRunnerTest, CellSeedCollisionFreeOverFullSweepGrid)
+{
+    // Full-scale grid: every cell of a configs x points x replications
+    // sweep under several base seeds maps to a distinct stream.  A
+    // collision would silently correlate two "independent" runs.
+    std::set<std::uint64_t> seeds;
+    std::size_t inserted = 0;
+    for (const std::uint64_t base : {1ull, 1000ull, 0xDEADBEEFull}) {
+        for (std::size_t c = 0; c < 8; ++c)
+            for (std::size_t p = 0; p < 64; ++p)
+                for (std::size_t r = 0; r < 16; ++r) {
+                    seeds.insert(cellSeed(base, c, p, r));
+                    ++inserted;
+                }
+    }
+    EXPECT_EQ(seeds.size(), inserted);
+}
+
 TEST(SweepRunnerTest, VisitsEveryCellOnceWithRowMajorFlatIndex)
 {
     ThreadPool pool(4);

@@ -79,7 +79,12 @@ TEST(SbusSystemTest, ZeroLoadCompletesNothing)
     const auto res = simulate(cfg, makeParams(0.0, 1.0, 1.0),
                               quickOptions());
     EXPECT_EQ(res.completedTasks, 0u);
-    EXPECT_DOUBLE_EQ(res.meanDelay, 0.0);
+    // No completions means no estimate: NoData with NaN sentinels, not
+    // a zero-delay "success".
+    EXPECT_EQ(res.status, RunStatus::NoData);
+    EXPECT_FALSE(res.saturated);
+    EXPECT_TRUE(std::isnan(res.meanDelay));
+    EXPECT_TRUE(std::isnan(res.normalizedDelay));
 }
 
 TEST(XbarSystemTest, PrivatePortsMatchMmc)
