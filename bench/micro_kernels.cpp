@@ -96,6 +96,7 @@ BM_SweepRunner(benchmark::State &state)
                        opts.warmupTasks = 100;
                        opts.measureTasks = 1000;
                        delays[cell.flat] =
+                           // rsin-lint: allow(R5): timing kernel, value unused
                            simulate(cfg, params, opts).meanDelay;
                    });
         benchmark::DoNotOptimize(delays.data());
@@ -205,6 +206,7 @@ BM_EndToEndOmegaSimulation(benchmark::State &state)
         opts.warmupTasks = 200;
         opts.measureTasks = 2000;
         auto res = simulate(cfg, params, opts);
+        // rsin-lint: allow(R5): timing kernel discards the estimate
         benchmark::DoNotOptimize(res.meanDelay);
     }
 }

@@ -54,6 +54,7 @@ main()
     {
         const auto cfg = SystemConfig::parse("16/16x1x1 SBUS/3");
         const auto sol = analyzeSbus(cfg, lambda, mu_n, mu_s);
+        // rsin-lint: allow(R5): analytic closed form; it has no RunStatus
         ev.row({cfg.str(), formatf("%.4f", sol.normalizedDelay),
                 formatf("%zu", networkGateCost(cfg))});
     }
@@ -67,7 +68,8 @@ main()
         opts.seed = 7;
         opts.measureTasks = 20000;
         const auto res = simulateReplicated(cfg, params, opts, 3);
-        ev.row({cfg.str(), formatf("%.4f", res.normalizedDelay),
+        ev.row({cfg.str(),
+                obs::displayValue(res, res.normalizedDelay, "%.4f"),
                 formatf("%zu", networkGateCost(cfg))});
     }
     ev.print(std::cout);

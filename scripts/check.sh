@@ -1,0 +1,104 @@
+#!/usr/bin/env sh
+# Consolidated verification entry point.  One mode per hardening axis;
+# each mode uses its own build tree so none of them disturb the normal
+# build/ directory.
+#
+# Usage: ./scripts/check.sh <mode> [extra cmake args...]
+#
+# Modes:
+#   asan       AddressSanitizer + UBSan build, full ctest suite
+#              (build-asan/).  Catches heap errors in the DES arenas,
+#              container misuse, signed overflow, bad shifts.
+#   tsan       ThreadSanitizer build of the concurrency-sensitive
+#              suites (test_exec, test_des) and runs them
+#              (build-tsan/).  Catches races in the thread pool and
+#              the sweep runner.
+#   contracts  Debug build with -DRSIN_CONTRACTS=ON, full ctest suite
+#              (build-contracts/).  Runtime invariants fire: calendar
+#              heap order, per-fire time monotonicity, task
+#              conservation, sweep seed uniqueness.
+#   lint       Build rsin_lint and run it over src/, bench/, examples/
+#              (reuses build/ if configured, else build-lint/).
+#   tidy       clang-tidy over the library sources (skips with a
+#              notice when clang-tidy is not installed).
+#   all        asan, tsan, contracts, lint, tidy in sequence; fails if
+#              any mode fails.
+set -eu
+
+repo=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
+mode="${1:-}"
+[ $# -gt 0 ] && shift
+
+run_asan() {
+    build="$repo/build-asan"
+    cmake -B "$build" -S "$repo" \
+        -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+        -DCMAKE_CXX_FLAGS="-fsanitize=address,undefined -fno-omit-frame-pointer -fno-sanitize-recover=all" \
+        -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=address,undefined" \
+        "$@"
+    cmake --build "$build" -j "$(nproc)"
+    (cd "$build" && ctest -j "$(nproc)" --output-on-failure)
+}
+
+run_tsan() {
+    build="$repo/build-tsan"
+    cmake -B "$build" -S "$repo" \
+        -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+        -DCMAKE_CXX_FLAGS="-fsanitize=thread -fno-omit-frame-pointer" \
+        -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=thread" \
+        "$@"
+    cmake --build "$build" --target test_exec test_des -j "$(nproc)"
+    status=0
+    for t in test_exec test_des; do
+        echo "== TSan: $t =="
+        "$build/tests/$t" || status=1
+    done
+    return $status
+}
+
+run_contracts() {
+    build="$repo/build-contracts"
+    cmake -B "$build" -S "$repo" \
+        -DCMAKE_BUILD_TYPE=Debug \
+        -DRSIN_CONTRACTS=ON \
+        "$@"
+    cmake --build "$build" -j "$(nproc)"
+    (cd "$build" && ctest -j "$(nproc)" --output-on-failure)
+}
+
+run_lint() {
+    # Reuse the main build tree when it is already configured so the
+    # linter binary is shared with the ctest registration.
+    if [ -f "$repo/build/CMakeCache.txt" ]; then
+        build="$repo/build"
+    else
+        build="$repo/build-lint"
+        cmake -B "$build" -S "$repo" -DCMAKE_BUILD_TYPE=Release "$@"
+    fi
+    cmake --build "$build" --target rsin_lint -j "$(nproc)"
+    "$build/tools/rsin_lint/rsin_lint" --root "$repo"
+}
+
+run_tidy() {
+    "$repo/scripts/check_tidy.sh" "$@"
+}
+
+case "$mode" in
+  asan)      run_asan "$@" ;;
+  tsan)      run_tsan "$@" ;;
+  contracts) run_contracts "$@" ;;
+  lint)      run_lint "$@" ;;
+  tidy)      run_tidy "$@" ;;
+  all)
+    status=0
+    for m in asan tsan contracts lint tidy; do
+        echo "==== check.sh: $m ===="
+        "run_$m" "$@" || { echo "check.sh: mode '$m' FAILED"; status=1; }
+    done
+    exit $status
+    ;;
+  *)
+    echo "usage: $0 {asan|tsan|contracts|lint|tidy|all} [cmake args...]" >&2
+    exit 2
+    ;;
+esac

@@ -1,22 +1,6 @@
 #!/usr/bin/env sh
-# Build the whole tree under AddressSanitizer + UndefinedBehaviorSanitizer
-# and run the full ctest suite.  Uses a separate build tree (build-asan/)
-# so the normal build stays untouched.  Heap errors in the DES arenas,
-# container misuse in the metrics collectors, and UB (signed overflow,
-# bad shifts, misaligned access) anywhere in the simulators trip here.
+# Thin wrapper kept for muscle memory; the logic lives in check.sh.
 #
 # Usage: ./scripts/check_asan.sh [extra cmake args...]
 set -eu
-
-repo=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
-build="$repo/build-asan"
-
-cmake -B "$build" -S "$repo" \
-    -DCMAKE_BUILD_TYPE=RelWithDebInfo \
-    -DCMAKE_CXX_FLAGS="-fsanitize=address,undefined -fno-omit-frame-pointer -fno-sanitize-recover=all" \
-    -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=address,undefined" \
-    "$@"
-cmake --build "$build" -j "$(nproc)"
-
-cd "$build"
-exec ctest -j "$(nproc)" --output-on-failure
+exec "$(dirname -- "$0")/check.sh" asan "$@"

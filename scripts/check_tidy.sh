@@ -1,0 +1,42 @@
+#!/usr/bin/env sh
+# Run clang-tidy (profile: .clang-tidy at the repo root) over the
+# library and tool sources.  Needs a compile_commands.json, which the
+# main build generates when configured with
+# -DCMAKE_EXPORT_COMPILE_COMMANDS=ON.
+#
+# Skips with a notice (exit 0) when clang-tidy is not installed, so
+# the aggregate `check.sh all` stays usable on gcc-only boxes; CI
+# treats the skip as success for the same reason.
+#
+# Usage: ./scripts/check_tidy.sh [extra cmake args...]
+set -eu
+
+repo=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
+
+if ! command -v clang-tidy > /dev/null 2>&1; then
+    echo "check_tidy.sh: clang-tidy not installed; skipping" >&2
+    exit 0
+fi
+
+# Reuse the main build's compile database when present; otherwise
+# configure a dedicated tree that exports one.
+if [ -f "$repo/build/compile_commands.json" ]; then
+    build="$repo/build"
+else
+    build="$repo/build-tidy"
+    cmake -B "$build" -S "$repo" \
+        -DCMAKE_BUILD_TYPE=Release \
+        -DCMAKE_EXPORT_COMPILE_COMMANDS=ON \
+        "$@"
+fi
+
+# Library + tool translation units only: tests and benches churn too
+# fast and gtest/benchmark macros trip bugprone checks by design.
+files=$(find "$repo/src" "$repo/tools" -name '*.cpp' | sort)
+
+status=0
+for f in $files; do
+    echo "== clang-tidy: ${f#"$repo"/} =="
+    clang-tidy -p "$build" --quiet "$f" || status=1
+done
+exit $status

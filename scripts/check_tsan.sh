@@ -1,27 +1,6 @@
 #!/usr/bin/env sh
-# Build the concurrency-sensitive test suites under ThreadSanitizer and
-# run them.  Uses a separate build tree (build-tsan/) so the normal
-# build stays untouched.  Any data race in the thread pool, the sweep
-# runner, or a pooled simulateReplicated trips here.
+# Thin wrapper kept for muscle memory; the logic lives in check.sh.
 #
 # Usage: ./scripts/check_tsan.sh [extra cmake args...]
 set -eu
-
-repo=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
-build="$repo/build-tsan"
-
-cmake -B "$build" -S "$repo" \
-    -DCMAKE_BUILD_TYPE=RelWithDebInfo \
-    -DCMAKE_CXX_FLAGS="-fsanitize=thread -fno-omit-frame-pointer" \
-    -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=thread" \
-    "$@"
-cmake --build "$build" --target test_exec test_des -j "$(nproc)"
-
-status=0
-for t in test_exec test_des; do
-    echo "== TSan: $t =="
-    if ! "$build/tests/$t"; then
-        status=1
-    fi
-done
-exit $status
+exec "$(dirname -- "$0")/check.sh" tsan "$@"

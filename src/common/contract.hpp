@@ -1,0 +1,68 @@
+#pragma once
+
+/**
+ * @file
+ * Runtime contract checks, compiled in only under -DRSIN_CONTRACTS=ON.
+ *
+ * The library's headline guarantees -- parallel sweeps bit-identical to
+ * serial runs, NaN/status discipline on every emitted estimate -- rest
+ * on structural invariants that ordinary tests only probe point-wise:
+ * the DES calendar must pop events in non-decreasing key order, sweep
+ * cell seeds must be collision-free, and the system models must
+ * conserve tasks (issued == completed + queued + in-flight) at every
+ * sample point.  Contract builds check those invariants continuously
+ * while the regular test suite and figure benches run.
+ *
+ * Release builds compile the checks out entirely: the condition is not
+ * evaluated, so contract expressions may be arbitrarily expensive
+ * (full-structure scans, sort-and-compare seed audits).  State that
+ * exists only to feed a contract should be declared through
+ * RSIN_IF_CONTRACTS so it too vanishes from Release builds.
+ *
+ * Violations report through RSIN_PANIC: abort by default (a debugger or
+ * core dump captures the broken state), or PanicError under
+ * ScopedPanicThrows so tests can prove a given corruption trips the
+ * right contract.
+ */
+
+#include "common/error.hpp"
+
+#ifndef RSIN_CONTRACTS_ENABLED
+#define RSIN_CONTRACTS_ENABLED 0
+#endif
+
+#if RSIN_CONTRACTS_ENABLED
+
+/**
+ * Check a structural invariant of this library's own state.  A firing
+ * invariant is a bug in rsin, never a user error.
+ */
+#define RSIN_INVARIANT(cond, ...) \
+    do { \
+        if (!(cond)) { \
+            RSIN_PANIC("contract violated: " #cond " ", ##__VA_ARGS__); \
+        } \
+    } while (0)
+
+/**
+ * Check a caller-facing entry condition that is too expensive for
+ * RSIN_REQUIRE in Release (e.g. whole-grid seed uniqueness).
+ */
+#define RSIN_PRECONDITION(cond, ...) \
+    do { \
+        if (!(cond)) { \
+            RSIN_PANIC("precondition violated: " #cond " ", \
+                       ##__VA_ARGS__); \
+        } \
+    } while (0)
+
+/** Expand contract-only statements/members; empty in Release. */
+#define RSIN_IF_CONTRACTS(...) __VA_ARGS__
+
+#else
+
+#define RSIN_INVARIANT(cond, ...) ((void)0)
+#define RSIN_PRECONDITION(cond, ...) ((void)0)
+#define RSIN_IF_CONTRACTS(...)
+
+#endif

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "common/contract.hpp"
 #include "common/error.hpp"
 
 namespace rsin {
@@ -25,6 +26,21 @@ Simulator::slotPending(std::uint32_t slot, std::uint64_t seq) const
     }
     return slot < small_.count() && small_.seq(slot) == seq &&
            !small_.cancelled(slot);
+}
+
+bool
+Simulator::calendarOrdered() const
+{
+    // 4-ary heap property: every entry sorts no earlier than its
+    // parent.
+    for (std::size_t i = 1; i < heap_.size(); ++i)
+        if (heap_[i].key < heap_[(i - 1) >> 2].key)
+            return false;
+    // The sorted run drains from the back, so it must be descending.
+    for (std::size_t i = 1; i < run_.size(); ++i)
+        if (run_[i - 1].key < run_[i].key)
+            return false;
+    return true;
 }
 
 void
@@ -261,6 +277,20 @@ Simulator::step()
     if (!top)
         return false;
     const QueueEntry entry = *top;
+    // The calendar's whole guarantee: events fire in key order, so
+    // simulated time never runs backwards.  The structural check makes
+    // a corrupted heap/run fail at the fire that first exposes it, not
+    // thousands of events later as a silently reordered result.
+    RSIN_INVARIANT(entry.time() >= now_,
+                   "event calendar fired into the past: event time ",
+                   entry.time(), " < now ", now_);
+    RSIN_INVARIANT(entry.key >= lastFiredKey_,
+                   "event calendar popped keys out of order at t=",
+                   entry.time());
+    RSIN_INVARIANT(calendarOrdered(),
+                   "event calendar structure corrupt (heap property or "
+                   "run order broken) at t=", entry.time());
+    RSIN_IF_CONTRACTS(lastFiredKey_ = entry.key;)
     const detail::EventOps *&ops_ref = opsAt(entry.slot());
     // Pull the metadata line in while the pop below runs.
     __builtin_prefetch(&ops_ref);

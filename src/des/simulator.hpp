@@ -39,6 +39,8 @@
 #include <utility>
 #include <vector>
 
+#include "common/contract.hpp"
+
 namespace rsin {
 namespace des {
 
@@ -363,6 +365,15 @@ class Simulator
         return static_cast<std::size_t>(small_.count()) + large_.count();
     }
 
+#if RSIN_CONTRACTS_ENABLED
+    /**
+     * TEST ONLY (contract builds): jump the clock to @p when without
+     * firing anything, staging a time-monotonicity violation so tests
+     * can prove the calendar contracts actually fire.
+     */
+    void debugForceClockForTest(double when) { now_ = when; }
+#endif
+
   private:
     friend class EventHandle;
 
@@ -457,6 +468,8 @@ class Simulator
     }
 
     bool slotPending(std::uint32_t slot, std::uint64_t seq) const;
+    /** Contract check: heap property and run order both hold. */
+    bool calendarOrdered() const;
     void pushEntry(QueueEntry entry);
     void popEntry();
     /** Move staged entries into the heap (few) or sorted run (burst). */
@@ -497,6 +510,8 @@ class Simulator
     std::vector<QueueEntry> run_;
     std::vector<QueueEntry> staging_;
     std::vector<QueueEntry> scratch_;
+    /** Sort key of the last fired event (pop-order monotonicity). */
+    RSIN_IF_CONTRACTS(unsigned __int128 lastFiredKey_ = 0;)
 };
 
 } // namespace des

@@ -1,8 +1,11 @@
 #include "sweep_runner.hpp"
 
+#include <algorithm>
 #include <chrono>
 #include <ostream>
+#include <vector>
 
+#include "common/contract.hpp"
 #include "common/rng.hpp"
 
 namespace rsin {
@@ -75,6 +78,26 @@ SweepRunner::run(std::size_t configs, std::size_t points,
                  const std::function<void(const SweepCell &)> &fn) const
 {
     const std::size_t total = configs * points * replications;
+    RSIN_PRECONDITION(static_cast<bool>(fn) || total == 0,
+                      "SweepRunner::run: empty cell function");
+#if RSIN_CONTRACTS_ENABLED
+    {
+        // Bit-identical parallel/serial sweeps require every cell to
+        // own a distinct stream: audit the whole grid for cellSeed
+        // collisions before any cell runs.
+        std::vector<std::uint64_t> seeds;
+        seeds.reserve(total);
+        for (std::size_t c = 0; c < configs; ++c)
+            for (std::size_t p = 0; p < points; ++p)
+                for (std::size_t r = 0; r < replications; ++r)
+                    seeds.push_back(cellSeed(baseSeed, c, p, r));
+        std::sort(seeds.begin(), seeds.end());
+        RSIN_INVARIANT(std::adjacent_find(seeds.begin(), seeds.end()) ==
+                           seeds.end(),
+                       "cellSeed collision inside one sweep grid: two "
+                       "cells would replay the same random stream");
+    }
+#endif
     if (observer_)
         observer_->addWork(total);
     const auto runCell = [&](std::size_t flat) {

@@ -1,7 +1,9 @@
 #include "factory.hpp"
 
 #include <algorithm>
+#include <cmath>
 
+#include "common/contract.hpp"
 #include "common/error.hpp"
 #include "common/stats.hpp"
 #include "exec/thread_pool.hpp"
@@ -42,6 +44,18 @@ replicationSeeds(std::uint64_t baseSeed, std::size_t replications)
     Rng seeder(baseSeed);
     for (auto &seed : seeds)
         seed = seeder.next();
+#if RSIN_CONTRACTS_ENABLED
+    {
+        // Replications must be statistically independent: a repeated
+        // seed silently halves the evidence behind the CI half-width.
+        std::vector<std::uint64_t> sorted = seeds;
+        std::sort(sorted.begin(), sorted.end());
+        RSIN_INVARIANT(std::adjacent_find(sorted.begin(),
+                                          sorted.end()) == sorted.end(),
+                       "replication seed collision for base seed ",
+                       baseSeed);
+    }
+#endif
     return seeds;
 }
 
@@ -64,6 +78,14 @@ aggregateReplications(std::vector<SimResult> runs,
             ++saturated;
             break;
           case RunStatus::Ok:
+            // NaN discipline: an Ok run promises finite estimates; a
+            // NaN here would poison the accumulator and make the sort
+            // below schedule-dependent.
+            RSIN_INVARIANT(std::isfinite(run.meanDelay) &&
+                               run.countedTasks > 0,
+                           "RunStatus::Ok with untrustworthy "
+                           "estimates: meanDelay ", run.meanDelay,
+                           ", counted ", run.countedTasks);
             usable.push_back(run);
             delays.add(run.meanDelay);
             break;
@@ -79,7 +101,13 @@ aggregateReplications(std::vector<SimResult> runs,
     };
     SimResult result;
     if (!usable.empty()) {
+        // Ordered reduction: the median is taken over a sorted copy,
+        // so the aggregate is a function of the run *set*, never of
+        // the (possibly pool-scheduled) completion order.
         std::sort(usable.begin(), usable.end(), byDelay);
+        RSIN_INVARIANT(std::is_sorted(usable.begin(), usable.end(),
+                                      byDelay),
+                       "replication reduction lost its ordering");
         result = usable[usable.size() / 2];
     } else if (!partial.empty()) {
         // Best effort: the median truncated run, still flagged so no

@@ -2,7 +2,9 @@
 
 #include <cmath>
 #include <limits>
+#include <numeric>
 
+#include "common/contract.hpp"
 #include "common/error.hpp"
 #include "common/text.hpp"
 
@@ -52,6 +54,25 @@ SystemSimulation::SystemSimulation(std::size_t processors,
 }
 
 void
+SystemSimulation::checkConservation() const
+{
+    RSIN_INVARIANT(
+        nextTaskId_ == metrics_->completed() + queuedNow_ + inFlight_,
+        "task conservation broken: issued ", nextTaskId_,
+        " != completed ", metrics_->completed(), " + queued ",
+        queuedNow_, " + in-flight ", inFlight_);
+    RSIN_INVARIANT(
+        queuedNow_ == std::accumulate(
+                          queues_.begin(), queues_.end(),
+                          std::size_t{0},
+                          [](std::size_t sum, const auto &queue) {
+                              return sum + queue.size();
+                          }),
+        "cached queue count ", queuedNow_,
+        " disagrees with the queues themselves");
+}
+
+void
 SystemSimulation::scheduleArrival(std::size_t proc)
 {
     const double dt = sources_[proc].nextInterarrival();
@@ -63,6 +84,7 @@ SystemSimulation::scheduleArrival(std::size_t proc)
         queueTrace_.record(sim_.now(), static_cast<double>(queuedNow_));
         if (queuedNow_ > options_.saturationQueueLimit)
             saturated_ = true;
+        checkConservation();
         scheduleArrival(proc);
         dispatch();
     });
@@ -113,6 +135,8 @@ SystemSimulation::beginTransmission(std::size_t proc)
     queueTrace_.record(sim_.now(), static_cast<double>(queuedNow_));
     transmitting_[proc] = true;
     task.transmitStart = sim_.now();
+    ++inFlight_;
+    checkConservation();
     return task;
 }
 
@@ -126,8 +150,12 @@ SystemSimulation::endTransmission(std::size_t proc)
 void
 SystemSimulation::completeTask(workload::Task task)
 {
+    RSIN_INVARIANT(inFlight_ > 0,
+                   "completeTask without a matching beginTransmission");
     task.serviceEnd = sim_.now();
     metrics_->taskCompleted(task);
+    --inFlight_;
+    checkConservation();
 }
 
 bool

@@ -26,6 +26,7 @@
 #include <memory>
 #include <vector>
 
+#include "common/contract.hpp"
 #include "common/rng.hpp"
 #include "common/stats.hpp"
 #include "des/simulator.hpp"
@@ -127,6 +128,14 @@ class SystemSimulation
     std::size_t processors() const { return queues_.size(); }
     const workload::WorkloadParams &params() const { return params_; }
 
+#if RSIN_CONTRACTS_ENABLED
+    /**
+     * TEST ONLY (contract builds): skew the queued-task counter so the
+     * task-conservation contract is violated, proving it fires.
+     */
+    void debugCorruptConservationForTest() { ++queuedNow_; }
+#endif
+
   protected:
     /**
      * Start every transmission the current state permits.  Called after
@@ -177,6 +186,15 @@ class SystemSimulation
   private:
     void scheduleArrival(std::size_t proc);
     bool done() const;
+    /**
+     * Contract: tasks are conserved at every sample point --
+     * issued == completed + queued + in-flight -- and the cached
+     * queue count agrees with the queues themselves.  In-flight spans
+     * beginTransmission() to completeTask(): transmission, routing
+     * retries and resource service, where the task travels inside
+     * event captures that no container tracks.
+     */
+    void checkConservation() const;
 
     workload::WorkloadParams params_;
     SimOptions options_;
@@ -187,6 +205,8 @@ class SystemSimulation
     std::vector<bool> transmitting_;
     std::unique_ptr<workload::MetricsCollector> metrics_;
     std::uint64_t nextTaskId_ = 0;
+    /** Tasks between beginTransmission() and completeTask(). */
+    std::uint64_t inFlight_ = 0;
     std::size_t queuedNow_ = 0;
     TimeWeighted queueTrace_;
     bool saturated_ = false;

@@ -1,0 +1,24 @@
+// Fixture: R1 violations (ambient randomness / wall-clock).  Never
+// compiled; the lint tests feed this file to the rule engine under a
+// virtual src/des/ path.
+#include <chrono>
+#include <cstdlib>
+#include <ctime>
+
+namespace fixture {
+
+unsigned
+ambientSeed()
+{
+    std::srand(static_cast<unsigned>(time(nullptr))); // two violations
+    return static_cast<unsigned>(std::rand());        // one violation
+}
+
+double
+wallClockNow()
+{
+    const auto tp = std::chrono::system_clock::now(); // one violation
+    return std::chrono::duration<double>(tp.time_since_epoch()).count();
+}
+
+} // namespace fixture

@@ -1,0 +1,22 @@
+// Fixture: R2 violation (unordered container in a determinism-critical
+// directory).  Never compiled; linted under a virtual src/rsin/ path.
+#include <cstddef>
+#include <unordered_map>
+
+namespace fixture {
+
+struct ResourceTable
+{
+    std::unordered_map<std::size_t, double> busyUntil; // violation
+
+    double
+    total() const
+    {
+        double sum = 0.0;
+        for (const auto &entry : busyUntil) // order is hash-dependent
+            sum += entry.second;
+        return sum;
+    }
+};
+
+} // namespace fixture

@@ -1,0 +1,19 @@
+// Fixture: R3 violations (float discipline).  Never compiled; linted
+// under a virtual src/markov/ path.
+namespace fixture {
+
+float // violation: float type
+halfPrecisionUtilization(float busy, float total) // two more
+{
+    if (total == 0.0f) // violation: f-suffixed literal
+        return 0.0f;   // violation: f-suffixed literal
+    return busy / total;
+}
+
+double
+fine(double busy, double total)
+{
+    return total == 0.0 ? 0.0 : busy / total;
+}
+
+} // namespace fixture

@@ -1,0 +1,16 @@
+// Fixture: R4 violations (stdout writes in library code).  Never
+// compiled; linted under a virtual src/sched/ path.
+#include <cstdio>
+#include <iostream>
+
+namespace fixture {
+
+void
+debugDump(double value)
+{
+    std::cout << "value=" << value << "\n"; // violation
+    std::printf("value=%f\n", value);       // violation
+    std::fprintf(stderr, "ok on stderr\n"); // allowed: stderr
+}
+
+} // namespace fixture

@@ -1,0 +1,21 @@
+// Fixture: R5 violation (metric read without a RunStatus check).
+// Never compiled; linted under a virtual bench/ path.  The struct
+// mirrors rsin::SimResult's metric fields.
+namespace fixture {
+
+struct Result
+{
+    double meanDelay = 0.0;
+    double normalizedDelay = 0.0;
+};
+
+Result simulateSomething();
+
+double
+readWithoutChecking()
+{
+    Result res = simulateSomething();
+    return res.meanDelay; // violation: no status evidence in window
+}
+
+} // namespace fixture

@@ -1,0 +1,17 @@
+// Fixture: suppressions that are themselves errors.  A reasonless
+// allow() must be reported (rule SUP) and must NOT silence the
+// underlying violation; an unknown rule name is also SUP.
+#include <unordered_map>
+
+namespace fixture {
+
+struct Table
+{
+    // rsin-lint: allow(R2)
+    std::unordered_map<int, int> bare; // R2 still fires: no reason given
+
+    // rsin-lint: allow(R9): no such rule
+    std::unordered_map<int, int> unknown; // R2 still fires here too
+};
+
+} // namespace fixture

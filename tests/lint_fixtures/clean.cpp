@@ -1,0 +1,31 @@
+// Fixture: clean file -- every rule satisfied even under the strictest
+// directory scope (linted under a virtual src/des/ path).  Mentions of
+// forbidden tokens in comments ("rand", "std::cout") and strings must
+// not trip the lexical pass: printf lives only in this comment.
+#include <cstddef>
+#include <map>
+#include <vector>
+
+namespace fixture {
+
+// A deterministic map: std::map iterates in key order.
+struct Calendar
+{
+    std::map<std::size_t, double> nextFree;
+    std::vector<double> history;
+
+    void
+    note(std::size_t key, double when)
+    {
+        nextFree[key] = when;
+        history.push_back(when);
+    }
+
+    const char *
+    label() const
+    {
+        return "uses rand() only inside this string literal";
+    }
+};
+
+} // namespace fixture

@@ -1,0 +1,16 @@
+// Fixture: a real violation silenced by a well-formed suppression (the
+// reason string is present), both in same-line and line-above form.
+// Linted under a virtual src/rsin/ path; must produce zero findings.
+#include <unordered_set>
+
+namespace fixture {
+
+struct DedupScratch
+{
+    // rsin-lint: allow(R2): membership-only probe, never iterated
+    std::unordered_set<int> seen;
+
+    std::unordered_set<int> alsoSeen; // rsin-lint: allow(R2): membership-only probe, never iterated
+};
+
+} // namespace fixture

@@ -314,6 +314,43 @@ TEST(SimulatorTest, ManyEventsThroughput)
     EXPECT_EQ(sim.fired(), 100000u);
 }
 
+TEST(SimulatorContractTest, CorruptedClockTripsMonotonicityInvariant)
+{
+    // Contract builds promise the calendar never fires into the past.
+    // Corrupt the clock deliberately (the only way to reach that state
+    // from outside) and prove the invariant actually fires.
+#if RSIN_CONTRACTS_ENABLED
+    ScopedPanicThrows guard;
+    Simulator sim;
+    sim.schedule(1.0, [] {});
+    sim.schedule(2.0, [] {});
+    sim.debugForceClockForTest(5.0); // pending events are now "past"
+    EXPECT_THROW(sim.runAll(), PanicError);
+#else
+    GTEST_SKIP() << "contract checks compiled out "
+                    "(reconfigure with -DRSIN_CONTRACTS=ON)";
+#endif
+}
+
+TEST(SimulatorContractTest, CleanRunFiresNoInvariant)
+{
+    // The contracts must be silent on a well-formed run, including
+    // bursts that exercise the radix-sorted run and cancellations that
+    // exercise lazy deletion.
+    Simulator sim;
+    Rng rng(7);
+    std::vector<EventHandle> handles;
+    int fired = 0;
+    for (int i = 0; i < 500; ++i)
+        handles.push_back(
+            sim.schedule(rng.uniform01() * 10.0, [&] { ++fired; }));
+    for (std::size_t i = 0; i < handles.size(); i += 7)
+        sim.cancel(handles[i]);
+    sim.runAll();
+    EXPECT_GT(fired, 0);
+    EXPECT_EQ(sim.pending(), 0u);
+}
+
 } // namespace
 } // namespace des
 } // namespace rsin

@@ -1,0 +1,241 @@
+/**
+ * @file
+ * Tests for the rsin-lint rule engine (tools/rsin_lint).
+ *
+ * Every rule R1-R5 is proven to fire on a known-bad fixture with the
+ * right rule ID and line; a clean fixture and a correctly-suppressed
+ * violation both pass; a suppression without a reason string (or with
+ * an unknown rule name) is itself an error and does not silence the
+ * violation it covers.  Fixtures live in tests/lint_fixtures/ and are
+ * linted under virtual paths, because rule scoping is directory-based.
+ */
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "lint.hpp"
+
+namespace {
+
+using rsin::lint::Finding;
+using rsin::lint::lintSource;
+
+std::string
+readFixture(const std::string &name)
+{
+    const std::string path = std::string(RSIN_LINT_FIXTURE_DIR) + "/" +
+                             name;
+    std::ifstream in(path, std::ios::binary);
+    EXPECT_TRUE(in) << "missing fixture " << path;
+    std::ostringstream text;
+    text << in.rdbuf();
+    return text.str();
+}
+
+std::vector<Finding>
+lintFixture(const std::string &virtualPath, const std::string &name)
+{
+    return lintSource(virtualPath, readFixture(name));
+}
+
+std::size_t
+countRule(const std::vector<Finding> &findings, const std::string &rule)
+{
+    return static_cast<std::size_t>(std::count_if(
+        findings.begin(), findings.end(),
+        [&](const Finding &f) { return f.rule == rule; }));
+}
+
+bool
+hasFindingAt(const std::vector<Finding> &findings,
+             const std::string &rule, std::size_t line)
+{
+    return std::any_of(findings.begin(), findings.end(),
+                       [&](const Finding &f) {
+                           return f.rule == rule && f.line == line;
+                       });
+}
+
+TEST(LintR1, FlagsAmbientRandomnessAndWallClock)
+{
+    const auto findings =
+        lintFixture("src/des/bad_r1.cpp", "bad_r1.cpp");
+    // srand + time(nullptr) share a line; rand() and system_clock
+    // each have their own.
+    EXPECT_EQ(countRule(findings, "R1"), 4u) <<
+        rsin::lint::formatFindings(findings);
+    EXPECT_TRUE(hasFindingAt(findings, "R1", 13)); // srand(time(nullptr))
+    EXPECT_TRUE(hasFindingAt(findings, "R1", 14)); // std::rand()
+    EXPECT_TRUE(hasFindingAt(findings, "R1", 20)); // system_clock
+}
+
+TEST(LintR1, RngImplementationIsExempt)
+{
+    const auto findings =
+        lintSource("src/common/rng.cpp",
+                   "std::uint64_t seedFromEntropy() {\n"
+                   "    std::random_device dev;\n"
+                   "    return dev();\n"
+                   "}\n");
+    EXPECT_EQ(countRule(findings, "R1"), 0u);
+}
+
+TEST(LintR1, OutsideScannedDirectoriesStillApplies)
+{
+    // R1 is tree-wide (only rng.cpp is exempt): a bench file drawing
+    // wall-clock entropy is as much a determinism bug as a model file.
+    const auto findings = lintSource(
+        "bench/bad.cpp", "int s = (int)time(nullptr);\n");
+    EXPECT_EQ(countRule(findings, "R1"), 1u);
+}
+
+TEST(LintR2, FlagsUnorderedContainersInDeterministicDirs)
+{
+    const auto findings =
+        lintFixture("src/rsin/bad_r2.cpp", "bad_r2.cpp");
+    EXPECT_EQ(countRule(findings, "R2"), 1u)
+        << rsin::lint::formatFindings(findings);
+    EXPECT_TRUE(hasFindingAt(findings, "R2", 10)); // member declaration
+}
+
+TEST(LintR2, OtherDirectoriesMayUseUnorderedContainers)
+{
+    const auto findings =
+        lintFixture("src/la/bad_r2.cpp", "bad_r2.cpp");
+    EXPECT_EQ(countRule(findings, "R2"), 0u);
+}
+
+TEST(LintR3, FlagsFloatTypeAndLiterals)
+{
+    const auto findings =
+        lintFixture("src/markov/bad_r3.cpp", "bad_r3.cpp");
+    // Three `float` tokens + two 0.0f literals.
+    EXPECT_EQ(countRule(findings, "R3"), 5u)
+        << rsin::lint::formatFindings(findings);
+    EXPECT_TRUE(hasFindingAt(findings, "R3", 5)); // return type
+    EXPECT_TRUE(hasFindingAt(findings, "R3", 6)); // parameters
+    EXPECT_TRUE(hasFindingAt(findings, "R3", 8)); // 0.0f
+    EXPECT_TRUE(hasFindingAt(findings, "R3", 9)); // 0.0f
+}
+
+TEST(LintR3, HexLiteralsAndIdentifiersAreNotFloatLiterals)
+{
+    const auto findings = lintSource(
+        "src/la/h.hpp",
+        "int mask = 0x1f;\nint buf2f = 3;\ndouble d = 1.0;\n");
+    EXPECT_EQ(countRule(findings, "R3"), 0u)
+        << rsin::lint::formatFindings(findings);
+}
+
+TEST(LintR4, FlagsStdoutInLibraryCode)
+{
+    const auto findings =
+        lintFixture("src/sched/bad_r4.cpp", "bad_r4.cpp");
+    EXPECT_EQ(countRule(findings, "R4"), 2u)
+        << rsin::lint::formatFindings(findings);
+    EXPECT_TRUE(hasFindingAt(findings, "R4", 11)); // std::cout
+    EXPECT_TRUE(hasFindingAt(findings, "R4", 12)); // std::printf
+}
+
+TEST(LintR4, OutputLayerIsExempt)
+{
+    const std::string snippet = "void f() { std::cout << 1; }\n";
+    EXPECT_EQ(countRule(lintSource("src/obs/run_log.cpp", snippet),
+                        "R4"),
+              0u);
+    EXPECT_EQ(countRule(lintSource("src/common/table.cpp", snippet),
+                        "R4"),
+              0u);
+    EXPECT_EQ(countRule(lintSource("bench/fig.cpp", snippet), "R4"),
+              0u); // benches print their tables
+    EXPECT_EQ(countRule(lintSource("src/la/matrix.cpp", snippet), "R4"),
+              1u);
+}
+
+TEST(LintR5, FlagsMetricReadWithoutStatusCheck)
+{
+    const auto findings =
+        lintFixture("bench/bad_r5.cpp", "bad_r5.cpp");
+    EXPECT_EQ(countRule(findings, "R5"), 1u)
+        << rsin::lint::formatFindings(findings);
+    EXPECT_TRUE(hasFindingAt(findings, "R5", 18)); // res.meanDelay read
+}
+
+TEST(LintR5, StatusEvidenceInWindowSilencesTheRule)
+{
+    const auto findings = lintSource(
+        "bench/ok.cpp",
+        "void f() {\n"
+        "    auto res = simulate(cfg, params, opts);\n"
+        "    if (!res.ok()) return;\n"
+        "    use(res.meanDelay);\n"
+        "}\n");
+    EXPECT_EQ(countRule(findings, "R5"), 0u)
+        << rsin::lint::formatFindings(findings);
+}
+
+TEST(LintR5, AssignmentIsProductionNotConsumption)
+{
+    const auto findings = lintSource(
+        "examples/make.cpp", "void f(R &r) { r.meanDelay = 1.0; }\n");
+    EXPECT_EQ(countRule(findings, "R5"), 0u)
+        << rsin::lint::formatFindings(findings);
+}
+
+TEST(LintClean, CleanFixtureHasNoFindings)
+{
+    const auto findings =
+        lintFixture("src/des/clean.cpp", "clean.cpp");
+    EXPECT_TRUE(findings.empty())
+        << rsin::lint::formatFindings(findings);
+}
+
+TEST(LintSuppression, ReasonedSuppressionSilencesFinding)
+{
+    const auto findings =
+        lintFixture("src/rsin/suppressed.cpp", "suppressed.cpp");
+    EXPECT_TRUE(findings.empty())
+        << rsin::lint::formatFindings(findings);
+}
+
+TEST(LintSuppression, ReasonlessOrUnknownSuppressionIsAnError)
+{
+    const auto findings = lintFixture("src/rsin/bad_suppression.cpp",
+                                      "bad_suppression.cpp");
+    // Both directives are reported and neither silences its line.
+    EXPECT_EQ(countRule(findings, "SUP"), 2u)
+        << rsin::lint::formatFindings(findings);
+    EXPECT_EQ(countRule(findings, "R2"), 2u)
+        << rsin::lint::formatFindings(findings);
+    EXPECT_TRUE(hasFindingAt(findings, "SUP", 10));
+    EXPECT_TRUE(hasFindingAt(findings, "R2", 11));
+    EXPECT_TRUE(hasFindingAt(findings, "SUP", 13));
+    EXPECT_TRUE(hasFindingAt(findings, "R2", 14));
+}
+
+TEST(LintLexer, CommentsAndStringsDoNotTrip)
+{
+    const auto findings = lintSource(
+        "src/des/lex.cpp",
+        "// rand() in a comment\n"
+        "/* std::cout << time(nullptr) */\n"
+        "const char *s = \"float 1.0f unordered_map printf(\";\n"
+        "const char *r = R\"(rand() system_clock)\";\n"
+        "char q = 'f';\n");
+    EXPECT_TRUE(findings.empty())
+        << rsin::lint::formatFindings(findings);
+}
+
+TEST(LintFormat, FindingsRenderOnePerLine)
+{
+    std::vector<Finding> findings{{"a.cpp", 3, "R1", "msg"}};
+    EXPECT_EQ(rsin::lint::formatFindings(findings),
+              "a.cpp:3: [R1] msg\n");
+}
+
+} // namespace

@@ -120,6 +120,13 @@ resultWith(RunStatus status, double mean_delay)
     res.saturated = status == RunStatus::Saturated;
     res.meanDelay = mean_delay;
     res.normalizedDelay = mean_delay;
+    // An Ok (or truncated) run by definition measured something;
+    // countedTasks == 0 is reserved for NoData and contract builds
+    // enforce that.
+    if (status == RunStatus::Ok || status == RunStatus::Truncated) {
+        res.completedTasks = 100;
+        res.countedTasks = 100;
+    }
     if (status == RunStatus::NoData) {
         res.meanDelay = std::nan("");
         res.normalizedDelay = std::nan("");

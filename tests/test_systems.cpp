@@ -425,5 +425,37 @@ TEST(SimulationDeterminismTest, SameSeedSameResult)
     EXPECT_DOUBLE_EQ(a.simulatedTime, b.simulatedTime);
 }
 
+TEST(SystemContractTest, CorruptedCountersTripConservationInvariant)
+{
+    // Contract builds check issued == completed + queued + in-flight
+    // at every sample point.  Skew the queued counter before running
+    // and prove the contract fires on the first sample.
+#if RSIN_CONTRACTS_ENABLED
+    ScopedPanicThrows guard;
+    const auto cfg = SystemConfig::parse("4/1x1x1 SBUS/2");
+    const auto params = makeParams(0.08, 1.0, 0.5);
+    SbusSystem system(cfg, params, quickOptions());
+    system.debugCorruptConservationForTest();
+    EXPECT_THROW(system.run(), PanicError);
+#else
+    GTEST_SKIP() << "contract checks compiled out "
+                    "(reconfigure with -DRSIN_CONTRACTS=ON)";
+#endif
+}
+
+TEST(SystemContractTest, CleanRunsFireNoInvariant)
+{
+    // All three system classes complete a measured run with the
+    // conservation contract checked at every arrival, transmission
+    // start and completion.
+    for (const char *spec :
+         {"4/1x1x1 SBUS/2", "4/1x4x4 XBAR/1", "8/1x8x8 OMEGA/2"}) {
+        const auto cfg = SystemConfig::parse(spec);
+        const auto params = makeParams(0.08, 1.0, 0.5);
+        const auto res = simulate(cfg, params, quickOptions(3));
+        EXPECT_TRUE(res.ok()) << spec;
+    }
+}
+
 } // namespace
 } // namespace rsin

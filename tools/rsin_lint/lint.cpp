@@ -1,0 +1,647 @@
+#include "lint.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <set>
+#include <sstream>
+#include <stdexcept>
+
+namespace rsin {
+namespace lint {
+
+namespace {
+
+bool
+isIdent(char c)
+{
+    return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+/** The rules a suppression names, keyed by the line it covers. */
+using SuppressionMap = std::map<std::size_t, std::set<std::string>>;
+
+/**
+ * Result of the lexical pre-pass: the source with comments and
+ * string/char literals blanked to spaces (newlines preserved, so line
+ * numbers and column positions survive), plus the parsed suppression
+ * comments and any malformed-suppression findings.
+ */
+struct Stripped
+{
+    std::string code;
+    SuppressionMap allow;
+    std::vector<Finding> errors;
+};
+
+const std::set<std::string> &
+knownRules()
+{
+    static const std::set<std::string> rules{"R1", "R2", "R3", "R4",
+                                             "R5"};
+    return rules;
+}
+
+/**
+ * Parse one comment for "rsin-lint: allow(R1,R2): reason".  The
+ * suppression covers @p commentLine and, so directives can sit on
+ * their own line above the code they excuse, the following line.
+ */
+void
+parseDirective(const std::string &comment, std::size_t comment_line,
+               const std::string &path, Stripped &out)
+{
+    const std::string kTag = "rsin-lint:";
+    const std::size_t tag = comment.find(kTag);
+    if (tag == std::string::npos)
+        return;
+    std::size_t pos = tag + kTag.size();
+    while (pos < comment.size() && comment[pos] == ' ')
+        ++pos;
+    const std::string kAllow = "allow(";
+    if (comment.compare(pos, kAllow.size(), kAllow) != 0) {
+        out.errors.push_back({path, comment_line, "SUP",
+                              "malformed rsin-lint directive (expected "
+                              "'allow(<rule>): <reason>')"});
+        return;
+    }
+    pos += kAllow.size();
+    const std::size_t close = comment.find(')', pos);
+    if (close == std::string::npos) {
+        out.errors.push_back({path, comment_line, "SUP",
+                              "unterminated allow(...) rule list"});
+        return;
+    }
+    // Split the rule list on commas and validate every name.
+    std::set<std::string> rules;
+    std::string name;
+    std::istringstream list(comment.substr(pos, close - pos));
+    while (std::getline(list, name, ',')) {
+        name.erase(std::remove(name.begin(), name.end(), ' '),
+                   name.end());
+        if (!knownRules().count(name)) {
+            out.errors.push_back({path, comment_line, "SUP",
+                                  "unknown rule '" + name +
+                                      "' in allow()"});
+            return;
+        }
+        rules.insert(name);
+    }
+    if (rules.empty()) {
+        out.errors.push_back(
+            {path, comment_line, "SUP", "empty allow() rule list"});
+        return;
+    }
+    // The reason is mandatory: ": <non-blank text>" after the ')'.
+    std::size_t after = close + 1;
+    while (after < comment.size() && comment[after] == ' ')
+        ++after;
+    bool has_reason = false;
+    if (after < comment.size() && comment[after] == ':') {
+        for (std::size_t i = after + 1; i < comment.size(); ++i)
+            if (!std::isspace(static_cast<unsigned char>(comment[i]))) {
+                has_reason = true;
+                break;
+            }
+    }
+    if (!has_reason) {
+        out.errors.push_back(
+            {path, comment_line, "SUP",
+             "suppression without a reason (write 'rsin-lint: "
+             "allow(<rule>): <why the rule does not apply>')"});
+        return;
+    }
+    out.allow[comment_line].insert(rules.begin(), rules.end());
+    out.allow[comment_line + 1].insert(rules.begin(), rules.end());
+}
+
+/**
+ * Blank comments and string/char literals (raw strings included) while
+ * collecting rsin-lint directives.  Replacing with spaces keeps every
+ * remaining token at its original line and column.
+ */
+Stripped
+strip(const std::string &path, const std::string &src)
+{
+    Stripped out;
+    out.code.assign(src.size(), ' ');
+    std::size_t line = 1;
+    std::size_t i = 0;
+    const std::size_t n = src.size();
+    auto copyChar = [&](std::size_t at) { out.code[at] = src[at]; };
+    while (i < n) {
+        const char c = src[i];
+        if (c == '\n') {
+            out.code[i] = '\n';
+            ++line;
+            ++i;
+            continue;
+        }
+        if (c == '/' && i + 1 < n && src[i + 1] == '/') {
+            const std::size_t start = i;
+            while (i < n && src[i] != '\n')
+                ++i;
+            parseDirective(src.substr(start, i - start), line, path, out);
+            continue;
+        }
+        if (c == '/' && i + 1 < n && src[i + 1] == '*') {
+            const std::size_t start = i;
+            const std::size_t start_line = line;
+            i += 2;
+            while (i + 1 < n && !(src[i] == '*' && src[i + 1] == '/')) {
+                if (src[i] == '\n') {
+                    out.code[i] = '\n';
+                    ++line;
+                }
+                ++i;
+            }
+            i = i + 1 < n ? i + 2 : n;
+            parseDirective(src.substr(start, i - start), start_line, path,
+                           out);
+            continue;
+        }
+        if (c == '"' && i >= 1 && src[i - 1] == 'R') {
+            // Raw string literal R"delim( ... )delim".
+            std::size_t d = i + 1;
+            while (d < n && src[d] != '(')
+                ++d;
+            // Built piecewise: the obvious `")" + substr + "\""` trips
+            // a gcc-12 -Wrestrict false positive inside libstdc++.
+            std::string delim(1, ')');
+            delim.append(src, i + 1, d - i - 1);
+            delim.push_back('"');
+            std::size_t end = src.find(delim, d);
+            end = end == std::string::npos ? n : end + delim.size();
+            for (; i < end; ++i)
+                if (src[i] == '\n') {
+                    out.code[i] = '\n';
+                    ++line;
+                }
+            continue;
+        }
+        if (c == '\'' && i > 0 &&
+            std::isalnum(static_cast<unsigned char>(src[i - 1])) &&
+            i + 1 < n &&
+            std::isalnum(static_cast<unsigned char>(src[i + 1]))) {
+            // Digit separator (16'384), not a char literal.
+            ++i;
+            continue;
+        }
+        if (c == '"' || c == '\'') {
+            const char quote = c;
+            ++i;
+            while (i < n && src[i] != quote) {
+                if (src[i] == '\\')
+                    ++i;
+                if (i < n && src[i] == '\n') {
+                    out.code[i] = '\n';
+                    ++line;
+                }
+                ++i;
+            }
+            i = i < n ? i + 1 : n;
+            continue;
+        }
+        copyChar(i);
+        ++i;
+    }
+    return out;
+}
+
+/** Directory scoping of the rules, derived from the file's path. */
+struct Scope
+{
+    bool rngImpl = false;        ///< src/common/rng.{cpp,hpp}: R1 home
+    bool deterministic = false;  ///< src/{des,rsin,exec,workload}: R2
+    bool modelCode = false;      ///< src/: R3, R4
+    bool outputLayer = false;    ///< src/common/table.*, src/obs: R4 off
+    bool consumer = false;       ///< bench/, examples/: R5
+};
+
+bool
+pathHas(const std::string &path, const std::string &piece)
+{
+    const std::size_t at = path.find(piece);
+    if (at == std::string::npos)
+        return false;
+    return at == 0 || path[at - 1] == '/';
+}
+
+Scope
+classify(const std::string &path)
+{
+    Scope s;
+    s.rngImpl = pathHas(path, "src/common/rng.");
+    s.deterministic = pathHas(path, "src/des/") ||
+                      pathHas(path, "src/rsin/") ||
+                      pathHas(path, "src/exec/") ||
+                      pathHas(path, "src/workload/");
+    s.modelCode = pathHas(path, "src/");
+    s.outputLayer = pathHas(path, "src/common/table.") ||
+                    pathHas(path, "src/obs/");
+    s.consumer = pathHas(path, "bench/") || pathHas(path, "examples/");
+    return s;
+}
+
+/** Is code[at..at+token) a whole identifier-token match? */
+bool
+tokenAt(const std::string &code, std::size_t at, const std::string &token)
+{
+    if (at > 0 && isIdent(code[at - 1]))
+        return false;
+    const std::size_t end = at + token.size();
+    return end >= code.size() || !isIdent(code[end]);
+}
+
+/** First non-space position at or after @p at. */
+std::size_t
+skipSpaces(const std::string &code, std::size_t at)
+{
+    while (at < code.size() &&
+           (code[at] == ' ' || code[at] == '\t'))
+        ++at;
+    return at;
+}
+
+struct Line
+{
+    std::size_t number; ///< 1-based
+    std::string text;   ///< stripped code of this line
+};
+
+std::vector<Line>
+splitLines(const std::string &code)
+{
+    std::vector<Line> lines;
+    std::size_t start = 0;
+    std::size_t number = 1;
+    for (std::size_t i = 0; i <= code.size(); ++i) {
+        if (i == code.size() || code[i] == '\n') {
+            lines.push_back({number, code.substr(start, i - start)});
+            start = i + 1;
+            ++number;
+        }
+    }
+    return lines;
+}
+
+/** All positions where @p token occurs as a whole token in @p text. */
+std::vector<std::size_t>
+tokenHits(const std::string &text, const std::string &token)
+{
+    std::vector<std::size_t> hits;
+    for (std::size_t at = text.find(token); at != std::string::npos;
+         at = text.find(token, at + 1))
+        if (tokenAt(text, at, token))
+            hits.push_back(at);
+    return hits;
+}
+
+/** R1: ambient randomness and wall-clock sources. */
+void
+ruleR1(const std::vector<Line> &lines, const Scope &scope,
+       const std::string &path, std::vector<Finding> &out)
+{
+    if (scope.rngImpl)
+        return; // the one sanctioned home of raw entropy
+    struct Token
+    {
+        const char *token;
+        const char *what;
+        bool callOnly; ///< require '(' next (bare name is harmless)
+    };
+    static const Token kTokens[] = {
+        {"rand", "rand()", true},
+        {"srand", "srand()", true},
+        {"drand48", "drand48()", true},
+        {"random_device", "std::random_device", false},
+        {"system_clock", "std::chrono::system_clock", false},
+        {"getrandom", "getrandom()", true},
+        {"clock", "clock()", true},
+        {"gettimeofday", "gettimeofday()", true},
+    };
+    for (const Line &line : lines) {
+        for (const Token &t : kTokens) {
+            for (std::size_t at : tokenHits(line.text, t.token)) {
+                if (t.callOnly) {
+                    const std::size_t next = skipSpaces(
+                        line.text, at + std::string(t.token).size());
+                    if (next >= line.text.size() ||
+                        line.text[next] != '(')
+                        continue;
+                }
+                out.push_back(
+                    {path, line.number, "R1",
+                     std::string(t.what) +
+                         ": ambient randomness/wall-clock breaks seed "
+                         "reproducibility; draw from rsin::Rng (seeded "
+                         "per cell) instead"});
+            }
+        }
+        // time(nullptr) / time(NULL): the call form only; bare
+        // identifiers named "time" are everywhere and harmless.
+        for (std::size_t at : tokenHits(line.text, "time")) {
+            std::size_t next = skipSpaces(line.text, at + 4);
+            if (next >= line.text.size() || line.text[next] != '(')
+                continue;
+            next = skipSpaces(line.text, next + 1);
+            if (line.text.compare(next, 7, "nullptr") == 0 ||
+                line.text.compare(next, 4, "NULL") == 0 ||
+                (next < line.text.size() && line.text[next] == '0'))
+                out.push_back(
+                    {path, line.number, "R1",
+                     "time(nullptr): wall-clock seeding breaks "
+                     "reproducibility; derive seeds from the cell "
+                     "coordinates instead"});
+        }
+    }
+}
+
+/** R2: unordered containers in determinism-critical directories. */
+void
+ruleR2(const std::vector<Line> &lines, const Scope &scope,
+       const std::string &path, std::vector<Finding> &out)
+{
+    if (!scope.deterministic)
+        return;
+    static const char *kTokens[] = {
+        "unordered_map",
+        "unordered_set",
+        "unordered_multimap",
+        "unordered_multiset",
+    };
+    for (const Line &line : lines) {
+        // #include <unordered_map> is not a use; the declarations and
+        // iterations are what the rule is after.
+        const std::size_t first = skipSpaces(line.text, 0);
+        if (first < line.text.size() && line.text[first] == '#')
+            continue;
+        for (const char *token : kTokens)
+            for (std::size_t at : tokenHits(line.text, token)) {
+                (void)at;
+                out.push_back(
+                    {path, line.number, "R2",
+                     std::string("std::") + token +
+                         " in a determinism-critical directory: "
+                         "iteration order varies across standard "
+                         "libraries and hash seeds, so any walk over "
+                         "it can reorder results; use std::map, "
+                         "std::vector, or sort before iterating"});
+            }
+    }
+}
+
+/**
+ * R3: float discipline in model code.  Flags the `float` type, float
+ * conversions (stof/strtof) and f-suffixed literals; the numeric model
+ * is double end-to-end so the 17-digit round-trip in src/obs is exact.
+ */
+void
+ruleR3(const std::vector<Line> &lines, const Scope &scope,
+       const std::string &path, std::vector<Finding> &out)
+{
+    if (!scope.modelCode)
+        return;
+    for (const Line &line : lines) {
+        for ([[maybe_unused]] std::size_t at :
+             tokenHits(line.text, "float"))
+            out.push_back({path, line.number, "R3",
+                           "float type in model code: the simulators "
+                           "and solvers are double end-to-end "
+                           "(17-significant-digit round-trip); use "
+                           "double"});
+        for (const char *token : {"stof", "strtof"})
+            for (std::size_t at : tokenHits(line.text, token)) {
+                (void)at;
+                out.push_back({path, line.number, "R3",
+                               std::string(token) +
+                                   " parses single precision; use the "
+                                   "double-precision variant"});
+            }
+        // f-suffixed numeric literals (1.0f, 1.f, 3e8f) narrow to
+        // float.  Hex integer literals (0x1f) are not literals of
+        // interest: skip anything starting 0x/0X.
+        const std::string &text = line.text;
+        for (std::size_t i = 0; i < text.size(); ++i) {
+            if (!std::isdigit(static_cast<unsigned char>(text[i])) ||
+                (i > 0 && (isIdent(text[i - 1]) || text[i - 1] == '.')))
+                continue;
+            const std::size_t start = i;
+            const bool hex = text[i] == '0' && i + 1 < text.size() &&
+                             (text[i + 1] == 'x' || text[i + 1] == 'X');
+            std::size_t j = i;
+            while (j < text.size() &&
+                   (isIdent(text[j]) || text[j] == '.' ||
+                    ((text[j] == '+' || text[j] == '-') && j > start &&
+                     (text[j - 1] == 'e' || text[j - 1] == 'E' ||
+                      text[j - 1] == 'p' || text[j - 1] == 'P'))))
+                ++j;
+            const std::string literal = text.substr(start, j - start);
+            const char last = literal.back();
+            if (!hex && (last == 'f' || last == 'F') &&
+                literal.find('.') == std::string::npos &&
+                literal.find('e') == std::string::npos &&
+                literal.find('E') == std::string::npos) {
+                // "3f" with no dot/exponent is not a valid float
+                // literal; nothing to flag.
+            } else if (!hex && (last == 'f' || last == 'F')) {
+                out.push_back({path, line.number, "R3",
+                               "f-suffixed literal '" + literal +
+                                   "' narrows to float; drop the "
+                                   "suffix"});
+            }
+            i = j;
+        }
+    }
+}
+
+/** R4: stdout writes in library code. */
+void
+ruleR4(const std::vector<Line> &lines, const Scope &scope,
+       const std::string &path, std::vector<Finding> &out)
+{
+    if (!scope.modelCode || scope.outputLayer)
+        return;
+    for (const Line &line : lines) {
+        for (std::size_t at : tokenHits(line.text, "cout")) {
+            (void)at;
+            out.push_back({path, line.number, "R4",
+                           "std::cout in library code: all table/report "
+                           "output flows through src/common/table or "
+                           "src/obs so artifacts and display never "
+                           "diverge"});
+        }
+        for (const char *token : {"printf", "puts", "putchar"})
+            for (std::size_t at : tokenHits(line.text, token)) {
+                const std::size_t next = skipSpaces(
+                    line.text, at + std::string(token).size());
+                if (next >= line.text.size() || line.text[next] != '(')
+                    continue;
+                out.push_back({path, line.number, "R4",
+                               std::string(token) +
+                                   "() writes stdout from library "
+                                   "code; route output through "
+                                   "src/common/table or src/obs"});
+            }
+        for (std::size_t at : tokenHits(line.text, "fprintf")) {
+            std::size_t next = skipSpaces(line.text, at + 7);
+            if (next >= line.text.size() || line.text[next] != '(')
+                continue;
+            next = skipSpaces(line.text, next + 1);
+            if (line.text.compare(next, 6, "stdout") == 0)
+                out.push_back({path, line.number, "R4",
+                               "fprintf(stdout, ...) in library code; "
+                               "route output through src/common/table "
+                               "or src/obs"});
+        }
+    }
+}
+
+/**
+ * R5: SimResult metric reads need a nearby RunStatus check.  Lexical
+ * heuristic: a read of a tainted-under-NaN metric field must have
+ * status evidence (".status", "ok()", "saturated", "displayValue",
+ * "RunStatus", "statusToken") on the same line or within the
+ * preceding kWindow lines.  Writes (field followed by '=') are
+ * producers, not consumers, and are exempt.
+ */
+void
+ruleR5(const std::vector<Line> &lines, const Scope &scope,
+       const std::string &path, std::vector<Finding> &out)
+{
+    if (!scope.consumer)
+        return;
+    static const char *kMetrics[] = {
+        "meanDelay",       "normalizedDelay",    "meanResponse",
+        "delayHalfWidth",  "delayP95",           "delayP99",
+        "timeAvgQueue",    "fractionNoWait",     "delayImbalance",
+        "meanRoutingAttempts", "meanBoxesTraversed",
+    };
+    static const char *kEvidence[] = {
+        ".status",  "status ==",   "ok()",      "saturated",
+        "displayValue", "RunStatus", "statusToken", "stable",
+    };
+    constexpr std::size_t kWindow = 25;
+    std::size_t last_evidence = 0; ///< line number, 0 = none yet
+    for (const Line &line : lines) {
+        for (const char *ev : kEvidence)
+            if (line.text.find(ev) != std::string::npos)
+                last_evidence = line.number;
+        for (const char *metric : kMetrics) {
+            for (std::size_t at : tokenHits(line.text, metric)) {
+                if (at == 0 || line.text[at - 1] != '.')
+                    continue; // member access only
+                std::size_t next = skipSpaces(
+                    line.text, at + std::string(metric).size());
+                if (next < line.text.size() &&
+                    line.text[next] == '=' &&
+                    (next + 1 >= line.text.size() ||
+                     line.text[next + 1] != '='))
+                    continue; // assignment: producing, not reading
+                const bool covered =
+                    last_evidence != 0 &&
+                    line.number - last_evidence <= kWindow;
+                if (!covered)
+                    out.push_back(
+                        {path, line.number, "R5",
+                         std::string(".") + metric +
+                             " read without a RunStatus check nearby: "
+                             "anything but RunStatus::Ok means the "
+                             "estimate is NaN or untrustworthy; test "
+                             "res.ok() (or render via "
+                             "obs::displayValue) first"});
+            }
+        }
+    }
+}
+
+} // namespace
+
+std::vector<Finding>
+lintSource(const std::string &path, const std::string &content)
+{
+    Stripped stripped = strip(path, content);
+    const std::vector<Line> lines = splitLines(stripped.code);
+    const Scope scope = classify(path);
+
+    std::vector<Finding> raw;
+    ruleR1(lines, scope, path, raw);
+    ruleR2(lines, scope, path, raw);
+    ruleR3(lines, scope, path, raw);
+    ruleR4(lines, scope, path, raw);
+    ruleR5(lines, scope, path, raw);
+
+    // Apply suppressions; malformed directives always survive.
+    std::vector<Finding> findings = std::move(stripped.errors);
+    for (Finding &f : raw) {
+        const auto it = stripped.allow.find(f.line);
+        if (it != stripped.allow.end() && it->second.count(f.rule))
+            continue;
+        findings.push_back(std::move(f));
+    }
+    std::sort(findings.begin(), findings.end(),
+              [](const Finding &a, const Finding &b) {
+                  if (a.line != b.line)
+                      return a.line < b.line;
+                  return a.rule < b.rule;
+              });
+    return findings;
+}
+
+std::vector<Finding>
+lintTree(const std::string &root)
+{
+    namespace fs = std::filesystem;
+    static const char *kSubtrees[] = {"src", "bench", "examples"};
+    std::vector<std::string> files;
+    bool any = false;
+    for (const char *subtree : kSubtrees) {
+        const fs::path dir = fs::path(root) / subtree;
+        if (!fs::is_directory(dir))
+            continue;
+        any = true;
+        for (const auto &entry : fs::recursive_directory_iterator(dir)) {
+            if (!entry.is_regular_file())
+                continue;
+            const std::string ext = entry.path().extension().string();
+            if (ext != ".cpp" && ext != ".hpp" && ext != ".h")
+                continue;
+            files.push_back(
+                fs::relative(entry.path(), root).generic_string());
+        }
+    }
+    if (!any)
+        throw std::runtime_error("rsin-lint: no src/, bench/ or "
+                                 "examples/ under root '" +
+                                 root + "'");
+    std::sort(files.begin(), files.end());
+
+    std::vector<Finding> findings;
+    for (const std::string &file : files) {
+        std::ifstream in(fs::path(root) / file, std::ios::binary);
+        if (!in)
+            throw std::runtime_error("rsin-lint: cannot read " + file);
+        std::ostringstream text;
+        text << in.rdbuf();
+        std::vector<Finding> here = lintSource(file, text.str());
+        findings.insert(findings.end(),
+                        std::make_move_iterator(here.begin()),
+                        std::make_move_iterator(here.end()));
+    }
+    return findings;
+}
+
+std::string
+formatFindings(const std::vector<Finding> &findings)
+{
+    std::ostringstream out;
+    for (const Finding &f : findings)
+        out << f.file << ":" << f.line << ": [" << f.rule << "] "
+            << f.message << "\n";
+    return out.str();
+}
+
+} // namespace lint
+} // namespace rsin

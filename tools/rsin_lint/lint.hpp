@@ -1,0 +1,74 @@
+#pragma once
+
+/**
+ * @file
+ * rsin-lint: a token/pattern static-analysis pass over the rsin tree.
+ *
+ * The simulators promise two things no unit test can fully pin down:
+ * bit-identical results for a given seed regardless of thread count
+ * (PR 1) and NaN/status discipline on every reported estimate (PR 2).
+ * Both rest on coding rules -- no ambient randomness, no wall-clock in
+ * simulation paths, no iteration over unordered containers in
+ * result-producing code, no float narrowing, no stray stdout, no
+ * metric reads without a RunStatus check.  rsin-lint enforces those
+ * rules mechanically so they survive refactors.
+ *
+ * The pass is deliberately lexical (comment/string-aware token
+ * scanning, no libclang): it trades soundness for zero dependencies
+ * and sub-second whole-tree runs.  False positives are silenced with
+ *
+ *     // rsin-lint: allow(R4): reason the rule does not apply here
+ *
+ * on the offending line or the line above.  The reason string is
+ * mandatory; a bare suppression is itself reported (rule SUP).
+ *
+ * Rule catalog (see docs/STATIC_ANALYSIS.md for the full rationale):
+ *   R1  ambient randomness / wall-clock time outside src/common/rng.cpp
+ *   R2  std::unordered_{map,set} in determinism-critical directories
+ *       (src/des, src/rsin, src/exec, src/workload)
+ *   R3  float type or f-suffixed literals in model code (src/)
+ *   R4  std::cout / printf in library code (all output flows through
+ *       src/common/table or src/obs)
+ *   R5  SimResult metric field read without a nearby RunStatus check
+ *       (bench/, examples/)
+ *   SUP malformed suppression comment (missing reason)
+ */
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace rsin {
+namespace lint {
+
+/** One rule violation at a specific source line. */
+struct Finding
+{
+    std::string file;    ///< path as given to the linter
+    std::size_t line = 0; ///< 1-based line number
+    std::string rule;    ///< "R1".."R5" or "SUP"
+    std::string message; ///< human-readable explanation
+};
+
+/**
+ * Lint one translation unit.  @p path decides which rules apply (rules
+ * are scoped by directory, e.g. R2 only fires under src/des, src/rsin,
+ * src/exec, src/workload); it is matched textually, so callers pass
+ * repo-relative paths with forward slashes.  @p content is the file
+ * text.
+ */
+std::vector<Finding> lintSource(const std::string &path,
+                                const std::string &content);
+
+/**
+ * Walk @p root's src/, bench/ and examples/ trees and lint every
+ * .cpp/.hpp/.h file.  Returns the findings sorted by (file, line).
+ * Throws FatalError when @p root lacks those directories.
+ */
+std::vector<Finding> lintTree(const std::string &root);
+
+/** Render findings one per line: "file:line: [rule] message". */
+std::string formatFindings(const std::vector<Finding> &findings);
+
+} // namespace lint
+} // namespace rsin

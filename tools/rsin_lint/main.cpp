@@ -1,0 +1,110 @@
+/**
+ * @file
+ * rsin-lint command-line driver.
+ *
+ * Usage:
+ *   rsin_lint --root <repo>        lint <repo>/{src,bench,examples}
+ *   rsin_lint --root <repo> f...   lint the named files only (paths
+ *                                  relative to the root decide rule
+ *                                  scoping)
+ *   rsin_lint --list-rules         print the rule catalog
+ *
+ * Exit status: 0 clean, 1 findings reported, 2 usage or I/O error.
+ * Registered as a ctest test so `ctest` fails whenever the tree
+ * violates a determinism/correctness rule.
+ */
+
+#include <exception>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "lint.hpp"
+
+namespace {
+
+void
+printRules(std::ostream &out)
+{
+    out << "rsin-lint rules (suppress with "
+           "'// rsin-lint: allow(<rule>): <reason>'):\n"
+        << "  R1  no ambient randomness or wall-clock time "
+           "(rand, random_device, system_clock, time(nullptr)) "
+           "outside src/common/rng.cpp\n"
+        << "  R2  no std::unordered_{map,set} in src/des, src/rsin, "
+           "src/exec, src/workload\n"
+        << "  R3  no float type or f-suffixed literals in src/ "
+           "(double discipline)\n"
+        << "  R4  no std::cout/printf in library code; output flows "
+           "through src/common/table or src/obs\n"
+        << "  R5  SimResult metric reads in bench/ and examples/ need "
+           "a nearby RunStatus check\n"
+        << "  SUP suppression comments must name known rules and "
+           "carry a reason\n";
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string root = ".";
+    std::vector<std::string> files;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--root") {
+            if (i + 1 >= argc) {
+                std::cerr << "rsin-lint: --root needs a directory\n";
+                return 2;
+            }
+            root = argv[++i];
+        } else if (arg == "--list-rules") {
+            printRules(std::cout);
+            return 0;
+        } else if (arg == "--help" || arg == "-h") {
+            std::cout << "usage: rsin_lint [--root DIR] [--list-rules] "
+                         "[file...]\n";
+            printRules(std::cout);
+            return 0;
+        } else if (!arg.empty() && arg[0] == '-') {
+            std::cerr << "rsin-lint: unknown option " << arg << "\n";
+            return 2;
+        } else {
+            files.push_back(arg);
+        }
+    }
+
+    try {
+        std::vector<rsin::lint::Finding> findings;
+        if (files.empty()) {
+            findings = rsin::lint::lintTree(root);
+        } else {
+            for (const std::string &file : files) {
+                std::ifstream in(root + "/" + file, std::ios::binary);
+                if (!in) {
+                    std::cerr << "rsin-lint: cannot read " << file
+                              << " under " << root << "\n";
+                    return 2;
+                }
+                std::ostringstream text;
+                text << in.rdbuf();
+                auto here = rsin::lint::lintSource(file, text.str());
+                findings.insert(findings.end(), here.begin(),
+                                here.end());
+            }
+        }
+        if (findings.empty()) {
+            std::cout << "rsin-lint: clean\n";
+            return 0;
+        }
+        std::cout << rsin::lint::formatFindings(findings)
+                  << "rsin-lint: " << findings.size() << " finding"
+                  << (findings.size() == 1 ? "" : "s") << "\n";
+        return 1;
+    } catch (const std::exception &err) {
+        std::cerr << err.what() << "\n";
+        return 2;
+    }
+}
