@@ -69,7 +69,8 @@ main(int argc, char **argv)
                                 sched::RoutingPolicy::PreferUpper,
                                 sched::RoutingPolicy::RandomTie}) {
                 Rng rng(17);
-                Rng local = scen; // same scenarios for every policy
+                // rsin-lint: allow(R8): deliberate paired-comparison fork -- every policy must see identical free-port scenarios
+                Rng local = scen;
                 double rejects = 0.0, served = 0.0;
                 for (int trial = 0; trial < 500; ++trial) {
                     topology::CircuitState circuit(net);

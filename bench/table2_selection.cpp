@@ -54,7 +54,6 @@ main()
     {
         const auto cfg = SystemConfig::parse("16/16x1x1 SBUS/3");
         const auto sol = analyzeSbus(cfg, lambda, mu_n, mu_s);
-        // rsin-lint: allow(R5): analytic closed form; it has no RunStatus
         ev.row({cfg.str(), formatf("%.4f", sol.normalizedDelay),
                 formatf("%zu", networkGateCost(cfg))});
     }

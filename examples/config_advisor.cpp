@@ -71,7 +71,6 @@ main(int argc, char **argv)
                 analyzeSbus(cfg, params.lambda, mu_n, mu_s);
             std::printf("Candidate normalized delay at rho = 0.5 "
                         "(analytic): %.4f\n",
-                        // rsin-lint: allow(R5): analytic result, no RunStatus
                         sol.normalizedDelay);
         } else {
             SimOptions opts;

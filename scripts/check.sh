@@ -17,8 +17,10 @@
 #              (build-contracts/).  Runtime invariants fire: calendar
 #              heap order, per-fire time monotonicity, task
 #              conservation, sweep seed uniqueness.
-#   lint       Build rsin_lint and run it over src/, bench/, examples/
-#              (reuses build/ if configured, else build-lint/).
+#   lint       Build rsin_lint and run it over src/, bench/, examples/,
+#              tools/ and tests/ filtered through the committed
+#              baseline (reuses build/ if configured, else
+#              build-lint/).  Fails on any non-baselined finding.
 #   tidy       clang-tidy over the library sources (skips with a
 #              notice when clang-tidy is not installed).
 #   all        asan, tsan, contracts, lint, tidy in sequence; fails if
@@ -76,7 +78,8 @@ run_lint() {
         cmake -B "$build" -S "$repo" -DCMAKE_BUILD_TYPE=Release "$@"
     fi
     cmake --build "$build" --target rsin_lint -j "$(nproc)"
-    "$build/tools/rsin_lint/rsin_lint" --root "$repo"
+    "$build/tools/rsin_lint/rsin_lint" --root "$repo" \
+        --baseline "$repo/tools/rsin_lint/baseline.json"
 }
 
 run_tidy() {

@@ -13,6 +13,7 @@
 #include <string>
 #include <vector>
 
+// rsin-lint: allow(R6): markov builds on the dense LA kernels; both are rank-1 analytic layers and la never includes markov back
 #include "la/matrix.hpp"
 
 namespace rsin {

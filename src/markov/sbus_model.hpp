@@ -20,6 +20,7 @@
 #include <cstddef>
 #include <string>
 
+// rsin-lint: allow(R6): markov builds on the dense LA kernels; both are rank-1 analytic layers and la never includes markov back
 #include "la/matrix.hpp"
 #include "markov/ctmc.hpp"
 

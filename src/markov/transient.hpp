@@ -15,6 +15,7 @@
 
 #include <cstddef>
 
+// rsin-lint: allow(R6): markov builds on the dense LA kernels; both are rank-1 analytic layers and la never includes markov back
 #include "la/matrix.hpp"
 #include "markov/ctmc.hpp"
 

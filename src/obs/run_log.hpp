@@ -17,6 +17,7 @@
 #include <string>
 #include <vector>
 
+// rsin-lint: allow(R6): the log consumes exec::SweepStats counters read-only; exec never includes obs, so no cycle can form
 #include "exec/sweep_runner.hpp"
 #include "obs/run_record.hpp"
 

@@ -1,6 +1,7 @@
 #include "workload.hpp"
 
 #include <cmath>
+#include <utility>
 
 namespace rsin {
 namespace workload {
@@ -42,8 +43,8 @@ sampleTime(Rng &rng, TimeDistribution dist, double rate)
 }
 
 TaskSource::TaskSource(std::size_t processor, const WorkloadParams &params,
-                       Rng rng)
-    : processor_(processor), params_(params), rng_(rng)
+                       Rng &&rng)
+    : processor_(processor), params_(params), rng_(std::move(rng))
 {
     params_.validate();
 }

@@ -95,7 +95,7 @@ class TaskSource
 {
   public:
     TaskSource(std::size_t processor, const WorkloadParams &params,
-               Rng rng);
+               Rng &&rng);
 
     /** Time until the next task arrives at this processor. */
     double nextInterarrival();

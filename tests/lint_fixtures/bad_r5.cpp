@@ -1,21 +1,27 @@
-// Fixture: R5 violation (metric read without a RunStatus check).
-// Never compiled; linted under a virtual bench/ path.  The struct
-// mirrors rsin::SimResult's metric fields.
+// Fixture: R5 violations under the flow-sensitive rule (metric reads
+// not dominated by a RunStatus check).  Never compiled; linted under
+// a virtual bench/ path.
 namespace fixture {
 
-struct Result
-{
-    double meanDelay = 0.0;
-    double normalizedDelay = 0.0;
-};
-
-Result simulateSomething();
+struct SimResult;
+SimResult simulate(int seed);
 
 double
 readWithoutChecking()
 {
-    Result res = simulateSomething();
-    return res.meanDelay; // violation: no status evidence in window
+    auto res = simulate(1);
+    return res.meanDelay; // violation: never checked
+}
+
+double
+checkDiedWithItsBranch(bool verbose)
+{
+    auto res = simulate(2);
+    if (verbose) {
+        if (!res.ok())
+            return -1.0;
+    }
+    return res.normalizedDelay; // violation: the check left scope
 }
 
 } // namespace fixture

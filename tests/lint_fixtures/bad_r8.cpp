@@ -1,0 +1,24 @@
+// Fixture: R8 violations (Rng stream forks) next to the sanctioned
+// clean patterns.  Never compiled; linted under a virtual bench/ path.
+namespace fixture {
+
+struct Rng;
+
+void byValueParam(Rng rng, int seed); // violation: by-value parameter
+void unnamedByValue(Rng);             // violation: unnamed by-value
+void sharedStream(Rng &rng);          // clean: shared stream
+void handoff(Rng &&rng);              // clean: ownership handoff
+
+double
+forkFest(Rng &parent)
+{
+    Rng forked = parent;              // violation: copy-init fork
+    Rng twin(forked);                 // violation: copy-ctor fork
+    auto bad = [forked] { return 1; };  // violation: by-value capture
+    auto good = [&forked] { return 2; }; // clean: by-reference capture
+    Rng child = parent.split();       // clean: independent child
+    Rng seeded(1234);                 // clean: fresh seeded stream
+    return 0.0;
+}
+
+} // namespace fixture

@@ -1,0 +1,9 @@
+// Fixture: a stale suppression.  The directive is well-formed and
+// reasoned, but the two lines it covers violate nothing, so R9 must
+// report it for cleanup.
+namespace fixture {
+
+// rsin-lint: allow(R3): this line stopped using float long ago
+double clean = 1.0;
+
+} // namespace fixture

@@ -10,7 +10,7 @@ struct Table
     // rsin-lint: allow(R2)
     std::unordered_map<int, int> bare; // R2 still fires: no reason given
 
-    // rsin-lint: allow(R9): no such rule
+    // rsin-lint: allow(R99): no such rule
     std::unordered_map<int, int> unknown; // R2 still fires here too
 };
 

@@ -1,0 +1,3 @@
+// Fixture: one half of an include cycle (with cycle_b.hpp); linted
+// under virtual paths in the same module so only R7 fires.
+#include "cycle_b.hpp"

@@ -1,0 +1,2 @@
+// Fixture: the other half of the include cycle (with cycle_a.hpp).
+#include "cycle_a.hpp"

@@ -1,0 +1,4 @@
+// Fixture: inverted include -- linted under the virtual path
+// src/common/clock.hpp, so the include below reaches UP the layer DAG
+// from common (layer 0) into exec (layer 5) and must trip R6.
+#include "exec/thread_pool.hpp"

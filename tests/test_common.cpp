@@ -215,6 +215,7 @@ TEST(RngTest, SplitProducesIndependentStream)
     Rng a(31);
     Rng child = a.split();
     // The child stream should not reproduce the parent stream.
+    // rsin-lint: allow(R8): the test replays the parent stream on purpose to prove split() diverged from it
     Rng parent_copy = a;
     int equal = 0;
     for (int i = 0; i < 100; ++i)

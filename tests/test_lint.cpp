@@ -2,28 +2,35 @@
  * @file
  * Tests for the rsin-lint rule engine (tools/rsin_lint).
  *
- * Every rule R1-R5 is proven to fire on a known-bad fixture with the
+ * Every rule R1-R9 is proven to fire on a known-bad fixture with the
  * right rule ID and line; a clean fixture and a correctly-suppressed
  * violation both pass; a suppression without a reason string (or with
  * an unknown rule name) is itself an error and does not silence the
- * violation it covers.  Fixtures live in tests/lint_fixtures/ and are
- * linted under virtual paths, because rule scoping is directory-based.
+ * violation it covers.  The graph rules (R6 layering, R7 cycles) are
+ * driven through the multi-file lintFiles() API; the output layer is
+ * covered by a SARIF structure test and a baseline round-trip.
+ * Fixtures live in tests/lint_fixtures/ and are linted under virtual
+ * paths, because rule scoping is directory-based.
  */
 
 #include <algorithm>
 #include <fstream>
 #include <sstream>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
 #include <gtest/gtest.h>
 
 #include "lint.hpp"
+#include "output.hpp"
 
 namespace {
 
 using rsin::lint::Finding;
+using rsin::lint::lintFiles;
 using rsin::lint::lintSource;
+using rsin::lint::SourceFile;
 
 std::string
 readFixture(const std::string &name)
@@ -157,35 +164,190 @@ TEST(LintR4, OutputLayerIsExempt)
               1u);
 }
 
+// ---------------------------------------------------------------------
+// R5: flow-sensitive status-before-metric.
+// ---------------------------------------------------------------------
+
 TEST(LintR5, FlagsMetricReadWithoutStatusCheck)
 {
     const auto findings =
         lintFixture("bench/bad_r5.cpp", "bad_r5.cpp");
-    EXPECT_EQ(countRule(findings, "R5"), 1u)
+    EXPECT_EQ(countRule(findings, "R5"), 2u)
         << rsin::lint::formatFindings(findings);
-    EXPECT_TRUE(hasFindingAt(findings, "R5", 18)); // res.meanDelay read
+    EXPECT_TRUE(hasFindingAt(findings, "R5", 13)); // never checked
+    EXPECT_TRUE(hasFindingAt(findings, "R5", 24)); // check left scope
 }
 
-TEST(LintR5, StatusEvidenceInWindowSilencesTheRule)
+TEST(LintR5, DominatingCheckInEnclosingScopeCovers)
 {
     const auto findings = lintSource(
         "bench/ok.cpp",
-        "void f() {\n"
-        "    auto res = simulate(cfg, params, opts);\n"
-        "    if (!res.ok()) return;\n"
-        "    use(res.meanDelay);\n"
+        "double f() {\n"
+        "    auto res = simulate(1);\n"
+        "    if (!res.ok()) return 0.0;\n"
+        "    double total = 0.0;\n"
+        "    for (int i = 0; i < 3; ++i) {\n"
+        "        total += res.meanDelay;\n"
+        "    }\n"
+        "    return total;\n"
         "}\n");
     EXPECT_EQ(countRule(findings, "R5"), 0u)
+        << rsin::lint::formatFindings(findings);
+}
+
+TEST(LintR5, EvidenceDoesNotLeakAcrossFunctions)
+{
+    // The old line-window heuristic accepted a check in a *previous*
+    // function if it was close enough; the scope chain must not.
+    const auto findings = lintSource(
+        "bench/leak.cpp",
+        "void check() {\n"
+        "    auto a = simulate(1);\n"
+        "    if (!a.ok()) return;\n"
+        "}\n"
+        "double peek() {\n"
+        "    auto b = simulate(2);\n"
+        "    return b.meanDelay;\n"
+        "}\n");
+    EXPECT_EQ(countRule(findings, "R5"), 1u)
+        << rsin::lint::formatFindings(findings);
+    EXPECT_TRUE(hasFindingAt(findings, "R5", 7));
+}
+
+TEST(LintR5, AnalyticResultsAreNotTainted)
+{
+    // analyzeSbus returns a closed-form solution with no RunStatus;
+    // the old heuristic needed allow(R5) comments for this pattern.
+    const auto findings = lintSource(
+        "bench/analytic.cpp",
+        "void f() {\n"
+        "    const auto sol = analyzeSbus(cfg, lambda, mu_n, mu_s);\n"
+        "    print(sol.normalizedDelay);\n"
+        "}\n");
+    EXPECT_EQ(countRule(findings, "R5"), 0u)
+        << rsin::lint::formatFindings(findings);
+}
+
+TEST(LintR5, DirectProducerCallReadIsStillFlagged)
+{
+    const auto findings = lintSource(
+        "examples/direct.cpp",
+        "double f() { return simulate(cfg).meanDelay; }\n");
+    EXPECT_EQ(countRule(findings, "R5"), 1u)
         << rsin::lint::formatFindings(findings);
 }
 
 TEST(LintR5, AssignmentIsProductionNotConsumption)
 {
     const auto findings = lintSource(
-        "examples/make.cpp", "void f(R &r) { r.meanDelay = 1.0; }\n");
+        "examples/make.cpp",
+        "void f() {\n"
+        "    auto r = simulate(1);\n"
+        "    r.meanDelay = 1.0;\n"
+        "}\n");
     EXPECT_EQ(countRule(findings, "R5"), 0u)
         << rsin::lint::formatFindings(findings);
 }
+
+// ---------------------------------------------------------------------
+// R6/R7: include-graph rules.
+// ---------------------------------------------------------------------
+
+TEST(LintR6, InvertedIncludeIsCaught)
+{
+    // common (layer 0) reaching up into exec (layer 5).
+    const auto findings = lintFixture("src/common/clock.hpp",
+                                      "layering_bad_include.hpp");
+    EXPECT_EQ(countRule(findings, "R6"), 1u)
+        << rsin::lint::formatFindings(findings);
+    EXPECT_TRUE(hasFindingAt(findings, "R6", 4));
+}
+
+TEST(LintR6, SameRankSiblingsMayNotInclude)
+{
+    const auto findings = lintSource(
+        "src/queueing/q.hpp", "#include \"packet/switch.hpp\"\n");
+    EXPECT_EQ(countRule(findings, "R6"), 1u)
+        << rsin::lint::formatFindings(findings);
+}
+
+TEST(LintR6, DownwardIncludesAreClean)
+{
+    const auto findings = lintSource(
+        "src/rsin/system.hpp",
+        "#include \"des/calendar.hpp\"\n"
+        "#include \"common/rng.hpp\"\n"
+        "#include \"workload/workload.hpp\"\n");
+    EXPECT_EQ(countRule(findings, "R6"), 0u)
+        << rsin::lint::formatFindings(findings);
+}
+
+TEST(LintR6, LeafDirectoriesMayIncludeEverything)
+{
+    const auto findings = lintSource(
+        "bench/fig.cpp",
+        "#include \"exec/sweep_runner.hpp\"\n"
+        "#include \"rsin/system.hpp\"\n"
+        "#include \"obs/run_log.hpp\"\n");
+    EXPECT_EQ(countRule(findings, "R6"), 0u)
+        << rsin::lint::formatFindings(findings);
+}
+
+TEST(LintR7, IncludeCycleIsReportedWithItsChain)
+{
+    const std::vector<SourceFile> sources{
+        {"src/des/cycle_a.hpp", readFixture("cycle_a.hpp")},
+        {"src/des/cycle_b.hpp", readFixture("cycle_b.hpp")},
+    };
+    const auto findings = lintFiles(sources);
+    EXPECT_EQ(countRule(findings, "R7"), 1u)
+        << rsin::lint::formatFindings(findings);
+    for (const Finding &f : findings)
+        if (f.rule == "R7") {
+            EXPECT_NE(f.message.find("cycle_a.hpp"), std::string::npos)
+                << f.message;
+            EXPECT_NE(f.message.find("cycle_b.hpp"), std::string::npos)
+                << f.message;
+        }
+}
+
+TEST(LintR7, AcyclicGraphIsClean)
+{
+    const std::vector<SourceFile> sources{
+        {"src/des/a.hpp", "#include \"b.hpp\"\n"},
+        {"src/des/b.hpp", "int x;\n"},
+    };
+    EXPECT_EQ(countRule(lintFiles(sources), "R7"), 0u);
+}
+
+// ---------------------------------------------------------------------
+// R8: Rng stream forks.
+// ---------------------------------------------------------------------
+
+TEST(LintR8, FlagsEveryForkFormAndOnlyThose)
+{
+    const auto findings =
+        lintFixture("bench/bad_r8.cpp", "bad_r8.cpp");
+    EXPECT_EQ(countRule(findings, "R8"), 5u)
+        << rsin::lint::formatFindings(findings);
+    EXPECT_TRUE(hasFindingAt(findings, "R8", 7));  // by-value param
+    EXPECT_TRUE(hasFindingAt(findings, "R8", 8));  // unnamed by-value
+    EXPECT_TRUE(hasFindingAt(findings, "R8", 15)); // copy-init
+    EXPECT_TRUE(hasFindingAt(findings, "R8", 16)); // copy-ctor
+    EXPECT_TRUE(hasFindingAt(findings, "R8", 17)); // by-value capture
+}
+
+TEST(LintR8, CommonLayerOwnsRngAndIsExempt)
+{
+    const auto findings = lintSource(
+        "src/common/rng.hpp", "Rng makeChild(Rng parent);\n");
+    EXPECT_EQ(countRule(findings, "R8"), 0u)
+        << rsin::lint::formatFindings(findings);
+}
+
+// ---------------------------------------------------------------------
+// Suppressions: SUP and R9.
+// ---------------------------------------------------------------------
 
 TEST(LintClean, CleanFixtureHasNoFindings)
 {
@@ -218,6 +380,36 @@ TEST(LintSuppression, ReasonlessOrUnknownSuppressionIsAnError)
     EXPECT_TRUE(hasFindingAt(findings, "R2", 14));
 }
 
+TEST(LintR9, StaleSuppressionIsReported)
+{
+    const auto findings =
+        lintFixture("src/des/bad_r9.cpp", "bad_r9.cpp");
+    EXPECT_EQ(countRule(findings, "R9"), 1u)
+        << rsin::lint::formatFindings(findings);
+    EXPECT_TRUE(hasFindingAt(findings, "R9", 6));
+}
+
+TEST(LintR9, UsedSuppressionIsNotStale)
+{
+    // suppressed.cpp's directive masks a real R2: no R9 for it.
+    const auto findings =
+        lintFixture("src/rsin/suppressed.cpp", "suppressed.cpp");
+    EXPECT_EQ(countRule(findings, "R9"), 0u)
+        << rsin::lint::formatFindings(findings);
+}
+
+TEST(LintSuppression, BlockCommentsNeverCarryDirectives)
+{
+    // Documentation may quote the directive syntax inside a block
+    // comment without creating (or staling) a suppression.
+    const auto findings = lintSource(
+        "src/des/doc.cpp",
+        "/* Write \"rsin-lint: allow(R2): reason\" to suppress. */\n"
+        "int x;\n");
+    EXPECT_TRUE(findings.empty())
+        << rsin::lint::formatFindings(findings);
+}
+
 TEST(LintLexer, CommentsAndStringsDoNotTrip)
 {
     const auto findings = lintSource(
@@ -236,6 +428,90 @@ TEST(LintFormat, FindingsRenderOnePerLine)
     std::vector<Finding> findings{{"a.cpp", 3, "R1", "msg"}};
     EXPECT_EQ(rsin::lint::formatFindings(findings),
               "a.cpp:3: [R1] msg\n");
+}
+
+// ---------------------------------------------------------------------
+// Output layer: JSON, SARIF, baseline ratchet.
+// ---------------------------------------------------------------------
+
+TEST(LintOutput, JsonCarriesEveryField)
+{
+    std::vector<Finding> findings{
+        {"src/a.cpp", 3, "R1", "msg \"quoted\""}};
+    const std::string json = rsin::lint::formatJson(findings);
+    EXPECT_NE(json.find("\"file\": \"src/a.cpp\""), std::string::npos)
+        << json;
+    EXPECT_NE(json.find("\"line\": 3"), std::string::npos) << json;
+    EXPECT_NE(json.find("\"rule\": \"R1\""), std::string::npos) << json;
+    EXPECT_NE(json.find("\\\"quoted\\\""), std::string::npos) << json;
+}
+
+TEST(LintOutput, SarifHasThe210Structure)
+{
+    std::vector<Finding> findings{
+        {"src/a.cpp", 3, "R6", "layer violation"}};
+    const std::string sarif = rsin::lint::formatSarif(findings);
+    // Top-level log object.
+    EXPECT_NE(sarif.find("\"version\": \"2.1.0\""), std::string::npos);
+    EXPECT_NE(sarif.find("sarif-schema-2.1.0.json"),
+              std::string::npos); // $schema
+    // runs[0].tool.driver with a populated rule catalog.
+    EXPECT_NE(sarif.find("\"runs\""), std::string::npos);
+    EXPECT_NE(sarif.find("\"driver\""), std::string::npos);
+    EXPECT_NE(sarif.find("\"name\": \"rsin-lint\""), std::string::npos);
+    for (const rsin::lint::RuleInfo &rule : rsin::lint::ruleCatalog())
+        EXPECT_NE(sarif.find(std::string("\"id\": \"") + rule.id +
+                             "\""),
+                  std::string::npos)
+            << rule.id;
+    // results[0] location chain down to the line.
+    EXPECT_NE(sarif.find("\"ruleId\": \"R6\""), std::string::npos);
+    EXPECT_NE(sarif.find("\"physicalLocation\""), std::string::npos);
+    EXPECT_NE(sarif.find("\"uri\": \"src/a.cpp\""), std::string::npos);
+    EXPECT_NE(sarif.find("\"startLine\": 3"), std::string::npos);
+}
+
+TEST(LintBaseline, RoundTripFiltersEverythingItRecorded)
+{
+    std::vector<Finding> findings{
+        {"src/a.cpp", 3, "R6", "m1"},
+        {"src/a.cpp", 9, "R6", "m2"},
+        {"src/b.cpp", 1, "R8", "m3"},
+    };
+    const std::string doc = rsin::lint::emitBaseline(findings);
+    const rsin::lint::Baseline base = rsin::lint::parseBaseline(doc);
+    std::size_t baselined = 0;
+    const auto left =
+        rsin::lint::applyBaseline(findings, base, &baselined);
+    EXPECT_TRUE(left.empty()) << rsin::lint::formatFindings(left);
+    EXPECT_EQ(baselined, 3u);
+}
+
+TEST(LintBaseline, NewFindingsSurviveTheFilter)
+{
+    std::vector<Finding> old{{"src/a.cpp", 3, "R6", "m1"}};
+    const rsin::lint::Baseline base =
+        rsin::lint::parseBaseline(rsin::lint::emitBaseline(old));
+    // Same bucket twice: one is grandfathered, the second is new.
+    std::vector<Finding> now{{"src/a.cpp", 3, "R6", "m1"},
+                             {"src/a.cpp", 40, "R6", "new"},
+                             {"src/c.cpp", 2, "R8", "other file"}};
+    std::size_t baselined = 0;
+    const auto left = rsin::lint::applyBaseline(now, base, &baselined);
+    EXPECT_EQ(baselined, 1u);
+    ASSERT_EQ(left.size(), 2u) << rsin::lint::formatFindings(left);
+    EXPECT_EQ(left[0].file, "src/a.cpp");
+    EXPECT_EQ(left[1].file, "src/c.cpp");
+}
+
+TEST(LintBaseline, WrongSchemaOrGarbageThrows)
+{
+    EXPECT_THROW(rsin::lint::parseBaseline("not json"),
+                 std::runtime_error);
+    EXPECT_THROW(
+        rsin::lint::parseBaseline(
+            "{\"schema\": \"rsin.other.v9\", \"entries\": []}"),
+        std::runtime_error);
 }
 
 } // namespace

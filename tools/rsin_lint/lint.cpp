@@ -9,6 +9,8 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "include_graph.hpp"
+
 namespace rsin {
 namespace lint {
 
@@ -20,8 +22,13 @@ isIdent(char c)
     return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
 }
 
-/** The rules a suppression names, keyed by the line it covers. */
-using SuppressionMap = std::map<std::size_t, std::set<std::string>>;
+/** One parsed "rsin-lint: allow(...)" comment. */
+struct Directive
+{
+    std::size_t line = 0;         ///< line the comment starts on
+    std::set<std::string> rules;  ///< rules it waives
+    bool used = false;            ///< did it mask at least one finding?
+};
 
 /**
  * Result of the lexical pre-pass: the source with comments and
@@ -32,22 +39,25 @@ using SuppressionMap = std::map<std::size_t, std::set<std::string>>;
 struct Stripped
 {
     std::string code;
-    SuppressionMap allow;
+    std::vector<Directive> directives;
     std::vector<Finding> errors;
 };
 
 const std::set<std::string> &
 knownRules()
 {
-    static const std::set<std::string> rules{"R1", "R2", "R3", "R4",
-                                             "R5"};
+    static const std::set<std::string> rules{
+        "R1", "R2", "R3", "R4", "R5", "R6", "R7", "R8", "R9"};
     return rules;
 }
 
 /**
- * Parse one comment for "rsin-lint: allow(R1,R2): reason".  The
- * suppression covers @p commentLine and, so directives can sit on
+ * Parse one line comment for "rsin-lint: allow(R1,R2): reason".  The
+ * suppression covers the comment's line and, so directives can sit on
  * their own line above the code they excuse, the following line.
+ * Only // comments carry directives: block comments are documentation,
+ * which lets this very file show the syntax without suppressing
+ * anything.
  */
 void
 parseDirective(const std::string &comment, std::size_t comment_line,
@@ -113,8 +123,7 @@ parseDirective(const std::string &comment, std::size_t comment_line,
              "allow(<rule>): <why the rule does not apply>')"});
         return;
     }
-    out.allow[comment_line].insert(rules.begin(), rules.end());
-    out.allow[comment_line + 1].insert(rules.begin(), rules.end());
+    out.directives.push_back({comment_line, rules, false});
 }
 
 /**
@@ -147,8 +156,7 @@ strip(const std::string &path, const std::string &src)
             continue;
         }
         if (c == '/' && i + 1 < n && src[i + 1] == '*') {
-            const std::size_t start = i;
-            const std::size_t start_line = line;
+            // Block comments never carry directives (see parseDirective).
             i += 2;
             while (i + 1 < n && !(src[i] == '*' && src[i + 1] == '/')) {
                 if (src[i] == '\n') {
@@ -158,8 +166,6 @@ strip(const std::string &path, const std::string &src)
                 ++i;
             }
             i = i + 1 < n ? i + 2 : n;
-            parseDirective(src.substr(start, i - start), start_line, path,
-                           out);
             continue;
         }
         if (c == '"' && i >= 1 && src[i - 1] == 'R') {
@@ -214,6 +220,7 @@ strip(const std::string &path, const std::string &src)
 struct Scope
 {
     bool rngImpl = false;        ///< src/common/rng.{cpp,hpp}: R1 home
+    bool rngHome = false;        ///< src/common/: R8 does not apply
     bool deterministic = false;  ///< src/{des,rsin,exec,workload}: R2
     bool modelCode = false;      ///< src/: R3, R4
     bool outputLayer = false;    ///< src/common/table.*, src/obs: R4 off
@@ -234,6 +241,7 @@ classify(const std::string &path)
 {
     Scope s;
     s.rngImpl = pathHas(path, "src/common/rng.");
+    s.rngHome = pathHas(path, "src/common/");
     s.deterministic = pathHas(path, "src/des/") ||
                       pathHas(path, "src/rsin/") ||
                       pathHas(path, "src/exec/") ||
@@ -499,90 +507,512 @@ ruleR4(const std::vector<Line> &lines, const Scope &scope,
     }
 }
 
-/**
- * R5: SimResult metric reads need a nearby RunStatus check.  Lexical
- * heuristic: a read of a tainted-under-NaN metric field must have
- * status evidence (".status", "ok()", "saturated", "displayValue",
- * "RunStatus", "statusToken") on the same line or within the
- * preceding kWindow lines.  Writes (field followed by '=') are
- * producers, not consumers, and are exempt.
- */
-void
-ruleR5(const std::vector<Line> &lines, const Scope &scope,
-       const std::string &path, std::vector<Finding> &out)
+// ---------------------------------------------------------------------
+// Token stream + scope/branch tracker (rules R5 and R8).
+// ---------------------------------------------------------------------
+
+/** One lexical token of the stripped source. */
+struct Tok
 {
-    if (!scope.consumer)
-        return;
-    static const char *kMetrics[] = {
+    char kind;        ///< 'i' identifier, 'n' number, 'p' punctuation
+    std::string text;
+    std::size_t line; ///< 1-based
+};
+
+std::vector<Tok>
+tokenize(const std::string &code)
+{
+    std::vector<Tok> toks;
+    std::size_t line = 1;
+    std::size_t i = 0;
+    const std::size_t n = code.size();
+    while (i < n) {
+        const char c = code[i];
+        if (c == '\n') {
+            ++line;
+            ++i;
+            continue;
+        }
+        if (std::isspace(static_cast<unsigned char>(c))) {
+            ++i;
+            continue;
+        }
+        if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+            const std::size_t start = i;
+            while (i < n && isIdent(code[i]))
+                ++i;
+            toks.push_back({'i', code.substr(start, i - start), line});
+            continue;
+        }
+        if (std::isdigit(static_cast<unsigned char>(c))) {
+            const std::size_t start = i;
+            while (i < n &&
+                   (isIdent(code[i]) || code[i] == '.' ||
+                    ((code[i] == '+' || code[i] == '-') && i > start &&
+                     (code[i - 1] == 'e' || code[i - 1] == 'E' ||
+                      code[i - 1] == 'p' || code[i - 1] == 'P'))))
+                ++i;
+            toks.push_back({'n', code.substr(start, i - start), line});
+            continue;
+        }
+        toks.push_back({'p', std::string(1, c), line});
+        ++i;
+    }
+    return toks;
+}
+
+/** Metric fields whose value is NaN/garbage unless status is Ok. */
+const std::set<std::string> &
+metricFields()
+{
+    static const std::set<std::string> fields{
         "meanDelay",       "normalizedDelay",    "meanResponse",
         "delayHalfWidth",  "delayP95",           "delayP99",
         "timeAvgQueue",    "fractionNoWait",     "delayImbalance",
         "meanRoutingAttempts", "meanBoxesTraversed",
     };
-    static const char *kEvidence[] = {
-        ".status",  "status ==",   "ok()",      "saturated",
-        "displayValue", "RunStatus", "statusToken", "stable",
+    return fields;
+}
+
+/** Calls whose return value is a SimResult (taint sources for R5). */
+const std::set<std::string> &
+resultProducers()
+{
+    static const std::set<std::string> calls{
+        "simulate", "simulateReplicated", "aggregateReplications"};
+    return calls;
+}
+
+bool
+isEvidenceAt(const std::vector<Tok> &toks, std::size_t i)
+{
+    const Tok &t = toks[i];
+    if (t.kind != 'i')
+        return false;
+    if (t.text == "status" || t.text == "RunStatus" ||
+        t.text == "displayValue" || t.text == "statusToken" ||
+        t.text == "saturated" || t.text == "stable")
+        return true;
+    if (t.text == "ok")
+        return i + 1 < toks.size() && toks[i + 1].kind == 'p' &&
+               toks[i + 1].text == "(";
+    return false;
+}
+
+/** Per-brace-scope flow state for R5/R8. */
+struct Frame
+{
+    bool evidence = false;         ///< a RunStatus check reached here
+    std::set<std::string> tainted; ///< SimResult variables born here
+    std::set<std::string> rngVars; ///< Rng lvalues born here
+};
+
+bool
+anyFrameHas(const std::vector<Frame> &frames,
+            std::set<std::string> Frame::*member, const std::string &name)
+{
+    for (const Frame &f : frames)
+        if ((f.*member).count(name))
+            return true;
+    return false;
+}
+
+/**
+ * Flow-sensitive pass: walks the token stream once with a stack of
+ * brace scopes.
+ *
+ * R5 (bench/, examples/): a read of a metric field off a variable
+ * known to hold a SimResult (declared `SimResult x` or bound from
+ * simulate()/simulateReplicated()/aggregateReplications()) must be
+ * *dominated* by status evidence: an ok()/status/RunStatus/
+ * displayValue/saturated/stable token earlier in the same scope or an
+ * enclosing one, or on the same line.  Evidence inside a nested brace
+ * block dies when the block closes, so a check in one branch no longer
+ * excuses a read in a sibling branch, and a check in one function no
+ * longer excuses a read in the next one -- the failure modes of the
+ * old "within 25 lines" heuristic.  Reads off objects that are not
+ * simulation results (analytic solutions, accumulators) are no longer
+ * flagged at all.
+ *
+ * R8 (everywhere outside src/common): an Rng received by value,
+ * copy-initialized from another Rng, or captured by value in a lambda
+ * silently forks the random stream -- both copies replay identical
+ * draws, which breaks the independent-stream assumption behind
+ * per-cell seeding.  Pass Rng&, move an Rng&&, or derive an
+ * independent child with split().
+ */
+void
+flowPass(const std::vector<Tok> &toks, const Scope &scope,
+         const std::string &path, std::vector<Finding> &out)
+{
+    const bool doR5 = scope.consumer;
+    const bool doR8 = !scope.rngHome;
+    if (!doR5 && !doR8)
+        return;
+
+    // Lines carrying evidence anywhere (for the same-line escape:
+    // obs::displayValue(res, res.meanDelay) is a checked render).
+    std::set<std::size_t> evidenceLines;
+    for (std::size_t i = 0; i < toks.size(); ++i)
+        if (isEvidenceAt(toks, i))
+            evidenceLines.insert(toks[i].line);
+
+    std::vector<Frame> frames(1);
+    const std::size_t n = toks.size();
+
+    auto isPunct = [&](std::size_t i, const char *p) {
+        return i < n && toks[i].kind == 'p' && toks[i].text == p;
     };
-    constexpr std::size_t kWindow = 25;
-    std::size_t last_evidence = 0; ///< line number, 0 = none yet
-    for (const Line &line : lines) {
-        for (const char *ev : kEvidence)
-            if (line.text.find(ev) != std::string::npos)
-                last_evidence = line.number;
-        for (const char *metric : kMetrics) {
-            for (std::size_t at : tokenHits(line.text, metric)) {
-                if (at == 0 || line.text[at - 1] != '.')
-                    continue; // member access only
-                std::size_t next = skipSpaces(
-                    line.text, at + std::string(metric).size());
-                if (next < line.text.size() &&
-                    line.text[next] == '=' &&
-                    (next + 1 >= line.text.size() ||
-                     line.text[next + 1] != '='))
-                    continue; // assignment: producing, not reading
-                const bool covered =
-                    last_evidence != 0 &&
-                    line.number - last_evidence <= kWindow;
-                if (!covered)
-                    out.push_back(
-                        {path, line.number, "R5",
-                         std::string(".") + metric +
-                             " read without a RunStatus check nearby: "
-                             "anything but RunStatus::Ok means the "
-                             "estimate is NaN or untrustworthy; test "
-                             "res.ok() (or render via "
-                             "obs::displayValue) first"});
+    auto isIdentTok = [&](std::size_t i) {
+        return i < n && toks[i].kind == 'i';
+    };
+
+    for (std::size_t i = 0; i < n; ++i) {
+        const Tok &t = toks[i];
+        if (t.kind == 'p') {
+            if (t.text == "{") {
+                frames.emplace_back();
+                continue;
             }
+            if (t.text == "}") {
+                if (frames.size() > 1)
+                    frames.pop_back();
+                continue;
+            }
+            // Lambda capture list: '[' not preceded by an expression.
+            if (doR8 && t.text == "[") {
+                const bool subscript =
+                    i > 0 && (toks[i - 1].kind == 'i' ||
+                              toks[i - 1].kind == 'n' ||
+                              toks[i - 1].text == ")" ||
+                              toks[i - 1].text == "]");
+                const bool attribute = isPunct(i + 1, "[");
+                if (subscript || attribute)
+                    continue;
+                // Collect the capture items up to the matching ']'.
+                std::size_t depth = 0;
+                std::size_t j = i + 1;
+                std::vector<std::vector<const Tok *>> items(1);
+                for (; j < n; ++j) {
+                    if (toks[j].kind == 'p') {
+                        const std::string &p = toks[j].text;
+                        if (p == "[" || p == "(" || p == "{") {
+                            ++depth;
+                        } else if (p == ")" || p == "}") {
+                            if (depth > 0)
+                                --depth;
+                        } else if (p == "]") {
+                            if (depth == 0)
+                                break;
+                            --depth;
+                        } else if (p == "," && depth == 0) {
+                            items.emplace_back();
+                            continue;
+                        }
+                    }
+                    items.back().push_back(&toks[j]);
+                }
+                // A capture list is followed by '(' or '{' (or
+                // 'mutable'); anything else is not a lambda.
+                const bool lambda =
+                    isPunct(j + 1, "(") || isPunct(j + 1, "{") ||
+                    (isIdentTok(j + 1) && toks[j + 1].text == "mutable");
+                if (!lambda)
+                    continue;
+                for (const auto &item : items) {
+                    if (item.empty() ||
+                        (item.front()->kind == 'p' &&
+                         item.front()->text == "&"))
+                        continue; // by-reference capture: shared stream
+                    const Tok *copied = nullptr;
+                    if (item.size() == 1 && item[0]->kind == 'i')
+                        copied = item[0];
+                    else if (item.size() == 3 && item[0]->kind == 'i' &&
+                             item[1]->text == "=" &&
+                             item[2]->kind == 'i')
+                        copied = item[2];
+                    if (copied &&
+                        anyFrameHas(frames, &Frame::rngVars,
+                                    copied->text))
+                        out.push_back(
+                            {path, copied->line, "R8",
+                             "lambda captures Rng '" + copied->text +
+                                 "' by value, forking its stream: the "
+                                 "copy replays the captured "
+                                 "generator's draws; capture by "
+                                 "reference [&" + copied->text +
+                                 "] or move in an independent "
+                                 "split() child"});
+                }
+                continue;
+            }
+            continue;
+        }
+
+        if (isEvidenceAt(toks, i)) {
+            frames.back().evidence = true;
+            continue;
+        }
+
+        // --- R8: Rng declarations, by-value parameters, copies. ---
+        if (doR8 && t.kind == 'i' && t.text == "Rng") {
+            std::size_t j = i + 1;
+            if (isPunct(j, "&") || isPunct(j, "*")) {
+                while (isPunct(j, "&") || isPunct(j, "*") ||
+                       (isIdentTok(j) && toks[j].text == "const"))
+                    ++j;
+                if (isIdentTok(j))
+                    frames.back().rngVars.insert(toks[j].text);
+                continue;
+            }
+            if (isPunct(j, ",") || isPunct(j, ")")) {
+                // Unnamed by-value parameter: void f(Rng).
+                out.push_back(
+                    {path, t.line, "R8",
+                     "Rng passed by value forks the random stream "
+                     "(caller and callee replay identical draws); "
+                     "take Rng& for a shared stream, Rng&& + move "
+                     "for a handoff, or an explicit split() child"});
+                continue;
+            }
+            if (!isIdentTok(j))
+                continue;
+            const Tok &name = toks[j];
+            frames.back().rngVars.insert(name.text);
+            if (isPunct(j + 1, ",") || isPunct(j + 1, ")")) {
+                out.push_back(
+                    {path, name.line, "R8",
+                     "Rng parameter '" + name.text +
+                         "' is received by value, forking the "
+                         "caller's stream (both replay identical "
+                         "draws); take Rng& for a shared stream, "
+                         "Rng&& + std::move for a handoff, or an "
+                         "explicit split() child"});
+                continue;
+            }
+            if (isPunct(j + 1, "=") && isIdentTok(j + 2) &&
+                isPunct(j + 3, ";") &&
+                anyFrameHas(frames, &Frame::rngVars, toks[j + 2].text)) {
+                out.push_back(
+                    {path, name.line, "R8",
+                     "Rng '" + name.text + "' copy-initialized from '" +
+                         toks[j + 2].text +
+                         "' forks the stream: both replay identical "
+                         "draws; use " + toks[j + 2].text +
+                         ".split() for an independent child"});
+                continue;
+            }
+            if ((isPunct(j + 1, "(") || isPunct(j + 1, "{")) &&
+                isIdentTok(j + 2) &&
+                (isPunct(j + 3, ")") || isPunct(j + 3, "}")) &&
+                anyFrameHas(frames, &Frame::rngVars, toks[j + 2].text)) {
+                out.push_back(
+                    {path, name.line, "R8",
+                     "Rng '" + name.text + "' copy-constructed from '" +
+                         toks[j + 2].text +
+                         "' forks the stream: both replay identical "
+                         "draws; use " + toks[j + 2].text +
+                         ".split() for an independent child"});
+                continue;
+            }
+            continue;
+        }
+
+        if (!doR5)
+            continue;
+
+        // --- R5: taint declarations. ---
+        if (t.kind == 'i' && t.text == "SimResult") {
+            std::size_t j = i + 1;
+            while (isPunct(j, "&"))
+                ++j;
+            if (isIdentTok(j) &&
+                (isPunct(j + 1, ";") || isPunct(j + 1, "=")))
+                frames.back().tainted.insert(toks[j].text);
+            continue;
+        }
+        if (t.kind == 'i' && t.text == "auto") {
+            std::size_t j = i + 1;
+            while (isPunct(j, "&") || isPunct(j, "*"))
+                ++j;
+            if (!isIdentTok(j) || !isPunct(j + 1, "="))
+                continue;
+            // Does the initializer call a SimResult producer?
+            for (std::size_t k = j + 2; k < n && k < j + 64; ++k) {
+                if (toks[k].kind == 'p' && toks[k].text == ";")
+                    break;
+                if (toks[k].kind == 'i' &&
+                    resultProducers().count(toks[k].text) &&
+                    isPunct(k + 1, "(")) {
+                    frames.back().tainted.insert(toks[j].text);
+                    break;
+                }
+            }
+            continue;
+        }
+
+        // --- R5: metric reads. ---
+        if (t.kind == 'i' && metricFields().count(t.text) && i > 0 &&
+            isPunct(i - 1, ".")) {
+            // Receiver: the token before the '.'.
+            bool taintedRead = false;
+            if (i >= 2 && toks[i - 2].kind == 'i') {
+                taintedRead = anyFrameHas(frames, &Frame::tainted,
+                                          toks[i - 2].text);
+            } else if (i >= 2 && isPunct(i - 2, ")")) {
+                // simulate(...).meanDelay -- walk back to the call
+                // head through the balanced parens.
+                std::size_t depth = 1;
+                std::size_t k = i - 2;
+                while (k > 0 && depth > 0) {
+                    --k;
+                    if (isPunct(k, ")"))
+                        ++depth;
+                    else if (isPunct(k, "("))
+                        --depth;
+                }
+                if (depth == 0 && k > 0 && toks[k - 1].kind == 'i')
+                    taintedRead =
+                        resultProducers().count(toks[k - 1].text) > 0;
+            }
+            if (!taintedRead)
+                continue;
+            // Writes produce, they do not consume.
+            if (isPunct(i + 1, "=") && !isPunct(i + 2, "="))
+                continue;
+            bool covered = evidenceLines.count(t.line) > 0;
+            for (const Frame &f : frames)
+                covered = covered || f.evidence;
+            if (!covered)
+                out.push_back(
+                    {path, t.line, "R5",
+                     std::string(".") + t.text +
+                         " read not dominated by a RunStatus check: "
+                         "anything but RunStatus::Ok means the "
+                         "estimate is NaN or untrustworthy; test "
+                         "res.ok() (or render via obs::displayValue) "
+                         "in this scope or an enclosing one first"});
         }
     }
+}
+
+/** Per-file analysis bundle. */
+struct FileAnalysis
+{
+    std::string path;
+    Stripped stripped;
+    std::vector<Finding> raw; ///< pre-suppression findings
+};
+
+void
+analyzeFile(const SourceFile &file, FileAnalysis &fa)
+{
+    fa.path = file.path;
+    fa.stripped = strip(file.path, file.content);
+    const std::vector<Line> lines = splitLines(fa.stripped.code);
+    const Scope scope = classify(file.path);
+    ruleR1(lines, scope, file.path, fa.raw);
+    ruleR2(lines, scope, file.path, fa.raw);
+    ruleR3(lines, scope, file.path, fa.raw);
+    ruleR4(lines, scope, file.path, fa.raw);
+    flowPass(tokenize(fa.stripped.code), scope, file.path, fa.raw);
+}
+
+/**
+ * Drop findings masked by a directive (marking it used); keep the
+ * rest.  A directive covers its own line and the next one.
+ */
+void
+applySuppressions(std::vector<FileAnalysis> &analyses,
+                  std::vector<Finding> &findings)
+{
+    std::map<std::string, FileAnalysis *> byPath;
+    for (FileAnalysis &fa : analyses)
+        byPath[fa.path] = &fa;
+    std::vector<Finding> kept;
+    for (Finding &f : findings) {
+        const auto it = byPath.find(f.file);
+        bool masked = false;
+        if (it != byPath.end()) {
+            for (Directive &d : it->second->stripped.directives) {
+                if ((f.line == d.line || f.line == d.line + 1) &&
+                    d.rules.count(f.rule)) {
+                    d.used = true;
+                    masked = true;
+                    break;
+                }
+            }
+        }
+        if (!masked)
+            kept.push_back(std::move(f));
+    }
+    findings = std::move(kept);
 }
 
 } // namespace
 
 std::vector<Finding>
-lintSource(const std::string &path, const std::string &content)
+lintFiles(const std::vector<SourceFile> &files)
 {
-    Stripped stripped = strip(path, content);
-    const std::vector<Line> lines = splitLines(stripped.code);
-    const Scope scope = classify(path);
-
-    std::vector<Finding> raw;
-    ruleR1(lines, scope, path, raw);
-    ruleR2(lines, scope, path, raw);
-    ruleR3(lines, scope, path, raw);
-    ruleR4(lines, scope, path, raw);
-    ruleR5(lines, scope, path, raw);
-
-    // Apply suppressions; malformed directives always survive.
-    std::vector<Finding> findings = std::move(stripped.errors);
-    for (Finding &f : raw) {
-        const auto it = stripped.allow.find(f.line);
-        if (it != stripped.allow.end() && it->second.count(f.rule))
-            continue;
-        findings.push_back(std::move(f));
+    std::vector<FileAnalysis> analyses(files.size());
+    std::vector<IncludeRef> includes;
+    std::set<std::string> fileSet;
+    for (std::size_t i = 0; i < files.size(); ++i) {
+        analyzeFile(files[i], analyses[i]);
+        std::vector<IncludeRef> here =
+            extractIncludes(files[i].path, files[i].content);
+        includes.insert(includes.end(), here.begin(), here.end());
+        fileSet.insert(files[i].path);
     }
+
+    std::vector<Finding> findings;
+    for (FileAnalysis &fa : analyses)
+        findings.insert(findings.end(),
+                        std::make_move_iterator(fa.raw.begin()),
+                        std::make_move_iterator(fa.raw.end()));
+    for (std::vector<Finding> graph :
+         {checkLayering(includes, fileSet),
+          checkCycles(includes, fileSet)})
+        findings.insert(findings.end(),
+                        std::make_move_iterator(graph.begin()),
+                        std::make_move_iterator(graph.end()));
+
+    applySuppressions(analyses, findings);
+
+    // R9: directives that masked nothing are dead weight -- and often
+    // the footprint of a fixed bug whose waiver should ratchet out.
+    std::vector<Finding> stale;
+    for (const FileAnalysis &fa : analyses) {
+        for (const Directive &d : fa.stripped.directives) {
+            if (d.used)
+                continue;
+            std::string rules;
+            for (const std::string &r : d.rules)
+                rules += (rules.empty() ? "" : ",") + r;
+            stale.push_back(
+                {fa.path, d.line, "R9",
+                 "stale suppression: allow(" + rules +
+                     ") masks no finding on this or the next line; "
+                     "delete it (or re-justify it against a real "
+                     "violation)"});
+        }
+    }
+    applySuppressions(analyses, stale);
+    findings.insert(findings.end(),
+                    std::make_move_iterator(stale.begin()),
+                    std::make_move_iterator(stale.end()));
+
+    // Malformed directives always survive.
+    for (FileAnalysis &fa : analyses)
+        findings.insert(
+            findings.end(),
+            std::make_move_iterator(fa.stripped.errors.begin()),
+            std::make_move_iterator(fa.stripped.errors.end()));
+
     std::sort(findings.begin(), findings.end(),
               [](const Finding &a, const Finding &b) {
+                  if (a.file != b.file)
+                      return a.file < b.file;
                   if (a.line != b.line)
                       return a.line < b.line;
                   return a.rule < b.rule;
@@ -591,11 +1021,18 @@ lintSource(const std::string &path, const std::string &content)
 }
 
 std::vector<Finding>
+lintSource(const std::string &path, const std::string &content)
+{
+    return lintFiles({{path, content}});
+}
+
+TreeReport
 lintTree(const std::string &root)
 {
     namespace fs = std::filesystem;
-    static const char *kSubtrees[] = {"src", "bench", "examples"};
-    std::vector<std::string> files;
+    static const char *kSubtrees[] = {"src", "bench", "examples",
+                                      "tools", "tests"};
+    std::vector<std::string> paths;
     bool any = false;
     for (const char *subtree : kSubtrees) {
         const fs::path dir = fs::path(root) / subtree;
@@ -608,29 +1045,34 @@ lintTree(const std::string &root)
             const std::string ext = entry.path().extension().string();
             if (ext != ".cpp" && ext != ".hpp" && ext != ".h")
                 continue;
-            files.push_back(
-                fs::relative(entry.path(), root).generic_string());
+            const std::string rel =
+                fs::relative(entry.path(), root).generic_string();
+            // Fixtures violate the rules on purpose.
+            if (rel.find("lint_fixtures/") != std::string::npos)
+                continue;
+            paths.push_back(rel);
         }
     }
     if (!any)
-        throw std::runtime_error("rsin-lint: no src/, bench/ or "
-                                 "examples/ under root '" +
-                                 root + "'");
-    std::sort(files.begin(), files.end());
+        throw std::runtime_error("rsin-lint: no src/, bench/, "
+                                 "examples/, tools/ or tests/ under "
+                                 "root '" + root + "'");
+    std::sort(paths.begin(), paths.end());
 
-    std::vector<Finding> findings;
-    for (const std::string &file : files) {
-        std::ifstream in(fs::path(root) / file, std::ios::binary);
-        if (!in)
-            throw std::runtime_error("rsin-lint: cannot read " + file);
+    TreeReport report;
+    std::vector<SourceFile> files;
+    for (const std::string &path : paths) {
+        std::ifstream in(fs::path(root) / path, std::ios::binary);
+        if (!in) {
+            report.unreadable.push_back(path);
+            continue;
+        }
         std::ostringstream text;
         text << in.rdbuf();
-        std::vector<Finding> here = lintSource(file, text.str());
-        findings.insert(findings.end(),
-                        std::make_move_iterator(here.begin()),
-                        std::make_move_iterator(here.end()));
+        files.push_back({path, text.str()});
     }
-    return findings;
+    report.findings = lintFiles(files);
+    return report;
 }
 
 std::string

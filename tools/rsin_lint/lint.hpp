@@ -2,7 +2,7 @@
 
 /**
  * @file
- * rsin-lint: a token/pattern static-analysis pass over the rsin tree.
+ * rsin-lint: a whole-tree, graph-aware static-analysis pass.
  *
  * The simulators promise two things no unit test can fully pin down:
  * bit-identical results for a given seed regardless of thread count
@@ -10,17 +10,21 @@
  * Both rest on coding rules -- no ambient randomness, no wall-clock in
  * simulation paths, no iteration over unordered containers in
  * result-producing code, no float narrowing, no stray stdout, no
- * metric reads without a RunStatus check.  rsin-lint enforces those
- * rules mechanically so they survive refactors.
+ * metric reads without a RunStatus check, no silent forking of Rng
+ * streams, and a layered include DAG.  rsin-lint enforces those rules
+ * mechanically so they survive refactors.
  *
  * The pass is deliberately lexical (comment/string-aware token
- * scanning, no libclang): it trades soundness for zero dependencies
- * and sub-second whole-tree runs.  False positives are silenced with
+ * scanning plus a lightweight per-function scope/branch tracker, no
+ * libclang): it trades soundness for zero dependencies and sub-second
+ * whole-tree runs.  False positives are silenced with
  *
  *     // rsin-lint: allow(R4): reason the rule does not apply here
  *
  * on the offending line or the line above.  The reason string is
- * mandatory; a bare suppression is itself reported (rule SUP).
+ * mandatory; a bare suppression is itself reported (rule SUP), and a
+ * suppression that no longer masks any finding is reported as stale
+ * (rule R9) so dead waivers cannot accumulate.
  *
  * Rule catalog (see docs/STATIC_ANALYSIS.md for the full rationale):
  *   R1  ambient randomness / wall-clock time outside src/common/rng.cpp
@@ -29,9 +33,14 @@
  *   R3  float type or f-suffixed literals in model code (src/)
  *   R4  std::cout / printf in library code (all output flows through
  *       src/common/table or src/obs)
- *   R5  SimResult metric field read without a nearby RunStatus check
- *       (bench/, examples/)
- *   SUP malformed suppression comment (missing reason)
+ *   R5  SimResult metric read not dominated by a RunStatus check in
+ *       its scope chain (bench/, examples/; flow-sensitive)
+ *   R6  include crossing the module-layer DAG upward or sideways
+ *   R7  include cycle in the file-level include graph
+ *   R8  common::Rng received or captured by value outside src/common
+ *       (stream-forking hazard)
+ *   R9  stale suppression: an allow(...) masking no finding
+ *   SUP malformed suppression comment (missing reason, unknown rule)
  */
 
 #include <cstddef>
@@ -44,28 +53,52 @@ namespace lint {
 /** One rule violation at a specific source line. */
 struct Finding
 {
-    std::string file;    ///< path as given to the linter
+    std::string file;     ///< path as given to the linter
     std::size_t line = 0; ///< 1-based line number
-    std::string rule;    ///< "R1".."R5" or "SUP"
-    std::string message; ///< human-readable explanation
+    std::string rule;     ///< "R1".."R9" or "SUP"
+    std::string message;  ///< human-readable explanation
+};
+
+/** A source file handed to the analyzer under a repo-relative path. */
+struct SourceFile
+{
+    std::string path;    ///< forward-slash repo-relative path
+    std::string content; ///< full file text
 };
 
 /**
- * Lint one translation unit.  @p path decides which rules apply (rules
- * are scoped by directory, e.g. R2 only fires under src/des, src/rsin,
- * src/exec, src/workload); it is matched textually, so callers pass
- * repo-relative paths with forward slashes.  @p content is the file
- * text.
+ * Lint a set of files as one program: per-file rules (R1-R5, R8),
+ * include-graph rules (R6 layering, R7 cycles) over the whole set,
+ * suppression application, and stale-suppression detection (R9).
+ * Paths decide rule scoping (e.g. R2 only fires under src/des,
+ * src/rsin, src/exec, src/workload); they are matched textually, so
+ * callers pass repo-relative paths with forward slashes.  Findings
+ * come back sorted by (file, line, rule).
  */
+std::vector<Finding> lintFiles(const std::vector<SourceFile> &files);
+
+/** Lint one translation unit: lintFiles() with a single-element set. */
 std::vector<Finding> lintSource(const std::string &path,
                                 const std::string &content);
 
+/** Result of a whole-tree walk. */
+struct TreeReport
+{
+    std::vector<Finding> findings;
+    /** Files that could not be read; the caller must report these and
+     *  exit non-zero rather than pretend the tree was fully linted. */
+    std::vector<std::string> unreadable;
+};
+
 /**
- * Walk @p root's src/, bench/ and examples/ trees and lint every
- * .cpp/.hpp/.h file.  Returns the findings sorted by (file, line).
- * Throws FatalError when @p root lacks those directories.
+ * Walk @p root's src/, bench/, examples/, tools/ and tests/ trees and
+ * lint every .cpp/.hpp/.h file as one set (lint test fixtures under
+ * tests/lint_fixtures/ are excluded -- they violate rules on purpose).
+ * Unreadable files are collected in TreeReport::unreadable instead of
+ * silently skipped.  Throws FatalError when @p root lacks those
+ * directories entirely.
  */
-std::vector<Finding> lintTree(const std::string &root);
+TreeReport lintTree(const std::string &root);
 
 /** Render findings one per line: "file:line: [rule] message". */
 std::string formatFindings(const std::vector<Finding> &findings);

@@ -3,15 +3,25 @@
  * rsin-lint command-line driver.
  *
  * Usage:
- *   rsin_lint --root <repo>        lint <repo>/{src,bench,examples}
- *   rsin_lint --root <repo> f...   lint the named files only (paths
- *                                  relative to the root decide rule
- *                                  scoping)
- *   rsin_lint --list-rules         print the rule catalog
+ *   rsin_lint --root <repo>            lint <repo>/{src,bench,examples,
+ *                                      tools,tests} as one program
+ *   rsin_lint --root <repo> f...       lint the named files only (paths
+ *                                      relative to the root decide rule
+ *                                      scoping; graph rules see only
+ *                                      the named set)
+ *   rsin_lint --format=text|json|sarif output format (default text)
+ *   rsin_lint --baseline FILE          drop findings grandfathered by a
+ *                                      rsin.lint_baseline.v1 document;
+ *                                      anything beyond it still fails
+ *   rsin_lint --emit-baseline          print the current findings as a
+ *                                      baseline document and exit 0
+ *   rsin_lint --list-rules             print the rule catalog
  *
- * Exit status: 0 clean, 1 findings reported, 2 usage or I/O error.
- * Registered as a ctest test so `ctest` fails whenever the tree
- * violates a determinism/correctness rule.
+ * Exit status: 0 clean (after the baseline, if any), 1 findings
+ * reported, 2 usage or I/O error.  Unreadable files under the tree are
+ * reported on stderr and force exit 2 -- a partially linted tree must
+ * never look clean.  Registered as a ctest test so `ctest` fails
+ * whenever the tree violates a determinism/correctness rule.
  */
 
 #include <exception>
@@ -22,6 +32,7 @@
 #include <vector>
 
 #include "lint.hpp"
+#include "output.hpp"
 
 namespace {
 
@@ -29,20 +40,23 @@ void
 printRules(std::ostream &out)
 {
     out << "rsin-lint rules (suppress with "
-           "'// rsin-lint: allow(<rule>): <reason>'):\n"
-        << "  R1  no ambient randomness or wall-clock time "
-           "(rand, random_device, system_clock, time(nullptr)) "
-           "outside src/common/rng.cpp\n"
-        << "  R2  no std::unordered_{map,set} in src/des, src/rsin, "
-           "src/exec, src/workload\n"
-        << "  R3  no float type or f-suffixed literals in src/ "
-           "(double discipline)\n"
-        << "  R4  no std::cout/printf in library code; output flows "
-           "through src/common/table or src/obs\n"
-        << "  R5  SimResult metric reads in bench/ and examples/ need "
-           "a nearby RunStatus check\n"
-        << "  SUP suppression comments must name known rules and "
-           "carry a reason\n";
+           "'// rsin-lint: allow(<rule>): <reason>'):\n";
+    for (const rsin::lint::RuleInfo &rule : rsin::lint::ruleCatalog())
+        out << "  " << rule.id << "  " << rule.summary << "\n";
+}
+
+std::string
+readFileOr(const std::string &path, bool &ok)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in) {
+        ok = false;
+        return std::string();
+    }
+    std::ostringstream text;
+    text << in.rdbuf();
+    ok = true;
+    return text.str();
 }
 
 } // namespace
@@ -51,6 +65,9 @@ int
 main(int argc, char **argv)
 {
     std::string root = ".";
+    std::string format = "text";
+    std::string baselinePath;
+    bool emitBaselineMode = false;
     std::vector<std::string> files;
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
@@ -60,12 +77,29 @@ main(int argc, char **argv)
                 return 2;
             }
             root = argv[++i];
+        } else if (arg.rfind("--format=", 0) == 0) {
+            format = arg.substr(9);
+            if (format != "text" && format != "json" &&
+                format != "sarif") {
+                std::cerr << "rsin-lint: unknown format '" << format
+                          << "' (want text, json or sarif)\n";
+                return 2;
+            }
+        } else if (arg == "--baseline") {
+            if (i + 1 >= argc) {
+                std::cerr << "rsin-lint: --baseline needs a file\n";
+                return 2;
+            }
+            baselinePath = argv[++i];
+        } else if (arg == "--emit-baseline") {
+            emitBaselineMode = true;
         } else if (arg == "--list-rules") {
             printRules(std::cout);
             return 0;
         } else if (arg == "--help" || arg == "-h") {
-            std::cout << "usage: rsin_lint [--root DIR] [--list-rules] "
-                         "[file...]\n";
+            std::cout << "usage: rsin_lint [--root DIR] "
+                         "[--format=text|json|sarif] [--baseline FILE] "
+                         "[--emit-baseline] [--list-rules] [file...]\n";
             printRules(std::cout);
             return 0;
         } else if (!arg.empty() && arg[0] == '-') {
@@ -78,31 +112,80 @@ main(int argc, char **argv)
 
     try {
         std::vector<rsin::lint::Finding> findings;
+        bool ioError = false;
         if (files.empty()) {
-            findings = rsin::lint::lintTree(root);
-        } else {
-            for (const std::string &file : files) {
-                std::ifstream in(root + "/" + file, std::ios::binary);
-                if (!in) {
-                    std::cerr << "rsin-lint: cannot read " << file
-                              << " under " << root << "\n";
-                    return 2;
-                }
-                std::ostringstream text;
-                text << in.rdbuf();
-                auto here = rsin::lint::lintSource(file, text.str());
-                findings.insert(findings.end(), here.begin(),
-                                here.end());
+            rsin::lint::TreeReport report = rsin::lint::lintTree(root);
+            findings = std::move(report.findings);
+            for (const std::string &path : report.unreadable) {
+                std::cerr << "rsin-lint: cannot read " << path
+                          << " under " << root << " (skipped)\n";
+                ioError = true;
             }
+        } else {
+            std::vector<rsin::lint::SourceFile> sources;
+            for (const std::string &file : files) {
+                bool ok = false;
+                std::string content =
+                    readFileOr(root + "/" + file, ok);
+                if (!ok) {
+                    std::cerr << "rsin-lint: cannot read " << file
+                              << " under " << root << " (skipped)\n";
+                    ioError = true;
+                    continue;
+                }
+                sources.push_back({file, std::move(content)});
+            }
+            findings = rsin::lint::lintFiles(sources);
         }
-        if (findings.empty()) {
-            std::cout << "rsin-lint: clean\n";
-            return 0;
+
+        if (emitBaselineMode) {
+            std::cout << rsin::lint::emitBaseline(findings);
+            return ioError ? 2 : 0;
         }
-        std::cout << rsin::lint::formatFindings(findings)
-                  << "rsin-lint: " << findings.size() << " finding"
-                  << (findings.size() == 1 ? "" : "s") << "\n";
-        return 1;
+
+        std::size_t baselined = 0;
+        if (!baselinePath.empty()) {
+            bool ok = false;
+            const std::string text = readFileOr(baselinePath, ok);
+            if (!ok) {
+                std::cerr << "rsin-lint: cannot read baseline "
+                          << baselinePath << "\n";
+                return 2;
+            }
+            findings = rsin::lint::applyBaseline(
+                std::move(findings), rsin::lint::parseBaseline(text),
+                &baselined);
+        }
+
+        // Machine formats carry only the findings on stdout; the
+        // human summary moves to stderr so the artifact stays valid.
+        std::ostream &summary =
+            format == "text" ? std::cout : std::cerr;
+        if (format == "json")
+            std::cout << rsin::lint::formatJson(findings);
+        else if (format == "sarif")
+            std::cout << rsin::lint::formatSarif(findings);
+        else if (!findings.empty())
+            std::cout << rsin::lint::formatFindings(findings);
+
+        if (findings.empty())
+            summary << "rsin-lint: clean"
+                    << (baselined != 0
+                            ? " (" + std::to_string(baselined) +
+                                  " baselined)"
+                            : "")
+                    << "\n";
+        else
+            summary << "rsin-lint: " << findings.size() << " finding"
+                    << (findings.size() == 1 ? "" : "s")
+                    << (baselined != 0
+                            ? " (+" + std::to_string(baselined) +
+                                  " baselined)"
+                            : "")
+                    << "\n";
+        if (ioError)
+            return 2;
+        return findings.empty() ? 0 : 1;
     } catch (const std::exception &err) {
         std::cerr << err.what() << "\n";
         return 2;

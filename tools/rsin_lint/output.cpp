@@ -1,0 +1,432 @@
+#include "output.hpp"
+
+#include <cctype>
+#include <cstdio>
+#include <sstream>
+#include <stdexcept>
+
+namespace rsin {
+namespace lint {
+
+namespace {
+
+std::string
+jsonEscape(const std::string &text)
+{
+    std::ostringstream out;
+    for (const char c : text) {
+        switch (c) {
+          case '"': out << "\\\""; break;
+          case '\\': out << "\\\\"; break;
+          case '\n': out << "\\n"; break;
+          case '\t': out << "\\t"; break;
+          case '\r': out << "\\r"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof buf, "\\u%04x", c);
+                out << buf;
+            } else {
+                out << c;
+            }
+        }
+    }
+    return out.str();
+}
+
+// ------------------------------------------------------------------
+// A deliberately tiny JSON reader -- just enough for baseline files.
+// No dependencies, throws std::runtime_error with a byte offset on
+// malformed input.
+// ------------------------------------------------------------------
+
+struct JsonValue
+{
+    enum class Kind { Null, Bool, Number, String, Array, Object };
+    Kind kind = Kind::Null;
+    bool boolean = false;
+    double number = 0.0;
+    std::string string;
+    std::vector<JsonValue> array;
+    std::map<std::string, JsonValue> object;
+};
+
+class JsonReader
+{
+  public:
+    explicit JsonReader(const std::string &text) : text_(text) {}
+
+    JsonValue
+    parse()
+    {
+        JsonValue v = value();
+        skipSpace();
+        if (at_ != text_.size())
+            fail("trailing content after JSON document");
+        return v;
+    }
+
+  private:
+    [[noreturn]] void
+    fail(const std::string &what) const
+    {
+        throw std::runtime_error("baseline JSON parse error at byte " +
+                                 std::to_string(at_) + ": " + what);
+    }
+
+    void
+    skipSpace()
+    {
+        while (at_ < text_.size() &&
+               std::isspace(static_cast<unsigned char>(text_[at_])))
+            ++at_;
+    }
+
+    char
+    peek()
+    {
+        skipSpace();
+        if (at_ >= text_.size())
+            fail("unexpected end of input");
+        return text_[at_];
+    }
+
+    void
+    expect(char c)
+    {
+        if (peek() != c)
+            fail(std::string("expected '") + c + "'");
+        ++at_;
+    }
+
+    JsonValue
+    value()
+    {
+        const char c = peek();
+        if (c == '{')
+            return object();
+        if (c == '[')
+            return array();
+        if (c == '"') {
+            JsonValue v;
+            v.kind = JsonValue::Kind::String;
+            v.string = string();
+            return v;
+        }
+        if (c == 't' || c == 'f')
+            return boolean();
+        if (c == 'n') {
+            literal("null");
+            return JsonValue{};
+        }
+        return number();
+    }
+
+    void
+    literal(const char *word)
+    {
+        for (const char *p = word; *p; ++p, ++at_)
+            if (at_ >= text_.size() || text_[at_] != *p)
+                fail(std::string("expected '") + word + "'");
+    }
+
+    JsonValue
+    boolean()
+    {
+        JsonValue v;
+        v.kind = JsonValue::Kind::Bool;
+        if (text_[at_] == 't') {
+            literal("true");
+            v.boolean = true;
+        } else {
+            literal("false");
+        }
+        return v;
+    }
+
+    JsonValue
+    number()
+    {
+        const std::size_t start = at_;
+        if (at_ < text_.size() && (text_[at_] == '-' || text_[at_] == '+'))
+            ++at_;
+        while (at_ < text_.size() &&
+               (std::isdigit(static_cast<unsigned char>(text_[at_])) ||
+                text_[at_] == '.' || text_[at_] == 'e' ||
+                text_[at_] == 'E' || text_[at_] == '-' ||
+                text_[at_] == '+'))
+            ++at_;
+        if (at_ == start)
+            fail("expected a number");
+        JsonValue v;
+        v.kind = JsonValue::Kind::Number;
+        try {
+            v.number = std::stod(text_.substr(start, at_ - start));
+        } catch (const std::exception &) {
+            fail("malformed number");
+        }
+        return v;
+    }
+
+    std::string
+    string()
+    {
+        expect('"');
+        std::string out;
+        while (at_ < text_.size() && text_[at_] != '"') {
+            char c = text_[at_++];
+            if (c == '\\') {
+                if (at_ >= text_.size())
+                    fail("dangling escape");
+                const char esc = text_[at_++];
+                switch (esc) {
+                  case 'n': c = '\n'; break;
+                  case 't': c = '\t'; break;
+                  case 'r': c = '\r'; break;
+                  case '"': c = '"'; break;
+                  case '\\': c = '\\'; break;
+                  case '/': c = '/'; break;
+                  default:
+                    fail("unsupported escape in baseline string");
+                }
+            }
+            out.push_back(c);
+        }
+        if (at_ >= text_.size())
+            fail("unterminated string");
+        ++at_; // closing quote
+        return out;
+    }
+
+    JsonValue
+    array()
+    {
+        expect('[');
+        JsonValue v;
+        v.kind = JsonValue::Kind::Array;
+        if (peek() == ']') {
+            ++at_;
+            return v;
+        }
+        while (true) {
+            v.array.push_back(value());
+            const char c = peek();
+            ++at_;
+            if (c == ']')
+                return v;
+            if (c != ',')
+                fail("expected ',' or ']' in array");
+        }
+    }
+
+    JsonValue
+    object()
+    {
+        expect('{');
+        JsonValue v;
+        v.kind = JsonValue::Kind::Object;
+        if (peek() == '}') {
+            ++at_;
+            return v;
+        }
+        while (true) {
+            peek();
+            std::string key = string();
+            expect(':');
+            v.object[key] = value();
+            const char c = peek();
+            ++at_;
+            if (c == '}')
+                return v;
+            if (c != ',')
+                fail("expected ',' or '}' in object");
+        }
+    }
+
+    const std::string &text_;
+    std::size_t at_ = 0;
+};
+
+const char kBaselineSchema[] = "rsin.lint_baseline.v1";
+
+} // namespace
+
+const std::vector<RuleInfo> &
+ruleCatalog()
+{
+    static const std::vector<RuleInfo> catalog{
+        {"R1", "no ambient randomness or wall-clock time (rand, "
+               "random_device, system_clock, time(nullptr)) outside "
+               "src/common/rng.cpp"},
+        {"R2", "no std::unordered_{map,set} in src/des, src/rsin, "
+               "src/exec, src/workload"},
+        {"R3", "no float type or f-suffixed literals in src/ "
+               "(double discipline)"},
+        {"R4", "no std::cout/printf in library code; output flows "
+               "through src/common/table or src/obs"},
+        {"R5", "SimResult metric reads in bench/ and examples/ must be "
+               "dominated by a RunStatus check in the same scope chain"},
+        {"R6", "quoted includes must follow the module-layer DAG "
+               "(common -> {la,logic,markov,topology} -> des -> "
+               "{queueing,packet,workload,sched} -> rsin -> "
+               "{exec,obs} -> {bench,examples,tools} -> tests)"},
+        {"R7", "no cycles in the file-level include graph"},
+        {"R8", "no common::Rng received or captured by value outside "
+               "src/common (stream-forking hazard); pass Rng&, move "
+               "Rng&&, or derive a child with split()"},
+        {"R9", "no stale suppressions: every allow(...) must mask a "
+               "live finding"},
+        {"SUP", "suppression comments must name known rules and carry "
+                "a reason"},
+    };
+    return catalog;
+}
+
+std::string
+formatJson(const std::vector<Finding> &findings)
+{
+    std::ostringstream out;
+    out << "[\n";
+    for (std::size_t i = 0; i < findings.size(); ++i) {
+        const Finding &f = findings[i];
+        out << "  {\"file\": \"" << jsonEscape(f.file)
+            << "\", \"line\": " << f.line << ", \"rule\": \""
+            << jsonEscape(f.rule) << "\", \"message\": \""
+            << jsonEscape(f.message) << "\"}"
+            << (i + 1 < findings.size() ? "," : "") << "\n";
+    }
+    out << "]\n";
+    return out.str();
+}
+
+std::string
+formatSarif(const std::vector<Finding> &findings)
+{
+    std::ostringstream out;
+    out << "{\n"
+        << "  \"$schema\": \"https://raw.githubusercontent.com/"
+           "oasis-tcs/sarif-spec/master/Schemata/"
+           "sarif-schema-2.1.0.json\",\n"
+        << "  \"version\": \"2.1.0\",\n"
+        << "  \"runs\": [\n"
+        << "    {\n"
+        << "      \"tool\": {\n"
+        << "        \"driver\": {\n"
+        << "          \"name\": \"rsin-lint\",\n"
+        << "          \"version\": \"2.0.0\",\n"
+        << "          \"rules\": [\n";
+    const auto &catalog = ruleCatalog();
+    for (std::size_t i = 0; i < catalog.size(); ++i) {
+        out << "            {\"id\": \"" << catalog[i].id
+            << "\", \"shortDescription\": {\"text\": \""
+            << jsonEscape(catalog[i].summary) << "\"}}"
+            << (i + 1 < catalog.size() ? "," : "") << "\n";
+    }
+    out << "          ]\n"
+        << "        }\n"
+        << "      },\n"
+        << "      \"results\": [\n";
+    for (std::size_t i = 0; i < findings.size(); ++i) {
+        const Finding &f = findings[i];
+        out << "        {\"ruleId\": \"" << jsonEscape(f.rule)
+            << "\", \"level\": \"error\", \"message\": {\"text\": \""
+            << jsonEscape(f.message) << "\"}, \"locations\": "
+            << "[{\"physicalLocation\": {\"artifactLocation\": "
+            << "{\"uri\": \"" << jsonEscape(f.file)
+            << "\"}, \"region\": {\"startLine\": " << f.line
+            << "}}}]}" << (i + 1 < findings.size() ? "," : "") << "\n";
+    }
+    out << "      ]\n"
+        << "    }\n"
+        << "  ]\n"
+        << "}\n";
+    return out.str();
+}
+
+std::string
+emitBaseline(const std::vector<Finding> &findings)
+{
+    std::map<std::pair<std::string, std::string>, std::size_t> counts;
+    for (const Finding &f : findings)
+        ++counts[{f.file, f.rule}];
+    std::ostringstream out;
+    out << "{\n  \"schema\": \"" << kBaselineSchema
+        << "\",\n  \"entries\": [\n";
+    std::size_t i = 0;
+    for (const auto &entry : counts) {
+        out << "    {\"file\": \"" << jsonEscape(entry.first.first)
+            << "\", \"rule\": \"" << jsonEscape(entry.first.second)
+            << "\", \"count\": " << entry.second << "}"
+            << (++i < counts.size() ? "," : "") << "\n";
+    }
+    out << "  ]\n}\n";
+    return out.str();
+}
+
+Baseline
+parseBaseline(const std::string &json)
+{
+    const JsonValue doc = JsonReader(json).parse();
+    if (doc.kind != JsonValue::Kind::Object)
+        throw std::runtime_error(
+            "baseline: top-level value must be an object");
+    const auto schema = doc.object.find("schema");
+    if (schema == doc.object.end() ||
+        schema->second.kind != JsonValue::Kind::String ||
+        schema->second.string != kBaselineSchema)
+        throw std::runtime_error(
+            std::string("baseline: missing or unsupported schema "
+                        "(expected \"") + kBaselineSchema + "\")");
+    const auto entries = doc.object.find("entries");
+    if (entries == doc.object.end() ||
+        entries->second.kind != JsonValue::Kind::Array)
+        throw std::runtime_error(
+            "baseline: missing \"entries\" array");
+    Baseline baseline;
+    for (const JsonValue &entry : entries->second.array) {
+        if (entry.kind != JsonValue::Kind::Object)
+            throw std::runtime_error(
+                "baseline: every entry must be an object");
+        const auto file = entry.object.find("file");
+        const auto rule = entry.object.find("rule");
+        const auto count = entry.object.find("count");
+        if (file == entry.object.end() ||
+            file->second.kind != JsonValue::Kind::String ||
+            rule == entry.object.end() ||
+            rule->second.kind != JsonValue::Kind::String ||
+            count == entry.object.end() ||
+            count->second.kind != JsonValue::Kind::Number ||
+            count->second.number < 0)
+            throw std::runtime_error(
+                "baseline: entries need a file (string), rule "
+                "(string) and count (non-negative number)");
+        baseline.allowed[{file->second.string, rule->second.string}] +=
+            static_cast<std::size_t>(count->second.number);
+    }
+    return baseline;
+}
+
+std::vector<Finding>
+applyBaseline(std::vector<Finding> findings, const Baseline &baseline,
+              std::size_t *baselined)
+{
+    std::map<std::pair<std::string, std::string>, std::size_t> budget =
+        baseline.allowed;
+    std::vector<Finding> kept;
+    std::size_t dropped = 0;
+    for (Finding &f : findings) {
+        const auto it = budget.find({f.file, f.rule});
+        if (it != budget.end() && it->second > 0) {
+            --it->second;
+            ++dropped;
+            continue;
+        }
+        kept.push_back(std::move(f));
+    }
+    if (baselined)
+        *baselined = dropped;
+    return kept;
+}
+
+} // namespace lint
+} // namespace rsin
