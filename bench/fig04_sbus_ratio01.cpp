@@ -52,7 +52,8 @@ main(int argc, char **argv)
                     sol.stable = false;
                     return sol;
                 }
-                return markov::solveStaged(chain);
+                return AnalysisCache::global().solve(
+                    prm, SbusSolverKind::Staged);
             });
         printCurves("Fig. 4 cross-check (paper's staged solver + "
                     "event-driven simulation)",

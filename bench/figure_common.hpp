@@ -36,6 +36,7 @@
 #include "exec/thread_pool.hpp"
 #include "obs/run_log.hpp"
 #include "rsin/analysis.hpp"
+#include "rsin/analysis_cache.hpp"
 #include "rsin/factory.hpp"
 
 namespace rsin {
@@ -121,6 +122,11 @@ finishBench()
         std::cerr << "wrote " << ctx.log.size() << " run records to "
                   << ctx.out << "\n";
     }
+    const auto cache = AnalysisCache::global().stats();
+    if (cache.hits + cache.misses + cache.waits > 0)
+        std::cerr << "analysis cache: " << cache.hits << " hits, "
+                  << cache.misses << " misses, " << cache.waits
+                  << " waits, " << cache.entries << " entries\n";
     return 0;
 }
 
@@ -206,6 +212,11 @@ analyticResult(bool stable, double queueing_delay,
 /**
  * Build a Curve from any analytic solver closure (lambda ->
  * markov::SbusSolution), logging each point as an Analytic record.
+ * The grid points fan out over the sweep pool like simulated cells;
+ * solver calls route through the AnalysisCache, so a curve sharing
+ * chains with an earlier one (or a concurrent cell) dedupes to
+ * lookups.  The log/table pass stays serial, so the output is
+ * identical at any --jobs setting.
  */
 template <typename Solver>
 inline Curve
@@ -213,12 +224,22 @@ analyticCurve(const std::string &name, const std::string &config_text,
               double mu_n, double mu_s, Solver &&solve)
 {
     Curve curve{name, {}};
-    for (double rho : rhoGrid()) {
-        const double lambda = lambdaAt(rho, mu_n, mu_s);
-        const markov::SbusSolution sol = solve(lambda);
+    const auto grid = rhoGrid();
+    std::vector<double> lambdas(grid.size());
+    for (std::size_t p = 0; p < grid.size(); ++p)
+        lambdas[p] = lambdaAt(grid[p], mu_n, mu_s);
+    std::vector<markov::SbusSolution> sols(grid.size());
+    const exec::SweepRunner runner(sweepPool(),
+                                   benchContext().observer.get());
+    runner.run(1, grid.size(), 1, 0,
+               [&](const exec::SweepCell &sweep_cell) {
+                   sols[sweep_cell.point] = solve(lambdas[sweep_cell.point]);
+               });
+    for (std::size_t p = 0; p < grid.size(); ++p) {
+        const markov::SbusSolution &sol = sols[p];
         curve.cells.push_back(cell(sol.normalizedDelay, sol.stable));
-        logPoint(name, config_text, obs::RecordKind::Analytic, rho,
-                 lambda, mu_n, mu_s, 0, -1,
+        logPoint(name, config_text, obs::RecordKind::Analytic, grid[p],
+                 lambdas[p], mu_n, mu_s, 0, -1,
                  analyticResult(sol.stable, sol.queueingDelay,
                                 sol.normalizedDelay),
                  0.0, curve.cells.back());

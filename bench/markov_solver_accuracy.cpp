@@ -58,7 +58,6 @@ main()
                     SbusSolveOptions direct_opts;
                     direct_opts.relTolerance = 1e-7;
                     direct_opts.directTailMass = 1e-9;
-                    direct_opts.gsTolerance = 1e-11;
                     direct = solveDirect(chain, direct_opts);
                 }
                 const auto qbd = solveMatrixGeometric(chain);

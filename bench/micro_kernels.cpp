@@ -11,8 +11,10 @@
 #include "des/simulator.hpp"
 #include "exec/sweep_runner.hpp"
 #include "exec/thread_pool.hpp"
+#include "la/kernels.hpp"
 #include "logic/crossbar_cell.hpp"
 #include "markov/sbus_solvers.hpp"
+#include "rsin/analysis_cache.hpp"
 #include "rsin/factory.hpp"
 #include "sched/omega_router.hpp"
 #include "topology/multistage.hpp"
@@ -176,6 +178,50 @@ BM_SbusMatrixGeometric(benchmark::State &state)
 BENCHMARK(BM_SbusMatrixGeometric)->Arg(4)->Arg(16)->Arg(32);
 
 void
+BM_BlockedGemm(benchmark::State &state)
+{
+    const std::size_t n = static_cast<std::size_t>(state.range(0));
+    Rng rng(7);
+    std::vector<double> a(n * n), b(n * n), c(n * n);
+    for (auto &v : a)
+        v = rng.uniform01();
+    for (auto &v : b)
+        v = rng.uniform01();
+    for (auto _ : state) {
+        la::kernels::gemm(n, n, n, 1.0, a.data(), n, b.data(), n,
+                          c.data(), n, false);
+        benchmark::DoNotOptimize(c.data());
+        benchmark::ClobberMemory();
+    }
+    // 2*n^3 flops per product, reported as items.
+    state.SetItemsProcessed(
+        state.iterations() *
+        static_cast<std::int64_t>(2 * n * n * n));
+}
+BENCHMARK(BM_BlockedGemm)->Arg(48)->Arg(96)->Arg(192);
+
+void
+BM_SbusSolveCached(benchmark::State &state)
+{
+    // The AnalysisCache hit path: exact-key lookup plus the solution
+    // copy-out.  This is what a deduped sweep cell pays instead of
+    // BM_SbusMatrixGeometric at the same size.
+    markov::SbusParams prm;
+    prm.p = 16;
+    prm.lambda = 0.05;
+    prm.muN = 1.0;
+    prm.muS = 0.1;
+    prm.r = static_cast<std::size_t>(state.range(0));
+    AnalysisCache cache;
+    cache.solve(prm, SbusSolverKind::MatrixGeometric);
+    for (auto _ : state) {
+        auto sol = cache.solve(prm, SbusSolverKind::MatrixGeometric);
+        benchmark::DoNotOptimize(sol.queueingDelay);
+    }
+}
+BENCHMARK(BM_SbusSolveCached)->Arg(16)->Arg(32);
+
+void
 BM_SbusStagedSolver(benchmark::State &state)
 {
     markov::SbusParams prm;
@@ -214,4 +260,25 @@ BENCHMARK(BM_EndToEndOmegaSimulation);
 
 } // namespace
 
-BENCHMARK_MAIN();
+#ifndef RSIN_BUILD_TYPE
+#define RSIN_BUILD_TYPE ""
+#endif
+
+/**
+ * Custom main instead of BENCHMARK_MAIN so the JSON context carries
+ * the build type this binary was actually compiled with.  (The
+ * distro's libbenchmark reports its *own* build flavour under
+ * "library_build_type", which says nothing about our flags;
+ * emit_bench.sh / check_bench.sh gate on "rsin_build_type".)
+ */
+int
+main(int argc, char **argv)
+{
+    benchmark::AddCustomContext("rsin_build_type", RSIN_BUILD_TYPE);
+    benchmark::Initialize(&argc, argv);
+    if (benchmark::ReportUnrecognizedArguments(argc, argv))
+        return 1;
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    return 0;
+}

@@ -23,8 +23,11 @@
 #              build-lint/).  Fails on any non-baselined finding.
 #   tidy       clang-tidy over the library sources (skips with a
 #              notice when clang-tidy is not installed).
-#   all        asan, tsan, contracts, lint, tidy in sequence; fails if
-#              any mode fails.
+#   bench      Release build of bench/micro_kernels compared against
+#              the committed BENCH_baseline.json (build-bench/).
+#              Fails on a >30% slowdown in the solver / DES families.
+#   all        asan, tsan, contracts, lint, tidy, bench in sequence;
+#              fails if any mode fails.
 set -eu
 
 repo=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
@@ -86,22 +89,27 @@ run_tidy() {
     "$repo/scripts/check_tidy.sh" "$@"
 }
 
+run_bench() {
+    "$repo/scripts/check_bench.sh" "$@"
+}
+
 case "$mode" in
   asan)      run_asan "$@" ;;
   tsan)      run_tsan "$@" ;;
   contracts) run_contracts "$@" ;;
   lint)      run_lint "$@" ;;
   tidy)      run_tidy "$@" ;;
+  bench)     run_bench "$@" ;;
   all)
     status=0
-    for m in asan tsan contracts lint tidy; do
+    for m in asan tsan contracts lint tidy bench; do
         echo "==== check.sh: $m ===="
         "run_$m" "$@" || { echo "check.sh: mode '$m' FAILED"; status=1; }
     done
     exit $status
     ;;
   *)
-    echo "usage: $0 {asan|tsan|contracts|lint|tidy|all} [cmake args...]" >&2
+    echo "usage: $0 {asan|tsan|contracts|lint|tidy|bench|all} [cmake args...]" >&2
     exit 2
     ;;
 esac

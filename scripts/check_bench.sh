@@ -1,0 +1,94 @@
+#!/usr/bin/env sh
+# Benchmark regression gate: build bench/micro_kernels as Release, run
+# it, and compare against the committed BENCH_baseline.json.  Fails if
+# any benchmark in the solver / DES families is more than 30% slower
+# than its baseline entry.
+#
+# Usage: ./scripts/check_bench.sh [builddir] [threshold]
+#   builddir   Release tree to (re)use (default: build-bench/)
+#   threshold  allowed slowdown factor (default: 1.30)
+#
+# Only the compute-bound families gate the build: names matching
+#   BM_Sbus* BM_BlockedGemm* BM_Event* BM_Simulator*
+# (solver kernels and the DES calendar).  The pool / end-to-end
+# benches are load-sensitive on shared CI runners and are reported but
+# never fail the check.  Refresh the baseline on a quiet machine with
+#   ./scripts/emit_bench.sh --baseline
+set -eu
+
+repo=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
+build="${1:-$repo/build-bench}"
+threshold="${2:-1.30}"
+baseline="$repo/BENCH_baseline.json"
+
+if [ ! -f "$baseline" ]; then
+    echo "error: $baseline missing; record one with" \
+         "./scripts/emit_bench.sh --baseline" >&2
+    exit 2
+fi
+
+cmake -B "$build" -S "$repo" -DCMAKE_BUILD_TYPE=Release
+bt=$(sed -n 's/^CMAKE_BUILD_TYPE:[^=]*=//p' "$build/CMakeCache.txt")
+if [ "$bt" != "Release" ]; then
+    echo "error: $build is a '$bt' tree; benchmarks gate only" \
+         "Release builds" >&2
+    exit 2
+fi
+cmake --build "$build" --target micro_kernels -j "$(nproc)"
+
+current="$build/micro_kernels_current.json"
+"$build/bench/micro_kernels" \
+    --benchmark_out="$current" --benchmark_out_format=json \
+    --benchmark_min_time=0.2
+
+python3 - "$baseline" "$current" "$threshold" <<'EOF'
+import json
+import sys
+
+GATED_PREFIXES = ("BM_Sbus", "BM_BlockedGemm", "BM_Event",
+                  "BM_Simulator")
+
+baseline_path, current_path, threshold = sys.argv[1:4]
+threshold = float(threshold)
+
+
+def times(path):
+    with open(path) as fh:
+        doc = json.load(fh)
+    return {b["name"]: float(b["real_time"])
+            for b in doc.get("benchmarks", [])
+            if b.get("run_type", "iteration") == "iteration"}
+
+
+base = times(baseline_path)
+cur = times(current_path)
+failed = []
+print(f"{'benchmark':<40} {'baseline':>12} {'current':>12} {'ratio':>7}")
+for name in sorted(cur):
+    gated = name.startswith(GATED_PREFIXES)
+    if name not in base:
+        tag = "new" if gated else "new (ungated)"
+        print(f"{name:<40} {'-':>12} {cur[name]:>12.0f}    {tag}")
+        continue
+    ratio = cur[name] / base[name]
+    tag = ""
+    if gated and ratio > threshold:
+        failed.append((name, ratio))
+        tag = "  REGRESSION"
+    elif not gated:
+        tag = "  (ungated)"
+    print(f"{name:<40} {base[name]:>12.0f} {cur[name]:>12.0f} "
+          f"{ratio:>6.2f}x{tag}")
+
+missing = [n for n in base if n not in cur
+           and n.startswith(GATED_PREFIXES)]
+for name in missing:
+    print(f"{name:<40} gated benchmark missing from current run")
+
+if failed or missing:
+    print(f"\ncheck_bench: FAILED "
+          f"({len(failed)} regression(s) > {threshold:.2f}x, "
+          f"{len(missing)} missing)")
+    sys.exit(1)
+print(f"\ncheck_bench: ok (threshold {threshold:.2f}x)")
+EOF

@@ -5,20 +5,68 @@
 # "display" field equals the table cell the bench printed.
 #
 # Usage: ./scripts/emit_bench.sh [outdir] [--jobs N]
-#   outdir  destination directory (default: bench-artifacts/)
-# Extra arguments after outdir are passed through to every bench.
+#          outdir  destination directory (default: bench-artifacts/)
+#          Extra arguments after outdir are passed through to every
+#          bench.  The build tree is $RSIN_BENCH_BUILD (default:
+#          build/).
+#        ./scripts/emit_bench.sh --baseline [builddir]
+#          Regenerate the committed BENCH_baseline.json from a Release
+#          build of bench/micro_kernels (default tree: build-bench/).
+#
+# Recorded numbers are only meaningful from optimized builds, so BOTH
+# modes refuse to run against a tree whose CMAKE_BUILD_TYPE is not
+# Release; the baseline mode additionally verifies the binary's own
+# "rsin_build_type" stamp in the emitted JSON.
 set -eu
 
 repo=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
-build="$repo/build"
+
+build_type() {
+    sed -n 's/^CMAKE_BUILD_TYPE:[^=]*=//p' "$1/CMakeCache.txt" 2>/dev/null
+}
+
+require_release() {
+    bt=$(build_type "$1")
+    if [ "${bt:-}" != "Release" ]; then
+        echo "error: refusing to record benchmarks from a" \
+             "'${bt:-unconfigured}' build tree ($1)" >&2
+        echo "  configure one with:" >&2
+        echo "  cmake -B build-bench -S . -DCMAKE_BUILD_TYPE=Release" >&2
+        exit 1
+    fi
+}
+
+if [ "${1:-}" = "--baseline" ]; then
+    shift
+    build="${1:-$repo/build-bench}"
+    cmake -B "$build" -S "$repo" -DCMAKE_BUILD_TYPE=Release
+    require_release "$build"
+    cmake --build "$build" --target micro_kernels -j "$(nproc)"
+    out="$repo/BENCH_baseline.json"
+    "$build/bench/micro_kernels" \
+        --benchmark_out="$out" --benchmark_out_format=json \
+        --benchmark_min_time=0.2
+    if ! grep -q '"rsin_build_type": *"Release"' "$out"; then
+        rm -f "$out"
+        echo "error: micro_kernels was not compiled as Release;" \
+             "baseline discarded" >&2
+        exit 1
+    fi
+    echo "baseline written to $out"
+    exit 0
+fi
+
+build="${RSIN_BENCH_BUILD:-$repo/build}"
 outdir="${1:-bench-artifacts}"
 [ $# -gt 0 ] && shift
 
 if [ ! -d "$build/bench" ]; then
     echo "error: $build/bench not found; build the repo first:" >&2
-    echo "  cmake -B build -S . && cmake --build build -j" >&2
+    echo "  cmake -B build -S . -DCMAKE_BUILD_TYPE=Release" >&2
+    echo "  cmake --build build -j" >&2
     exit 1
 fi
+require_release "$build"
 
 mkdir -p "$outdir"
 

@@ -23,11 +23,17 @@
 #include <thread>
 #include <vector>
 
+#include "common/parallel.hpp"
+
 namespace rsin {
 namespace exec {
 
-/** Fixed-size thread pool with a shared FIFO task queue. */
-class ThreadPool
+/**
+ * Fixed-size thread pool with a shared FIFO task queue.  Implements
+ * common::Executor so model-layer code can fan work out over it
+ * without depending on this header.
+ */
+class ThreadPool : public common::Executor
 {
   public:
     /**
@@ -36,13 +42,13 @@ class ThreadPool
     explicit ThreadPool(std::size_t threads = 0);
 
     /** Drains outstanding tasks, then joins the workers. */
-    ~ThreadPool();
+    ~ThreadPool() override;
 
     ThreadPool(const ThreadPool &) = delete;
     ThreadPool &operator=(const ThreadPool &) = delete;
 
     /** Number of worker threads. */
-    std::size_t size() const { return workers_.size(); }
+    std::size_t size() const override { return workers_.size(); }
 
     /** Enqueue a task for asynchronous execution. */
     void submit(std::function<void()> task);
@@ -57,7 +63,7 @@ class ThreadPool
      * indices still run).  Safe to call from inside a pool task.
      */
     void parallelFor(std::size_t n,
-                     const std::function<void(std::size_t)> &body);
+                     const std::function<void(std::size_t)> &body) override;
 
     /** std::thread::hardware_concurrency with a floor of 1. */
     static std::size_t hardwareThreads();

@@ -4,6 +4,7 @@
 #include <sstream>
 
 #include "common/error.hpp"
+#include "la/kernels.hpp"
 
 namespace rsin {
 namespace la {
@@ -77,15 +78,9 @@ Matrix::operator*(const Matrix &other) const
 {
     RSIN_REQUIRE(cols_ == other.rows_, "matrix multiply: shape mismatch");
     Matrix out(rows_, other.cols_);
-    for (std::size_t i = 0; i < rows_; ++i) {
-        for (std::size_t k = 0; k < cols_; ++k) {
-            const double aik = (*this)(i, k);
-            if (aik == 0.0)
-                continue;
-            for (std::size_t j = 0; j < other.cols_; ++j)
-                out(i, j) += aik * other(k, j);
-        }
-    }
+    kernels::gemm(rows_, other.cols_, cols_, 1.0, data_.data(), cols_,
+                  other.data_.data(), other.cols_, out.data_.data(),
+                  out.cols_, false);
     return out;
 }
 
@@ -102,13 +97,9 @@ Vector
 Matrix::operator*(const Vector &v) const
 {
     RSIN_REQUIRE(v.size() == cols_, "matrix-vector multiply: shape mismatch");
-    Vector out(rows_, 0.0);
-    for (std::size_t i = 0; i < rows_; ++i) {
-        double acc = 0.0;
-        for (std::size_t j = 0; j < cols_; ++j)
-            acc += (*this)(i, j) * v[j];
-        out[i] = acc;
-    }
+    Vector out(rows_);
+    kernels::gaxpyCol(rows_, cols_, data_.data(), cols_, v.data(),
+                      out.data());
     return out;
 }
 
@@ -143,6 +134,30 @@ Matrix::str(int precision) const
         os << "]\n";
     }
     return os.str();
+}
+
+Vector
+leftMultiply(const Vector &x, const Matrix &a)
+{
+    RSIN_REQUIRE(x.size() == a.rows(),
+                 "leftMultiply: vector/matrix shape mismatch");
+    Vector out(a.cols());
+    kernels::gaxpyRow(a.rows(), a.cols(), a.data(), a.cols(), x.data(),
+                      out.data());
+    return out;
+}
+
+void
+multiplyInto(double alpha, const Matrix &a, const Matrix &b, Matrix &out,
+             bool accumulate)
+{
+    RSIN_REQUIRE(a.cols() == b.rows() && out.rows() == a.rows() &&
+                     out.cols() == b.cols(),
+                 "multiplyInto: shape mismatch");
+    RSIN_REQUIRE(out.data() != a.data() && out.data() != b.data(),
+                 "multiplyInto: output aliases an operand");
+    kernels::gemm(a.rows(), b.cols(), a.cols(), alpha, a.data(), a.cols(),
+                  b.data(), b.cols(), out.data(), out.cols(), accumulate);
 }
 
 double
@@ -187,38 +202,9 @@ LuFactors::LuFactors(const Matrix &a)
     : lu_(a), perm_(a.rows())
 {
     RSIN_REQUIRE(a.square(), "LU: matrix must be square");
-    const std::size_t n = lu_.rows();
-    for (std::size_t i = 0; i < n; ++i)
-        perm_[i] = i;
-
-    for (std::size_t col = 0; col < n; ++col) {
-        // Partial pivoting: pick the largest magnitude in this column.
-        std::size_t pivot = col;
-        double best = std::fabs(lu_(col, col));
-        for (std::size_t r = col + 1; r < n; ++r) {
-            const double cand = std::fabs(lu_(r, col));
-            if (cand > best) {
-                best = cand;
-                pivot = r;
-            }
-        }
-        RSIN_REQUIRE(best > 1e-300, "LU: matrix is singular at column ", col);
-        if (pivot != col) {
-            for (std::size_t j = 0; j < n; ++j)
-                std::swap(lu_(col, j), lu_(pivot, j));
-            std::swap(perm_[col], perm_[pivot]);
-            permSign_ = -permSign_;
-        }
-        const double diag = lu_(col, col);
-        for (std::size_t r = col + 1; r < n; ++r) {
-            const double factor = lu_(r, col) / diag;
-            lu_(r, col) = factor;
-            if (factor == 0.0)
-                continue;
-            for (std::size_t j = col + 1; j < n; ++j)
-                lu_(r, j) -= factor * lu_(col, j);
-        }
-    }
+    permSign_ = kernels::factorLu(lu_.rows(), lu_.data(), lu_.cols(),
+                                  perm_.data(), 1e-300);
+    RSIN_REQUIRE(permSign_ != 0, "LU: matrix is singular");
 }
 
 Vector
@@ -227,22 +213,72 @@ LuFactors::solve(const Vector &b) const
     const std::size_t n = lu_.rows();
     RSIN_REQUIRE(b.size() == n, "LU solve: rhs size mismatch");
     Vector x(n);
-    // Forward substitution on the permuted RHS (unit lower triangle).
+    for (std::size_t i = 0; i < n; ++i)
+        x[i] = b[perm_[i]];
+    kernels::solveLuRows(n, lu_.data(), lu_.cols(), x.data(), 1, 1);
+    return x;
+}
+
+Vector
+LuFactors::solveTransposed(const Vector &b) const
+{
+    // A = P^T L U, so A^T x = b unwinds as U^T z = b (forward),
+    // L^T y = z (backward), x[perm[i]] = y[i].
+    const std::size_t n = lu_.rows();
+    RSIN_REQUIRE(b.size() == n, "LU solveTransposed: rhs size mismatch");
+    Vector z = b;
     for (std::size_t i = 0; i < n; ++i) {
-        double acc = b[perm_[i]];
-        for (std::size_t j = 0; j < i; ++j)
-            acc -= lu_(i, j) * x[j];
-        x[i] = acc;
+        const double zi = z[i] / lu_(i, i);
+        z[i] = zi;
+        if (zi == 0.0)
+            continue;
+        for (std::size_t c = i + 1; c < n; ++c)
+            z[c] -= lu_(i, c) * zi;
     }
-    // Back substitution (upper triangle).
     for (std::size_t ii = n; ii > 0; --ii) {
         const std::size_t i = ii - 1;
-        double acc = x[i];
-        for (std::size_t j = i + 1; j < n; ++j)
-            acc -= lu_(i, j) * x[j];
-        x[i] = acc / lu_(i, i);
+        const double yi = z[i];
+        if (yi == 0.0)
+            continue;
+        for (std::size_t c = 0; c < i; ++c)
+            z[c] -= lu_(i, c) * yi;
     }
+    Vector x(n);
+    for (std::size_t i = 0; i < n; ++i)
+        x[perm_[i]] = z[i];
     return x;
+}
+
+Matrix
+LuFactors::solveMatrix(const Matrix &b) const
+{
+    const std::size_t n = lu_.rows();
+    RSIN_REQUIRE(b.rows() == n, "LU solveMatrix: rhs shape mismatch");
+    Matrix x(n, b.cols());
+    for (std::size_t i = 0; i < n; ++i)
+        for (std::size_t j = 0; j < b.cols(); ++j)
+            x(i, j) = b(perm_[i], j);
+    kernels::solveLuRows(n, lu_.data(), lu_.cols(), x.data(), x.cols(),
+                         x.cols());
+    return x;
+}
+
+Matrix
+LuFactors::rightSolve(const Matrix &x) const
+{
+    // Y A = X with A = P^T L U: solve W L U = X by the two
+    // column-oriented sweeps, then undo the permutation columnwise
+    // (Y = W P).
+    const std::size_t n = lu_.rows();
+    RSIN_REQUIRE(x.cols() == n, "LU rightSolve: lhs shape mismatch");
+    Matrix w = x;
+    kernels::solveLuCols(n, lu_.data(), lu_.cols(), w.data(), w.rows(),
+                         w.cols());
+    Matrix y(x.rows(), n);
+    for (std::size_t r = 0; r < w.rows(); ++r)
+        for (std::size_t k = 0; k < n; ++k)
+            y(r, perm_[k]) = w(r, k);
+    return y;
 }
 
 double
@@ -266,13 +302,15 @@ stationaryFromGenerator(const Matrix &q)
     RSIN_REQUIRE(q.square(), "stationary: generator must be square");
     const std::size_t n = q.rows();
     RSIN_REQUIRE(n > 0, "stationary: empty generator");
-    // Solve Q^T pi = 0 with the last equation replaced by sum(pi) = 1.
-    Matrix a = q.transpose();
-    for (std::size_t j = 0; j < n; ++j)
-        a(n - 1, j) = 1.0;
+    // Solve Q^T pi = 0 with the last equation replaced by sum(pi) = 1:
+    // replace Q's last *column* by ones and solve the transposed
+    // system against one factorization -- no transposed copy.
+    Matrix a = q;
+    for (std::size_t i = 0; i < n; ++i)
+        a(i, n - 1) = 1.0;
     Vector b(n, 0.0);
     b[n - 1] = 1.0;
-    Vector pi = solve(a, b);
+    Vector pi = LuFactors(a).solveTransposed(b);
     // Clamp tiny negative round-off and renormalize.
     double sum = 0.0;
     for (auto &p : pi) {

@@ -41,6 +41,10 @@ class Matrix
     double &operator()(std::size_t r, std::size_t c);
     double operator()(std::size_t r, std::size_t c) const;
 
+    /** Raw row-major storage; leading dimension is cols(). */
+    double *data() { return data_.data(); }
+    const double *data() const { return data_.data(); }
+
     Matrix operator+(const Matrix &other) const;
     Matrix operator-(const Matrix &other) const;
     Matrix operator*(const Matrix &other) const;
@@ -60,6 +64,18 @@ class Matrix
     std::size_t cols_ = 0;
     std::vector<double> data_;
 };
+
+/** x^T A as a vector (row GAXPY); x must have a.rows() entries. */
+Vector leftMultiply(const Vector &x, const Matrix &a);
+
+/**
+ * out = alpha * a * b, or out += alpha * a * b with @p accumulate.
+ * @p out must already have shape a.rows() x b.cols() and may not alias
+ * either operand.  Lets iterative solvers reuse product storage
+ * instead of allocating a fresh Matrix per step.
+ */
+void multiplyInto(double alpha, const Matrix &a, const Matrix &b,
+                  Matrix &out, bool accumulate = false);
 
 /** Euclidean norm of a vector. */
 double norm2(const Vector &v);
@@ -85,6 +101,22 @@ class LuFactors
 
     /** Solve A x = b for one right-hand side. */
     Vector solve(const Vector &b) const;
+
+    /**
+     * Solve A^T x = b against the same factorization (no transposed
+     * copy, no second factorization).
+     */
+    Vector solveTransposed(const Vector &b) const;
+
+    /** Solve A X = B for a full right-hand-side matrix. */
+    Matrix solveMatrix(const Matrix &b) const;
+
+    /**
+     * Solve Y A = X (left division by A from the right); X is
+     * nrows x n.  The workhorse of the QBD solvers, where every step
+     * right-divides a block row by a level matrix.
+     */
+    Matrix rightSolve(const Matrix &x) const;
 
     /** Determinant from the factorization. */
     double determinant() const;

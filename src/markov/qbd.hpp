@@ -1,0 +1,81 @@
+#pragma once
+
+/**
+ * @file
+ * Structure-aware building blocks for quasi-birth-death chains.
+ *
+ * A QBD level process is described by three square blocks of the
+ * generator: A0 (up one level), A1 (within the level, including the
+ * diagonal), A2 (down one level).  Everything here works on those
+ * blocks directly instead of materializing the truncated generator,
+ * which is what turns the O((q n)^3) dense solves of the naive route
+ * into O(n^3 log(1/eps)) (rate matrix) and O(q n^3) (banded sweep).
+ */
+
+#include <cstddef>
+#include <vector>
+
+// rsin-lint: allow(R6): markov builds on the dense LA kernels; both are rank-1 analytic layers and la never includes markov back
+#include "la/matrix.hpp"
+
+namespace rsin {
+namespace markov {
+
+/** Result of the logarithmic-reduction iteration. */
+struct LogReductionResult
+{
+    la::Matrix g;          ///< first-passage-down matrix G
+    la::Matrix r;          ///< rate matrix R (pi_{l+1} = pi_l R)
+    std::size_t iterations = 0;
+    bool converged = false;
+};
+
+/**
+ * Latouche-Ramaswami logarithmic reduction for the minimal solutions
+ * of A2 + A1 G + A0 G^2 = 0 and A0 + R A1 + R^2 A2 = 0.
+ *
+ * Each step squares the censoring depth (step k accounts for first
+ * passages through 2^k levels), so convergence is quadratic: ~10
+ * iterations of small GEMMs where the classical fixed point
+ * R <- -(A0 + R^2 A2) A1^{-1} needs thousands of linear-rate sweeps
+ * near saturation.  @p converged is false if the coupling term has not
+ * vanished after @p max_iter doublings (transient or null-recurrent
+ * chain); R is then meaningless.
+ */
+LogReductionResult logReduction(const la::Matrix &a0,
+                                const la::Matrix &a1,
+                                const la::Matrix &a2,
+                                double tol = 1e-15,
+                                std::size_t max_iter = 64);
+
+/**
+ * Censored (block-LU) solve of the level-truncated QBD with boundary
+ * blocks B00 (nb x nb), B01 (nb x n) and B10 (n x nb): levels above
+ * @p levels are cut off (their up-rates dropped, i.e. the top local
+ * block is A1 + A0).
+ *
+ * Returns the *normalized* stationary distribution as the boundary
+ * vector plus one vector per level, computed by the downward
+ * censoring recursion
+ *     S_q = A1 + A0,   S_l = A1 + A0 (-S_{l+1})^{-1} A2,
+ *     S_0 = B00 + B01 (-S_1)^{-1} B10
+ * followed by one upward substitution pass.  One n x n factorization
+ * per level -- the banded replacement for LU-factoring the full
+ * (nb + q n) dense generator.
+ */
+struct BandedStationary
+{
+    la::Vector boundary;                 ///< pi_0 over boundary states
+    std::vector<la::Vector> levels;      ///< pi_1 .. pi_q
+};
+
+BandedStationary solveBandedTruncated(const la::Matrix &a0,
+                                      const la::Matrix &a1,
+                                      const la::Matrix &a2,
+                                      const la::Matrix &b00,
+                                      const la::Matrix &b01,
+                                      const la::Matrix &b10,
+                                      std::size_t levels);
+
+} // namespace markov
+} // namespace rsin

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "common/error.hpp"
+#include "markov/qbd.hpp"
 
 namespace rsin {
 namespace markov {
@@ -22,22 +23,6 @@ unstableSolution()
     sol.queueingDelay = kInf;
     sol.normalizedDelay = kInf;
     return sol;
-}
-
-/** Row-vector times matrix. */
-la::Vector
-vecMat(const la::Vector &v, const la::Matrix &m)
-{
-    RSIN_ASSERT(v.size() == m.rows(), "vecMat: shape mismatch");
-    la::Vector out(m.cols(), 0.0);
-    for (std::size_t i = 0; i < m.rows(); ++i) {
-        const double vi = v[i];
-        if (vi == 0.0)
-            continue;
-        for (std::size_t j = 0; j < m.cols(); ++j)
-            out[j] += vi * m(i, j);
-    }
-    return out;
 }
 
 double
@@ -126,10 +111,12 @@ stagedSolveAt(const SbusChain &chain, std::size_t q, SbusSolution &out)
     la::Matrix e2(n, n, 0.0); // E_2 snapshot for the level-1 balance
     if (q + 1 == 2)
         e2 = e_lo;
+    la::Matrix e_next(n, n);
     for (std::size_t i = q + 1; i >= 2; --i) {
-        la::Matrix e_next = (e_lo * a1 + e_hi * a2) * (-1.0 / pl);
-        e_hi = std::move(e_lo);
-        e_lo = std::move(e_next);
+        la::multiplyInto(-1.0 / pl, e_lo, a1, e_next, false);
+        la::multiplyInto(-1.0 / pl, e_hi, a2, e_next, true);
+        std::swap(e_hi, e_lo);
+        std::swap(e_lo, e_next);
         s0 = s0 + e_lo;
         s1 = s1 + e_lo * static_cast<double>(i - 1);
         if (i - 1 == 2)
@@ -150,21 +137,12 @@ stagedSolveAt(const SbusChain &chain, std::size_t q, SbusSolution &out)
     }
     const la::Matrix &e1 = e_lo; // E_1
 
-    // pi_0 = x * F0 with F0 B00 = -E_1 B10 (level-0 balance).
-    const la::LuFactors b00t(chain.b00().transpose());
+    // pi_0 = x * F0 with F0 B00 = -E_1 B10 (level-0 balance): one
+    // right division against B00's own factorization.
     const std::size_t nb = chain.boundarySize();
-    la::Matrix f0(n, nb);
-    {
-        const la::Matrix rhs = e1 * chain.b10() * -1.0;
-        for (std::size_t row = 0; row < n; ++row) {
-            la::Vector r(nb);
-            for (std::size_t c = 0; c < nb; ++c)
-                r[c] = rhs(row, c);
-            const la::Vector sol_row = b00t.solve(r);
-            for (std::size_t c = 0; c < nb; ++c)
-                f0(row, c) = sol_row[c];
-        }
-    }
+    la::Matrix rhs0(n, nb);
+    la::multiplyInto(-1.0, e1, chain.b10(), rhs0, false);
+    const la::Matrix f0 = la::LuFactors(chain.b00()).rightSolve(rhs0);
 
     // Level-1 balance: x (F0 B01 + E_1 A1 + E_2 A2) = 0, plus
     // normalization x (F0 1 + S0 1) = 1.  Replace the last balance
@@ -189,7 +167,8 @@ stagedSolveAt(const SbusChain &chain, std::size_t q, SbusSolution &out)
     rhs[n - 1] = 1.0;
     la::Vector x;
     try {
-        x = la::solve(sys.transpose(), rhs);
+        // x sys = rhs^T: transposed solve, no transposed copy.
+        x = la::LuFactors(sys).solveTransposed(rhs);
     } catch (const FatalError &) {
         return false; // singular at this depth
     }
@@ -198,9 +177,9 @@ stagedSolveAt(const SbusChain &chain, std::size_t q, SbusSolution &out)
             return false;
 
     // Assemble the solution.
-    const la::Vector pi0 = vecMat(x, f0);
-    la::Vector tail_sum = vecMat(x, s0);
-    const la::Vector tail_weighted = vecMat(x, s1);
+    const la::Vector pi0 = la::leftMultiply(x, f0);
+    la::Vector tail_sum = la::leftMultiply(x, s0);
+    const la::Vector tail_weighted = la::leftMultiply(x, s1);
     const double mean_l = sumOf(tail_weighted);
     if (!std::isfinite(mean_l) || mean_l < 0.0)
         return false;
@@ -284,31 +263,37 @@ solveDirect(const SbusChain &chain, const SbusSolveOptions &opts)
     SbusSolution sol;
 
     for (std::size_t q = opts.initialLevels; q <= opts.maxLevels; q *= 2) {
-        const Ctmc truncated = chain.buildTruncated(q);
-        // Near saturation the Gauss-Seidel sweeps mix as slowly as the
-        // chain itself; below a few thousand states a dense LU solve
-        // is both exact and much faster, so it is the default there.
-        const bool dense =
-            opts.useDenseDirect || truncated.states() <= 3000;
-        const la::Vector pi =
-            dense ? truncated.stationaryDense()
-                  : truncated.stationaryIterative(opts.gsTolerance);
-
-        la::Vector pi0(chain.boundarySize());
-        for (std::size_t k = 0; k < pi0.size(); ++k)
-            pi0[k] = pi[chain.truncatedIndex(0, k)];
-        std::vector<la::Vector> levels(q);
-        double mean_l = 0.0;
-        double top_mass = 0.0;
-        for (std::size_t level = 1; level <= q; ++level) {
-            la::Vector v(n);
-            for (std::size_t j = 0; j < n; ++j)
-                v[j] = pi[chain.truncatedIndex(level, j)];
-            mean_l += static_cast<double>(level) * sumOf(v);
-            if (level == q)
-                top_mass = sumOf(v);
-            levels[level - 1] = std::move(v);
+        la::Vector pi0;
+        std::vector<la::Vector> levels;
+        if (opts.useDenseDirect) {
+            // Validation oracle: LU-factor the full truncated
+            // generator, exactly as the paper's "(r+1)(q+1) balance
+            // equations" method.  O((q n)^3) -- keep q modest.
+            const Ctmc truncated = chain.buildTruncated(q);
+            const la::Vector pi = truncated.stationaryDense();
+            pi0.resize(chain.boundarySize());
+            for (std::size_t k = 0; k < pi0.size(); ++k)
+                pi0[k] = pi[chain.truncatedIndex(0, k)];
+            levels.resize(q);
+            for (std::size_t level = 1; level <= q; ++level) {
+                la::Vector v(n);
+                for (std::size_t j = 0; j < n; ++j)
+                    v[j] = pi[chain.truncatedIndex(level, j)];
+                levels[level - 1] = std::move(v);
+            }
+        } else {
+            // Banded route: per-level censoring recursion, O(q n^3),
+            // never materializes the truncated generator.
+            BandedStationary banded = solveBandedTruncated(
+                chain.a0(), chain.a1(), chain.a2(), chain.b00(),
+                chain.b01(), chain.b10(), q);
+            pi0 = std::move(banded.boundary);
+            levels = std::move(banded.levels);
         }
+        double mean_l = 0.0;
+        for (std::size_t level = 1; level <= q; ++level)
+            mean_l += static_cast<double>(level) * sumOf(levels[level - 1]);
+        const double top_mass = sumOf(levels.back());
 
         sol = SbusSolution{};
         sol.meanQueueLength = mean_l;
@@ -351,32 +336,14 @@ solveMatrixGeometric(const SbusChain &chain)
     const la::Matrix &a1 = chain.a1();
     const la::Matrix &a2 = chain.a2();
 
-    // Solve R from A0 + R A1 + R^2 A2 = 0 by fixed point:
-    //   R <- -(A0 + R^2 A2) A1^{-1}.
-    // Right-multiplication by A1^{-1} is done column-wise through an LU
-    // factorization of A1^T (Y A1 = X  <=>  A1^T Y^T = X^T).
-    const la::LuFactors a1t(a1.transpose());
-    auto right_div_a1 = [&](const la::Matrix &x) {
-        la::Matrix y(x.rows(), n);
-        for (std::size_t i = 0; i < x.rows(); ++i) {
-            la::Vector row(n);
-            for (std::size_t j = 0; j < n; ++j)
-                row[j] = x(i, j);
-            la::Vector sol_row = a1t.solve(row);
-            for (std::size_t j = 0; j < n; ++j)
-                y(i, j) = sol_row[j];
-        }
-        return y;
-    };
-
-    la::Matrix rmat(n, n, 0.0);
-    for (int iter = 0; iter < 100000; ++iter) {
-        la::Matrix next = right_div_a1(a0 + rmat * rmat * a2) * -1.0;
-        const double delta = (next - rmat).maxNorm();
-        rmat = next;
-        if (delta < 1e-15)
-            break;
-    }
+    // Rate matrix by logarithmic reduction: quadratic convergence in
+    // the censoring depth, ~10 small-GEMM iterations where the old
+    // fixed point R <- -(A0 + R^2 A2) A1^{-1} needed thousands of
+    // sweeps near saturation.
+    const LogReductionResult lr = logReduction(a0, a1, a2);
+    if (!lr.converged)
+        return unstableSolution();
+    const la::Matrix &rmat = lr.r;
 
     // Spectral radius check (power iteration on R^T R would overshoot;
     // use plain power iteration with a few hundred steps).
@@ -384,7 +351,7 @@ solveMatrixGeometric(const SbusChain &chain)
         la::Vector v(n, 1.0);
         double radius = 0.0;
         for (int it = 0; it < 500; ++it) {
-            la::Vector w = vecMat(v, rmat);
+            la::Vector w = la::leftMultiply(v, rmat);
             const double mag = la::normInf(w);
             if (mag == 0.0) {
                 radius = 0.0;
@@ -452,9 +419,9 @@ solveMatrixGeometric(const SbusChain &chain)
     sol.levelsUsed = 0; // no truncation
 
     // Utilizations need the aggregate tail sum_{l>=1} pi_l =
-    // pi_1 (I - R)^{-1} computed as a vector (solve on the transpose).
-    const la::LuFactors imrt(i_minus_r.transpose());
-    const la::Vector tail_sum = imrt.solve(pi1);
+    // pi_1 (I - R)^{-1}: one transposed solve against the factors
+    // already built for the normalization column.
+    const la::Vector tail_sum = imr.solveTransposed(pi1);
     fillUtilization(sol, chain, pi0, {tail_sum});
     return sol;
 }

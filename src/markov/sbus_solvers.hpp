@@ -14,12 +14,16 @@
  *    stops improving.
  *
  *  - solveDirect(): the paper's validation method -- all balance
- *    equations of the truncated chain solved simultaneously
- *    ("(r+1)(q+1) balance equations").
+ *    equations of the truncated chain ("(r+1)(q+1) balance
+ *    equations").  By default they are swept per level through the
+ *    banded censoring recursion (markov/qbd.hpp), O(q n^3); with
+ *    useDenseDirect the full truncated generator is LU-factored
+ *    instead, which serves as the brute-force oracle the structured
+ *    solvers are tested against.
  *
  *  - solveMatrixGeometric(): modern QBD solution via the rate matrix R
- *    (pi_{l+1} = pi_l R), giving a closed-form tail and an independent
- *    numerical cross-check.
+ *    (pi_{l+1} = pi_l R) computed by logarithmic reduction, giving a
+ *    closed-form tail and an independent numerical cross-check.
  *
  * All three agree to several digits for stable systems (test-verified),
  * reproducing the paper's "within four digits of accuracy" claim.
@@ -54,11 +58,11 @@ struct SbusSolveOptions
     std::size_t initialLevels = 4;    ///< starting q
     std::size_t maxLevels = 200000;   ///< hard cap on q
     double relTolerance = 1e-10;      ///< stop when d changes less than this
-    bool useDenseDirect = false;      ///< direct solver: LU instead of GS
+    /** Direct solver: LU-factor the full truncated generator instead
+     *  of the banded per-level sweep (the validation oracle). */
+    bool useDenseDirect = false;
     /** Direct solver: accept once the truncated level holds less mass. */
     double directTailMass = 1e-12;
-    /** Direct solver: Gauss-Seidel per-sweep convergence tolerance. */
-    double gsTolerance = 1e-12;
 };
 
 /** The paper's staged iterative solver (Section III, Eq. 2 procedure). */

@@ -4,6 +4,7 @@
 
 #include "common/error.hpp"
 #include "queueing/mm_queues.hpp"
+#include "rsin/analysis_cache.hpp"
 
 namespace rsin {
 
@@ -36,8 +37,8 @@ analyzeSbus(const SystemConfig &config, double lambda, double mu_n,
     prm.muN = mu_n;
     prm.muS = mu_s;
     prm.r = config.resourcesPerPort;
-    const markov::SbusChain chain(prm);
-    return markov::solveMatrixGeometric(chain);
+    return AnalysisCache::global().solve(prm,
+                                         SbusSolverKind::MatrixGeometric);
 }
 
 markov::SbusSolution
@@ -54,8 +55,8 @@ xbarLightLoad(const SystemConfig &config, double lambda, double mu_n,
     prm.muN = mu_n;
     prm.muS = mu_s;
     prm.r = config.outputsPerNet * config.resourcesPerPort;
-    const markov::SbusChain chain(prm);
-    return markov::solveMatrixGeometric(chain);
+    return AnalysisCache::global().solve(prm,
+                                         SbusSolverKind::MatrixGeometric);
 }
 
 markov::SbusSolution
@@ -85,8 +86,8 @@ xbarHeavyLoad(const SystemConfig &config, double lambda, double mu_n,
         prm.p = 1;
         prm.r = k * config.resourcesPerPort / j;
     }
-    const markov::SbusChain chain(prm);
-    return markov::solveMatrixGeometric(chain);
+    return AnalysisCache::global().solve(prm,
+                                         SbusSolverKind::MatrixGeometric);
 }
 
 markov::SbusSolution
@@ -104,8 +105,8 @@ multistageLightLoad(const SystemConfig &config, double lambda,
     prm.muN = mu_n;
     prm.muS = mu_s;
     prm.r = config.outputsPerNet * config.resourcesPerPort;
-    const markov::SbusChain chain(prm);
-    return markov::solveMatrixGeometric(chain);
+    return AnalysisCache::global().solve(prm,
+                                         SbusSolverKind::MatrixGeometric);
 }
 
 markov::SbusSolution

@@ -1,0 +1,168 @@
+#include "analysis_cache.hpp"
+
+#include <array>
+#include <bit>
+#include <condition_variable>
+#include <deque>
+#include <map>
+#include <mutex>
+
+#include "common/error.hpp"
+
+namespace rsin {
+
+namespace {
+
+/**
+ * Canonical key: every field of (params, solver, options) verbatim,
+ * doubles bit-cast so the mapping is exact.  std::map keeps lookups
+ * deterministic (R2: no unordered containers in model layers).
+ */
+using Key = std::array<std::uint64_t, 11>;
+
+Key
+makeKey(const markov::SbusParams &prm, SbusSolverKind solver,
+        const markov::SbusSolveOptions &opts)
+{
+    const auto dbits = [](double v) { return std::bit_cast<std::uint64_t>(v); };
+    Key key{};
+    key[0] = prm.p;
+    key[1] = prm.r;
+    key[2] = static_cast<std::uint64_t>(solver);
+    key[3] = dbits(prm.lambda);
+    key[4] = dbits(prm.muN);
+    key[5] = dbits(prm.muS);
+    // The matrix-geometric solver takes no options; canonicalize them
+    // away so differently-tuned callers still share its entries.
+    if (solver != SbusSolverKind::MatrixGeometric) {
+        key[6] = opts.initialLevels;
+        key[7] = opts.maxLevels;
+        key[8] = dbits(opts.relTolerance);
+        key[9] = opts.useDenseDirect ? 1 : 0;
+        key[10] = dbits(opts.directTailMass);
+    }
+    return key;
+}
+
+markov::SbusSolution
+computeSolution(const markov::SbusParams &prm, SbusSolverKind solver,
+                const markov::SbusSolveOptions &opts)
+{
+    const markov::SbusChain chain(prm);
+    switch (solver) {
+      case SbusSolverKind::MatrixGeometric:
+        return markov::solveMatrixGeometric(chain);
+      case SbusSolverKind::Staged:
+        return markov::solveStaged(chain, opts);
+      case SbusSolverKind::Direct:
+        return markov::solveDirect(chain, opts);
+    }
+    RSIN_PANIC("AnalysisCache: unknown solver kind");
+}
+
+} // namespace
+
+struct AnalysisCache::Impl
+{
+    struct Entry
+    {
+        bool ready = false; ///< false while a thread is computing it
+        markov::SbusSolution value;
+    };
+
+    std::mutex mutex;
+    std::condition_variable readyCv;
+    std::map<Key, Entry> entries;
+    std::deque<Key> fifo; ///< completed keys in completion order
+    std::size_t capacity;
+    Stats counters;
+};
+
+AnalysisCache::AnalysisCache(std::size_t capacity)
+    : impl_(new Impl)
+{
+    impl_->capacity = capacity < 1 ? 1 : capacity;
+}
+
+AnalysisCache::~AnalysisCache()
+{
+    delete impl_;
+}
+
+markov::SbusSolution
+AnalysisCache::solve(const markov::SbusParams &prm, SbusSolverKind solver,
+                     const markov::SbusSolveOptions &opts)
+{
+    const Key key = makeKey(prm, solver, opts);
+    std::unique_lock<std::mutex> lock(impl_->mutex);
+    for (;;) {
+        const auto it = impl_->entries.find(key);
+        if (it == impl_->entries.end())
+            break; // nobody owns this key: this thread computes it
+        if (it->second.ready) {
+            ++impl_->counters.hits;
+            return it->second.value;
+        }
+        // Single-flight: another thread is already solving this key.
+        ++impl_->counters.waits;
+        impl_->readyCv.wait(lock);
+        // Re-check from scratch: the computation may have finished,
+        // failed (entry erased) or been evicted while we slept.
+    }
+    ++impl_->counters.misses;
+    impl_->entries.emplace(key, Impl::Entry{});
+    lock.unlock();
+
+    markov::SbusSolution sol;
+    try {
+        sol = computeSolution(prm, solver, opts);
+    } catch (...) {
+        // A failed solve must not leave a poisoned in-flight marker.
+        lock.lock();
+        impl_->entries.erase(key);
+        impl_->readyCv.notify_all();
+        throw;
+    }
+
+    lock.lock();
+    Impl::Entry &entry = impl_->entries[key];
+    entry.ready = true;
+    entry.value = sol;
+    impl_->fifo.push_back(key);
+    while (impl_->fifo.size() > impl_->capacity) {
+        impl_->entries.erase(impl_->fifo.front());
+        impl_->fifo.pop_front();
+    }
+    impl_->readyCv.notify_all();
+    return sol;
+}
+
+AnalysisCache::Stats
+AnalysisCache::stats() const
+{
+    std::lock_guard<std::mutex> lock(impl_->mutex);
+    Stats out = impl_->counters;
+    out.entries = impl_->fifo.size();
+    return out;
+}
+
+void
+AnalysisCache::clear()
+{
+    std::lock_guard<std::mutex> lock(impl_->mutex);
+    // In-flight entries stay: erasing them would orphan their waiters'
+    // bookkeeping.  Completed entries and counters reset.
+    for (const auto &key : impl_->fifo)
+        impl_->entries.erase(key);
+    impl_->fifo.clear();
+    impl_->counters = Stats{};
+}
+
+AnalysisCache &
+AnalysisCache::global()
+{
+    static AnalysisCache cache;
+    return cache;
+}
+
+} // namespace rsin

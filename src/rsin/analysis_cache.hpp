@@ -1,0 +1,88 @@
+#pragma once
+
+/**
+ * @file
+ * Cross-run memoization of SBUS chain solves.
+ *
+ * Every analytic curve point, advisor query and sweep cell funnels
+ * into one of three deterministic solvers keyed entirely by
+ * (SbusParams, solver, options).  Figure benches and sweeps revisit
+ * the same keys constantly -- the same rho grid across tables, the
+ * same chain from different curves -- so the cache turns those repeats
+ * into lookups.
+ *
+ * Guarantees:
+ *  - **Exact keys.**  The key is the canonical byte image of the
+ *    parameters (doubles bit-cast to uint64), never a lossy hash, so
+ *    two keys collide only if the inputs are identical and a hit can
+ *    never return the solution of a different chain.
+ *  - **Single-flight.**  Concurrent callers with the same key block on
+ *    one computation instead of solving redundantly; this is what
+ *    makes concurrent SweepRunner grids cheap.
+ *  - **Bit-identical results.**  The solvers are deterministic pure
+ *    functions of the key, so a cached value is bit-for-bit the value
+ *    a fresh solve would produce; caching (and eviction, and thread
+ *    scheduling) can change timing only, never a reported number.
+ *  - **Deterministic capacity.**  Eviction is FIFO over completed
+ *    entries with a fixed capacity; an evicted key is simply re-solved
+ *    on next use.
+ */
+
+#include <cstddef>
+#include <cstdint>
+
+#include "markov/sbus_solvers.hpp"
+
+namespace rsin {
+
+/** Which SBUS solver a cached solution came from. */
+enum class SbusSolverKind
+{
+    MatrixGeometric, ///< markov::solveMatrixGeometric
+    Staged,          ///< markov::solveStaged
+    Direct,          ///< markov::solveDirect
+};
+
+/** Memo of SBUS solves; safe for concurrent use. */
+class AnalysisCache
+{
+  public:
+    /** @param capacity max completed entries kept (FIFO eviction). */
+    explicit AnalysisCache(std::size_t capacity = 4096);
+    ~AnalysisCache();
+
+    AnalysisCache(const AnalysisCache &) = delete;
+    AnalysisCache &operator=(const AnalysisCache &) = delete;
+
+    /**
+     * Solve @p prm with @p solver (and @p opts, ignored by the
+     * matrix-geometric solver), returning the cached solution when the
+     * exact key was solved before.  Throws whatever the underlying
+     * solver throws; a failed computation leaves no cache entry.
+     */
+    markov::SbusSolution solve(const markov::SbusParams &prm,
+                               SbusSolverKind solver,
+                               const markov::SbusSolveOptions &opts = {});
+
+    /** Counters since construction (or the last clear()). */
+    struct Stats
+    {
+        std::uint64_t hits = 0;   ///< served from a completed entry
+        std::uint64_t misses = 0; ///< computed by the calling thread
+        std::uint64_t waits = 0;  ///< blocked on another thread's solve
+        std::size_t entries = 0;  ///< completed entries currently held
+    };
+    Stats stats() const;
+
+    /** Drop all entries and reset the counters. */
+    void clear();
+
+    /** Process-wide instance used by rsin/analysis. */
+    static AnalysisCache &global();
+
+  private:
+    struct Impl;
+    Impl *impl_;
+};
+
+} // namespace rsin

@@ -6,7 +6,6 @@
 #include "common/contract.hpp"
 #include "common/error.hpp"
 #include "common/stats.hpp"
-#include "exec/thread_pool.hpp"
 
 namespace rsin {
 
@@ -139,7 +138,7 @@ SimResult
 simulateReplicated(const SystemConfig &config,
                    const workload::WorkloadParams &params,
                    const SimOptions &options, std::size_t replications,
-                   const ModelOptions &model, exec::ThreadPool *pool)
+                   const ModelOptions &model, common::Executor *executor)
 {
     RSIN_REQUIRE(replications >= 1,
                  "simulateReplicated: need at least one replication");
@@ -150,8 +149,8 @@ simulateReplicated(const SystemConfig &config,
         opts.seed = seeds[i];
         runs[i] = simulate(config, params, opts, model);
     };
-    if (pool && pool->size() > 1) {
-        pool->parallelFor(replications, runOne);
+    if (executor && executor->size() > 1) {
+        executor->parallelFor(replications, runOne);
     } else {
         for (std::size_t i = 0; i < replications; ++i)
             runOne(i);

@@ -13,16 +13,13 @@
 #include <memory>
 #include <vector>
 
+#include "common/parallel.hpp"
 #include "rsin/omega_system.hpp"
 #include "rsin/sbus_system.hpp"
 #include "rsin/system.hpp"
 #include "rsin/xbar_system.hpp"
 
 namespace rsin {
-
-namespace exec {
-class ThreadPool;
-} // namespace exec
 
 /** Everything beyond config/workload/run-control a model can take. */
 struct ModelOptions
@@ -67,15 +64,16 @@ SimResult aggregateReplications(std::vector<SimResult> runs,
 /**
  * Run @p replications independent runs (seeds derived from
  * options.seed) and aggregate them (see aggregateReplications).
- * Benches use this for smooth figure curves.  With a @p pool the
- * replications run concurrently; results are bit-identical to the
- * serial path because each run's seed depends only on its index.
+ * Benches use this for smooth figure curves.  With an @p executor
+ * (e.g. an exec::ThreadPool) the replications run concurrently;
+ * results are bit-identical to the serial path because each run's seed
+ * depends only on its index.
  */
 SimResult simulateReplicated(const SystemConfig &config,
                              const workload::WorkloadParams &params,
                              const SimOptions &options,
                              std::size_t replications,
                              const ModelOptions &model = {},
-                             exec::ThreadPool *pool = nullptr);
+                             common::Executor *executor = nullptr);
 
 } // namespace rsin

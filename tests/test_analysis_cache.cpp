@@ -1,0 +1,181 @@
+/**
+ * @file
+ * AnalysisCache contract tests: exact keying, bit-identical cached
+ * results, single-flight accounting, FIFO eviction, and bit-identity
+ * of a concurrent SweepRunner grid against the uncached serial loop.
+ */
+
+#include <cmath>
+#include <cstring>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "exec/sweep_runner.hpp"
+#include "exec/thread_pool.hpp"
+#include "markov/sbus_solvers.hpp"
+#include "rsin/analysis_cache.hpp"
+
+namespace {
+
+using namespace rsin;
+
+markov::SbusParams
+paramsAt(std::size_t p, std::size_t r, double ratio, double lambda)
+{
+    markov::SbusParams prm;
+    prm.p = p;
+    prm.r = r;
+    prm.muN = 1.0;
+    prm.muS = ratio;
+    prm.lambda = lambda;
+    return prm;
+}
+
+/** Bit-for-bit equality of every field of two solutions. */
+void
+expectBitIdentical(const markov::SbusSolution &a,
+                   const markov::SbusSolution &b)
+{
+    const auto bits = [](double v) {
+        std::uint64_t u;
+        std::memcpy(&u, &v, sizeof u);
+        return u;
+    };
+    EXPECT_EQ(a.stable, b.stable);
+    EXPECT_EQ(bits(a.meanQueueLength), bits(b.meanQueueLength));
+    EXPECT_EQ(bits(a.queueingDelay), bits(b.queueingDelay));
+    EXPECT_EQ(bits(a.normalizedDelay), bits(b.normalizedDelay));
+    EXPECT_EQ(bits(a.busUtilization), bits(b.busUtilization));
+    EXPECT_EQ(bits(a.resourceUtilization), bits(b.resourceUtilization));
+    EXPECT_EQ(bits(a.probEmptySystem), bits(b.probEmptySystem));
+    EXPECT_EQ(bits(a.probNoWait), bits(b.probNoWait));
+    EXPECT_EQ(a.levelsUsed, b.levelsUsed);
+}
+
+TEST(AnalysisCacheTest, HitIsBitIdenticalToFreshSolve)
+{
+    AnalysisCache cache;
+    const auto prm = paramsAt(4, 2, 0.1, 0.08);
+    const auto fresh =
+        markov::solveMatrixGeometric(markov::SbusChain(prm));
+    const auto first =
+        cache.solve(prm, SbusSolverKind::MatrixGeometric);
+    const auto second =
+        cache.solve(prm, SbusSolverKind::MatrixGeometric);
+    expectBitIdentical(first, fresh);
+    expectBitIdentical(second, fresh);
+    const auto stats = cache.stats();
+    EXPECT_EQ(stats.misses, 1u);
+    EXPECT_EQ(stats.hits, 1u);
+    EXPECT_EQ(stats.entries, 1u);
+}
+
+TEST(AnalysisCacheTest, DistinctSolversAndParamsGetDistinctEntries)
+{
+    AnalysisCache cache;
+    const auto prm = paramsAt(4, 2, 0.1, 0.08);
+    auto nudged = prm;
+    nudged.lambda = std::nextafter(prm.lambda, 1.0);
+    cache.solve(prm, SbusSolverKind::MatrixGeometric);
+    cache.solve(prm, SbusSolverKind::Staged);
+    cache.solve(prm, SbusSolverKind::Direct);
+    cache.solve(nudged, SbusSolverKind::MatrixGeometric);
+    const auto stats = cache.stats();
+    EXPECT_EQ(stats.misses, 4u);
+    EXPECT_EQ(stats.hits, 0u);
+    EXPECT_EQ(stats.entries, 4u);
+}
+
+TEST(AnalysisCacheTest, StagedOptionsParticipateInTheKey)
+{
+    AnalysisCache cache;
+    const auto prm = paramsAt(4, 2, 1.0, 0.06);
+    markov::SbusSolveOptions coarse;
+    coarse.maxLevels = 8;
+    cache.solve(prm, SbusSolverKind::Staged);
+    cache.solve(prm, SbusSolverKind::Staged, coarse);
+    EXPECT_EQ(cache.stats().misses, 2u);
+    // The matrix-geometric solver ignores options, so they must not
+    // split its key.
+    cache.solve(prm, SbusSolverKind::MatrixGeometric);
+    cache.solve(prm, SbusSolverKind::MatrixGeometric, coarse);
+    EXPECT_EQ(cache.stats().misses, 3u);
+    EXPECT_EQ(cache.stats().hits, 1u);
+}
+
+TEST(AnalysisCacheTest, FifoEvictionRecomputesButNeverChangesResults)
+{
+    AnalysisCache cache(2);
+    std::vector<markov::SbusParams> prms;
+    for (int i = 0; i < 3; ++i)
+        prms.push_back(paramsAt(4, 2, 0.1, 0.05 + 0.01 * i));
+    std::vector<markov::SbusSolution> first;
+    for (const auto &prm : prms)
+        first.push_back(cache.solve(prm, SbusSolverKind::MatrixGeometric));
+    // Capacity 2: inserting the third entry evicted the first.
+    EXPECT_EQ(cache.stats().entries, 2u);
+    const auto again =
+        cache.solve(prms[0], SbusSolverKind::MatrixGeometric);
+    EXPECT_EQ(cache.stats().misses, 4u);
+    expectBitIdentical(again, first[0]);
+}
+
+TEST(AnalysisCacheTest, ClearResetsEntriesAndCounters)
+{
+    AnalysisCache cache;
+    const auto prm = paramsAt(4, 1, 0.1, 0.1);
+    cache.solve(prm, SbusSolverKind::MatrixGeometric);
+    cache.solve(prm, SbusSolverKind::MatrixGeometric);
+    cache.clear();
+    const auto stats = cache.stats();
+    EXPECT_EQ(stats.hits, 0u);
+    EXPECT_EQ(stats.misses, 0u);
+    EXPECT_EQ(stats.entries, 0u);
+    const auto sol = cache.solve(prm, SbusSolverKind::MatrixGeometric);
+    expectBitIdentical(
+        sol, markov::solveMatrixGeometric(markov::SbusChain(prm)));
+}
+
+/**
+ * The ISSUE-level guarantee: a concurrent SweepRunner grid whose cells
+ * all route through one shared cache produces solutions bit-identical
+ * to an uncached serial loop, and deliberately duplicated columns
+ * dedupe into hits or single-flight waits rather than extra solves.
+ */
+TEST(AnalysisCacheTest, ConcurrentSweepMatchesUncachedSerial)
+{
+    const std::size_t points = 6;
+    const std::size_t replications = 4; // 4 duplicates of each column
+    std::vector<markov::SbusParams> prms;
+    for (std::size_t p = 0; p < points; ++p)
+        prms.push_back(paramsAt(4, 2, 0.1, 0.02 + 0.012 * static_cast<double>(p)));
+
+    std::vector<markov::SbusSolution> serial;
+    for (const auto &prm : prms)
+        serial.push_back(markov::solveStaged(markov::SbusChain(prm)));
+
+    AnalysisCache cache;
+    exec::ThreadPool pool(4);
+    const exec::SweepRunner runner(&pool);
+    std::vector<markov::SbusSolution> cells(points * replications);
+    runner.run(1, points, replications, 0,
+               [&](const exec::SweepCell &cell) {
+                   cells[cell.flat] = cache.solve(
+                       prms[cell.point], SbusSolverKind::Staged);
+               });
+
+    for (std::size_t p = 0; p < points; ++p)
+        for (std::size_t r = 0; r < replications; ++r)
+            expectBitIdentical(cells[p * replications + r], serial[p]);
+    const auto stats = cache.stats();
+    // Single-flight: exactly one solve per distinct chain.  Every
+    // other cell of a column returns the completed entry (a hit),
+    // possibly after blocking on the in-flight computation (a wait,
+    // counted in addition to the eventual hit).
+    EXPECT_EQ(stats.misses, points);
+    EXPECT_EQ(stats.hits, points * (replications - 1));
+    EXPECT_EQ(stats.entries, points);
+}
+
+} // namespace
