@@ -25,7 +25,9 @@
 #include <cmath>
 #include <cstdio>
 #include <iostream>
+#include <map>
 #include <memory>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -51,6 +53,11 @@ struct BenchContext
     std::string out;                       ///< artifact path; "" = none
     obs::Format format = obs::Format::Json;
     std::chrono::steady_clock::time_point start;
+    /** Calendar shards per run (1 = serial; 0 never stored: resolved
+     *  to the hardware thread count at parse time). */
+    std::size_t shards = 1;
+    /** Values of the bench-specific options passed to initBench. */
+    std::map<std::string, std::string> extra;
 };
 
 inline BenchContext &
@@ -58,6 +65,16 @@ benchContext()
 {
     static BenchContext ctx;
     return ctx;
+}
+
+/** A bench-specific option's value ("" when absent); the option must
+ *  have been declared via initBench's extra_options. */
+inline std::string
+benchOption(const std::string &name)
+{
+    const auto &extra = benchContext().extra;
+    const auto it = extra.find(name);
+    return it == extra.end() ? std::string() : it->second;
 }
 
 /** The bench pool, or nullptr when running serially. */
@@ -77,21 +94,32 @@ runLog()
 /**
  * Parse the common bench options and size the sweep pool:
  *   --jobs N        worker count (0 or absent: one per hardware thread)
+ *   --shards P      calendar shards per run (default 1 = serial;
+ *                   0 = auto, one per hardware thread).  With P != 1
+ *                   the pool drives the shards *inside* each run and
+ *                   cells are visited one at a time.
  *   --out PATH      write the collected run records to PATH at exit
  *   --format F      artifact format, json (default) or csv
  *   --progress      live cells-done line on stderr during sweeps
  * Cell results are seed-deterministic, so none of these change a
- * table cell, only wall-clock time and side artifacts.
+ * table cell, only wall-clock time and side artifacts (sharded
+ * switched-network runs are the one exception; see
+ * src/rsin/partitioned_run.hpp for the exactness contract).
  */
 inline void
-initBench(int argc, const char *const *argv)
+initBench(int argc, const char *const *argv,
+          const std::set<std::string> &extra_options = {})
 {
-    const ArgParser args(argc, argv, {"progress"},
-                         {"jobs", "out", "format"});
+    std::set<std::string> options{"jobs", "shards", "out", "format"};
+    options.insert(extra_options.begin(), extra_options.end());
+    const ArgParser args(argc, argv, {"progress"}, options);
     auto &ctx = benchContext();
+    for (const auto &name : extra_options)
+        ctx.extra[name] = args.get(name);
     const std::size_t jobs = args.getJobs();
     if (jobs > 1)
         ctx.pool = std::make_unique<exec::ThreadPool>(jobs);
+    ctx.shards = ArgParser::resolveJobs(args.getLong("shards", 1));
     ctx.out = args.get("out");
     ctx.format = obs::parseFormat(args.get("format", "json"));
     std::string bench = args.program();
@@ -299,7 +327,12 @@ simulatedCurve(const std::string &config_text, double mu_n, double mu_s,
     }
     std::vector<SimResult> runs(grid.size() * replications);
     std::vector<double> wall(grid.size() * replications, 0.0);
-    const exec::SweepRunner runner(sweepPool(),
+    // One level of parallelism: with --shards the pool moves inside
+    // each run (cells then go one at a time); otherwise it fans the
+    // independent cells out as before.
+    const std::size_t shards = benchContext().shards;
+    const bool sharded = shards != 1;
+    const exec::SweepRunner runner(sharded ? nullptr : sweepPool(),
                                    benchContext().observer.get());
     runner.run(1, grid.size(), replications, base_seed,
                [&](const exec::SweepCell &sweep_cell) {
@@ -308,9 +341,11 @@ simulatedCurve(const std::string &config_text, double mu_n, double mu_s,
                        seeds[sweep_cell.point][sweep_cell.replication];
                    opts.warmupTasks = measure_tasks / 10;
                    opts.measureTasks = measure_tasks;
+                   opts.shards = shards;
                    const auto start = std::chrono::steady_clock::now();
                    runs[sweep_cell.flat] =
-                       simulate(cfg, params[sweep_cell.point], opts, model);
+                       simulate(cfg, params[sweep_cell.point], opts, model,
+                                sharded ? sweepPool() : nullptr);
                    const std::chrono::duration<double> dt =
                        std::chrono::steady_clock::now() - start;
                    wall[sweep_cell.flat] = dt.count();

@@ -14,6 +14,7 @@
 #include "la/kernels.hpp"
 #include "logic/crossbar_cell.hpp"
 #include "markov/sbus_solvers.hpp"
+#include "rsin/analysis.hpp"
 #include "rsin/analysis_cache.hpp"
 #include "rsin/factory.hpp"
 #include "sched/omega_router.hpp"
@@ -237,6 +238,41 @@ BM_SbusStagedSolver(benchmark::State &state)
     }
 }
 BENCHMARK(BM_SbusStagedSolver)->Arg(4)->Arg(16)->Arg(32);
+
+void
+BM_PartitionedDes(benchmark::State &state)
+{
+    // Parallel-in-run DES on a large-p SBUS system: the arg is the
+    // shard count (1 = the serial oracle).  Every shard count computes
+    // the bit-identical result, so the ratio between the /1 and /4
+    // rows is the pure engine speedup.  At this p the win has two
+    // parts: threads, plus the smaller per-shard calendars (cheaper
+    // slab operations), which is why /4 beats /1 by >2x even on a
+    // single-CPU host.
+    const auto shards = static_cast<std::size_t>(state.range(0));
+    const auto cfg = SystemConfig::parse("16384/1024x1x1 SBUS/2");
+    workload::WorkloadParams params;
+    params.muN = 1.0;
+    params.muS = 0.4;
+    params.lambda = lambdaForRho(cfg, 0.5, params.muN, params.muS);
+    std::unique_ptr<exec::ThreadPool> pool;
+    if (shards > 1)
+        pool = std::make_unique<exec::ThreadPool>(shards);
+    for (auto _ : state) {
+        SimOptions opts;
+        opts.seed = 11;
+        opts.warmupTasks = 800;
+        opts.measureTasks = 8000;
+        opts.shards = shards;
+        auto res = simulate(cfg, params, opts, {}, pool.get());
+        // rsin-lint: allow(R5): timing kernel discards the estimate
+        benchmark::DoNotOptimize(res.meanDelay);
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(
+        state.iterations() * 8800));
+}
+BENCHMARK(BM_PartitionedDes)->Arg(1)->Arg(2)->Arg(4)
+    ->Unit(benchmark::kMillisecond)->UseRealTime();
 
 void
 BM_EndToEndOmegaSimulation(benchmark::State &state)

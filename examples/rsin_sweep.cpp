@@ -6,13 +6,21 @@
  *
  *   ./rsin_sweep "16/1x16x16 OMEGA/2" "16/1x16x16 XBAR/2" \
  *       --ratio 0.1 --rho-min 0.1 --rho-max 0.9 --steps 9 \
- *       --tasks 20000 --seed 7 --jobs 8 [--csv] [--analytic]
- *       [--response] [--progress] [--out run.json] [--format json|csv]
+ *       --tasks 20000 --seed 7 --jobs 8 [--shards P] [--csv]
+ *       [--analytic] [--response] [--progress] [--out run.json]
+ *       [--format json|csv]
  *
  * With --analytic, SBUS configurations are additionally solved with
  * the exact Markov model (matrix-geometric).  The (config, rho) cells
  * are independent simulations seeded from their grid coordinates, so
  * --jobs only changes wall-clock time, never a printed value.
+ *
+ * --shards moves the parallelism *inside* each run: the system is
+ * partitioned by network and executed on that many calendar shards
+ * (see docs/PERF.md).  SBUS cells print bit-identical values at any
+ * shard count; 0 means "auto: one shard per hardware thread", the
+ * same convention --jobs 0 uses.  With --shards active the worker
+ * pool drives the shards, so cells are visited one at a time.
  *
  * Cells whose run produced no post-warmup observations (truncated or
  * no-data status) print "n/a" -- distinct from "inf", which means the
@@ -46,19 +54,27 @@ main(int argc, char **argv)
             argc, argv,
             {"csv", "analytic", "response", "progress", "help"},
             {"ratio", "rho-min", "rho-max", "steps", "tasks", "seed",
-             "mu-n", "jobs", "out", "format"});
+             "mu-n", "jobs", "shards", "out", "format"});
         if (args.flag("help") || args.positional().empty()) {
             std::cout
                 << "usage: " << args.program()
                 << " CONFIG [CONFIG...] [--ratio R] [--rho-min A]"
                    " [--rho-max B]\n"
                    "       [--steps N] [--tasks N] [--seed S] [--mu-n M]"
-                   " [--jobs J] [--csv] [--analytic] [--response]\n"
+                   " [--jobs J] [--shards P] [--csv] [--analytic]"
+                   " [--response]\n"
                    "       [--progress] [--out PATH] [--format json|csv]\n"
                    "CONFIG uses the paper notation, e.g."
                    " '16/1x16x16 OMEGA/2'.\n"
                    "--jobs 0 (the default) uses every hardware"
-                   " thread.\n"
+                   " thread to run cells concurrently.\n"
+                   "--shards P runs each simulation on P calendar"
+                   " shards (partitioned\n"
+                   "  by network; SBUS output is bit-identical at any"
+                   " P).  --shards 0\n"
+                   "  means auto -- one shard per hardware thread,"
+                   " like --jobs 0;\n"
+                   "  the default 1 is the serial calendar.\n"
                    "--out writes every cell as a structured run record"
                    " (json or csv).\n";
             return args.flag("help") ? 0 : 1;
@@ -77,6 +93,10 @@ main(int argc, char **argv)
         const bool csv = args.flag("csv");
         const bool response = args.flag("response");
         const std::size_t jobs = args.getJobs();
+        // 0 = auto (hardware concurrency), same convention as --jobs;
+        // the default of 1 is the serial calendar oracle.
+        const std::size_t shards =
+            ArgParser::resolveJobs(args.getLong("shards", 1));
         const std::string out = args.get("out");
         const obs::Format out_format =
             obs::parseFormat(args.get("format", "json"));
@@ -102,13 +122,17 @@ main(int argc, char **argv)
 
         // Simulate every (config, rho) cell up front, fanned out over
         // the worker pool; printing below then only reads results.
+        // With --shards the pool moves inside each run (one level of
+        // parallelism): cells go one at a time, each sharded.
         std::unique_ptr<exec::ThreadPool> pool;
         if (jobs > 1)
             pool = std::make_unique<exec::ThreadPool>(jobs);
+        const bool sharded = shards != 1;
         const auto cells = static_cast<std::size_t>(steps);
         std::vector<SimResult> results(configs.size() * cells);
         std::vector<double> wall(configs.size() * cells, 0.0);
-        const exec::SweepRunner runner(pool.get(), &observer);
+        const exec::SweepRunner runner(sharded ? nullptr : pool.get(),
+                                       &observer);
         runner.run(configs.size(), cells, 1, seed,
                    [&](const exec::SweepCell &sweep_cell) {
                        workload::WorkloadParams params;
@@ -123,10 +147,12 @@ main(int argc, char **argv)
                                               sweep_cell.point);
                        opts.warmupTasks = tasks / 10;
                        opts.measureTasks = tasks;
+                       opts.shards = shards;
                        const auto t0 = std::chrono::steady_clock::now();
                        results[sweep_cell.flat] =
                            simulate(configs[sweep_cell.config], params,
-                                    opts);
+                                    opts, {},
+                                    sharded ? pool.get() : nullptr);
                        const std::chrono::duration<double> dt =
                            std::chrono::steady_clock::now() - t0;
                        wall[sweep_cell.flat] = dt.count();

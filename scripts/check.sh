@@ -10,7 +10,8 @@
 #              (build-asan/).  Catches heap errors in the DES arenas,
 #              container misuse, signed overflow, bad shifts.
 #   tsan       ThreadSanitizer build of the concurrency-sensitive
-#              suites (test_exec, test_des) and runs them
+#              suites (test_exec, test_des, test_partitioned) and
+#              runs them
 #              (build-tsan/).  Catches races in the thread pool and
 #              the sweep runner.
 #   contracts  Debug build with -DRSIN_CONTRACTS=ON, full ctest suite
@@ -52,9 +53,10 @@ run_tsan() {
         -DCMAKE_CXX_FLAGS="-fsanitize=thread -fno-omit-frame-pointer" \
         -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=thread" \
         "$@"
-    cmake --build "$build" --target test_exec test_des -j "$(nproc)"
+    cmake --build "$build" --target test_exec test_des test_partitioned \
+        -j "$(nproc)"
     status=0
-    for t in test_exec test_des; do
+    for t in test_exec test_des test_partitioned; do
         echo "== TSan: $t =="
         "$build/tests/$t" || status=1
     done

@@ -9,11 +9,18 @@
 #   threshold  allowed slowdown factor (default: 1.30)
 #
 # Only the compute-bound families gate the build: names matching
-#   BM_Sbus* BM_BlockedGemm* BM_Event* BM_Simulator*
-# (solver kernels and the DES calendar).  The pool / end-to-end
-# benches are load-sensitive on shared CI runners and are reported but
-# never fail the check.  Refresh the baseline on a quiet machine with
+#   BM_Sbus* BM_BlockedGemm* BM_Event* BM_Simulator* BM_Partitioned*
+# (solver kernels, the DES calendar, and the partitioned engine).  The
+# pool / end-to-end benches are load-sensitive on shared CI runners
+# and are reported but never fail the check.  Refresh the baseline on
+# a quiet machine with
 #   ./scripts/emit_bench.sh --baseline
+#
+# Timings are only comparable when both runs linked the same flavour
+# of the google-benchmark *library* (the distro ships a debug one; a
+# rebuilt release library would shift every number), so the check also
+# requires the baseline's and the current run's "library_build_type"
+# context fields to match.
 set -eu
 
 repo=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
@@ -46,22 +53,39 @@ import json
 import sys
 
 GATED_PREFIXES = ("BM_Sbus", "BM_BlockedGemm", "BM_Event",
-                  "BM_Simulator")
+                  "BM_Simulator", "BM_Partitioned")
 
 baseline_path, current_path, threshold = sys.argv[1:4]
 threshold = float(threshold)
 
 
-def times(path):
+def load(path):
     with open(path) as fh:
-        doc = json.load(fh)
+        return json.load(fh)
+
+
+def times(doc):
     return {b["name"]: float(b["real_time"])
             for b in doc.get("benchmarks", [])
             if b.get("run_type", "iteration") == "iteration"}
 
 
-base = times(baseline_path)
-cur = times(current_path)
+base_doc = load(baseline_path)
+cur_doc = load(current_path)
+
+# Apples-to-apples gate: both runs must have linked the same flavour
+# of the benchmark library itself.
+base_lib = base_doc.get("context", {}).get("library_build_type", "?")
+cur_lib = cur_doc.get("context", {}).get("library_build_type", "?")
+if base_lib != cur_lib:
+    print(f"check_bench: FAILED (baseline linked a {base_lib!r} "
+          f"benchmark library, current run a {cur_lib!r} one; "
+          f"timings are not comparable -- re-record the baseline "
+          f"with ./scripts/emit_bench.sh --baseline)")
+    sys.exit(1)
+
+base = times(base_doc)
+cur = times(cur_doc)
 failed = []
 print(f"{'benchmark':<40} {'baseline':>12} {'current':>12} {'ratio':>7}")
 for name in sorted(cur):

@@ -16,7 +16,11 @@
 # Recorded numbers are only meaningful from optimized builds, so BOTH
 # modes refuse to run against a tree whose CMAKE_BUILD_TYPE is not
 # Release; the baseline mode additionally verifies the binary's own
-# "rsin_build_type" stamp in the emitted JSON.
+# "rsin_build_type" stamp in the emitted JSON, and reports the linked
+# google-benchmark library's flavour ("library_build_type"), which the
+# baseline records so check_bench.sh can refuse cross-flavour
+# comparisons.  (The distro ships a debug libbenchmark; that is fine
+# as long as baseline and check runs agree.)
 set -eu
 
 repo=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
@@ -52,7 +56,15 @@ if [ "${1:-}" = "--baseline" ]; then
              "baseline discarded" >&2
         exit 1
     fi
-    echo "baseline written to $out"
+    lib=$(sed -n 's/.*"library_build_type": *"\([^"]*\)".*/\1/p' "$out" |
+          head -n 1)
+    if [ -z "$lib" ]; then
+        rm -f "$out"
+        echo "error: baseline lacks a library_build_type context" \
+             "field; check_bench.sh could not gate on it" >&2
+        exit 1
+    fi
+    echo "baseline written to $out (benchmark library: $lib)"
     exit 0
 fi
 

@@ -1,0 +1,158 @@
+#pragma once
+
+/**
+ * @file
+ * Bounded single-producer/single-consumer channel plus a monotone clock
+ * broadcast -- the two primitives conservative parallel simulation
+ * needs on a shard boundary (des/partitioned.hpp).
+ *
+ * The issue text places these "in src/exec", but the layer DAG forbids
+ * that: des (layer 2) hosts the PartitionedSimulator and may not
+ * depend on exec (layer 5), and neither may rsin (layer 4), which
+ * drives it.  The primitives therefore live here in common (layer 0),
+ * the same inversion that gave exec::ThreadPool its common::Executor
+ * face.
+ *
+ * SpscChannel is a fixed-capacity ring with one atomic head and one
+ * atomic tail.  Exactly one thread may push and one thread may pop at
+ * any time; the partitioned simulator guarantees that by dedicating
+ * one channel to each ordered shard pair and running each shard on at
+ * most one thread per synchronization round (rounds are separated by a
+ * parallel-for barrier).  tryPush/tryPop never block: a full ring
+ * reports failure and the caller spills to its own overflow, so a
+ * shard can never deadlock waiting for a neighbour that is itself
+ * waiting.
+ *
+ * ClockBroadcast is the null-message half of the protocol: a sender
+ * publishes "I will never again send an event earlier than t" as the
+ * bit pattern of t (order-preserving for the non-negative times the
+ * simulator admits), and receivers read it with acquire semantics so
+ * everything pushed before the publication is visible once the clock
+ * is.
+ */
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <utility>
+
+#include "common/contract.hpp"
+
+namespace rsin {
+namespace common {
+
+/** Bounded lock-free SPSC ring; capacity is rounded up to 2^k. */
+template <typename T>
+class SpscChannel
+{
+  public:
+    explicit SpscChannel(std::size_t capacity)
+    {
+        RSIN_REQUIRE(capacity >= 1, "SpscChannel: capacity must be >= 1");
+        std::size_t rounded = 1;
+        while (rounded < capacity)
+            rounded <<= 1;
+        mask_ = rounded - 1;
+        slots_ = std::make_unique<T[]>(rounded);
+    }
+
+    SpscChannel(const SpscChannel &) = delete;
+    SpscChannel &operator=(const SpscChannel &) = delete;
+
+    /**
+     * Producer side: enqueue @p value; false if the ring is full.  On
+     * failure @p value is left untouched (even when passed as an
+     * rvalue), so the caller can spill the very same object to an
+     * overflow path.
+     */
+    bool
+    tryPush(T &&value)
+    {
+        const std::uint64_t tail = tail_.load(std::memory_order_relaxed);
+        const std::uint64_t head = head_.load(std::memory_order_acquire);
+        if (tail - head > mask_)
+            return false;
+        slots_[tail & mask_] = std::move(value);
+        tail_.store(tail + 1, std::memory_order_release);
+        return true;
+    }
+
+    /** Copying overload of tryPush. */
+    bool
+    tryPush(const T &value)
+    {
+        T copy = value;
+        return tryPush(std::move(copy));
+    }
+
+    /** Consumer side: dequeue into @p out; false if the ring is empty. */
+    bool
+    tryPop(T &out)
+    {
+        const std::uint64_t head = head_.load(std::memory_order_relaxed);
+        const std::uint64_t tail = tail_.load(std::memory_order_acquire);
+        if (head == tail)
+            return false;
+        out = std::move(slots_[head & mask_]);
+        head_.store(head + 1, std::memory_order_release);
+        return true;
+    }
+
+    /** Slots the ring can hold. */
+    std::size_t capacity() const { return mask_ + 1; }
+
+    /** True when no element is queued (consumer-side view). */
+    bool
+    empty() const
+    {
+        return head_.load(std::memory_order_acquire) ==
+               tail_.load(std::memory_order_acquire);
+    }
+
+  private:
+    std::unique_ptr<T[]> slots_;
+    std::size_t mask_ = 0;
+    alignas(64) std::atomic<std::uint64_t> head_{0};
+    alignas(64) std::atomic<std::uint64_t> tail_{0};
+};
+
+/**
+ * Monotone published lower bound on a sender's future event times.
+ * publish() never lets the value regress, so a reader observing t may
+ * rely on every event with time < t + lookahead being already pushed.
+ */
+class ClockBroadcast
+{
+  public:
+    /** Publish @p time as the new lower bound (monotone). */
+    void
+    publish(double time)
+    {
+        std::uint64_t bits;
+        std::memcpy(&bits, &time, sizeof(bits));
+        std::uint64_t seen = bits_.load(std::memory_order_relaxed);
+        while (seen < bits &&
+               !bits_.compare_exchange_weak(seen, bits,
+                                            std::memory_order_release,
+                                            std::memory_order_relaxed)) {
+        }
+    }
+
+    /** Latest published bound (0.0 before the first publish). */
+    double
+    read() const
+    {
+        const std::uint64_t bits = bits_.load(std::memory_order_acquire);
+        double time;
+        std::memcpy(&time, &bits, sizeof(time));
+        return time;
+    }
+
+  private:
+    std::atomic<std::uint64_t> bits_{0};
+};
+
+} // namespace common
+} // namespace rsin

@@ -1,0 +1,261 @@
+#include "partitioned.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+namespace rsin {
+namespace des {
+
+std::uint64_t
+timeToBits(double time)
+{
+    RSIN_ASSERT(time >= 0.0, "timeToBits: negative event time");
+    std::uint64_t bits;
+    std::memcpy(&bits, &time, sizeof(bits));
+    return bits;
+}
+
+double
+bitsToTime(std::uint64_t bits)
+{
+    double time;
+    std::memcpy(&time, &bits, sizeof(time));
+    return time;
+}
+
+PartitionedSimulator::PartitionedSimulator(std::size_t shardCount)
+    : shards_(shardCount)
+{
+    RSIN_REQUIRE(shardCount >= 1,
+                 "PartitionedSimulator: need at least one shard");
+}
+
+void
+PartitionedSimulator::attach(std::size_t shard, Simulator &sim)
+{
+    RSIN_REQUIRE(shard < shards_.size(),
+                 "PartitionedSimulator::attach: shard ", shard,
+                 " out of range");
+    shards_[shard].sim = &sim;
+}
+
+void
+PartitionedSimulator::setEventHook(std::size_t shard,
+                                   std::function<bool()> hook)
+{
+    RSIN_REQUIRE(shard < shards_.size(),
+                 "PartitionedSimulator::setEventHook: shard ", shard,
+                 " out of range");
+    shards_[shard].hook = std::move(hook);
+}
+
+void
+PartitionedSimulator::connect(std::size_t from, std::size_t to,
+                              double lookahead, std::size_t ringCapacity)
+{
+    RSIN_REQUIRE(from < shards_.size() && to < shards_.size() &&
+                     from != to,
+                 "PartitionedSimulator::connect: bad shard pair ", from,
+                 " -> ", to);
+    RSIN_REQUIRE(lookahead > 0.0,
+                 "PartitionedSimulator::connect: lookahead must be "
+                 "positive (zero-lookahead cycles cannot make "
+                 "conservative progress), got ", lookahead);
+    for (std::size_t c : shards_[from].outChannels)
+        RSIN_REQUIRE(channels_[c]->to != to,
+                     "PartitionedSimulator::connect: duplicate channel ",
+                     from, " -> ", to);
+    channels_.push_back(
+        std::make_unique<Channel>(from, to, lookahead, ringCapacity));
+    shards_[from].outChannels.push_back(channels_.size() - 1);
+    shards_[to].inChannels.push_back(channels_.size() - 1);
+}
+
+void
+PartitionedSimulator::send(std::size_t from, std::size_t to, double when,
+                           std::function<void()> fn)
+{
+    RSIN_REQUIRE(inRound_, "PartitionedSimulator::send: only legal "
+                           "from within a shard's event execution");
+    Channel *channel = nullptr;
+    for (std::size_t c : shards_[from].outChannels)
+        if (channels_[c]->to == to) {
+            channel = channels_[c].get();
+            break;
+        }
+    RSIN_REQUIRE(channel != nullptr,
+                 "PartitionedSimulator::send: no channel ", from, " -> ",
+                 to);
+    // The conservative contract: the receiver trusts that anything we
+    // emit is at least one lookahead past our clock.
+    RSIN_REQUIRE(when >= shards_[from].sim->now() + channel->lookahead,
+                 "PartitionedSimulator::send: event at ", when,
+                 " violates lookahead ", channel->lookahead,
+                 " from sender clock ", shards_[from].sim->now());
+    RemoteEvent event{when, channel->nextSeq++, from, std::move(fn)};
+    if (!channel->ring.tryPush(std::move(event))) {
+        // Ring full: spill so the sender never blocks on its receiver.
+        std::lock_guard<std::mutex> lock(channel->overflowMutex);
+        channel->overflow.push_back(std::move(event));
+    }
+}
+
+void
+PartitionedSimulator::beginWindow()
+{
+    for (Shard &shard : shards_) {
+        RSIN_REQUIRE(shard.sim != nullptr,
+                     "PartitionedSimulator: every shard must be "
+                     "attached before beginWindow");
+        shard.journal.clear();
+        shard.base.scheduled = shard.sim->scheduled();
+        shard.base.fired = shard.sim->fired();
+        shard.base.cancelled = shard.sim->cancelled();
+        shard.windowDone = false;
+    }
+}
+
+bool
+PartitionedSimulator::runShardTurn(std::size_t index, double horizon)
+{
+    Shard &shard = shards_[index];
+    if (shard.windowDone)
+        return true;
+    if (shard.parked) {
+        // A parked shard fires and sends nothing more, so the
+        // strongest truthful null message is the horizon itself.
+        for (std::size_t c : shard.outChannels)
+            channels_[c]->clock.publish(horizon);
+        shard.windowDone = true;
+        return true;
+    }
+
+    // Snapshot the in-channel clocks, then drain deliveries.  The safe
+    // bound uses the snapshot: anything pushed after the snapshot's
+    // publication carries a time >= snapshot + lookahead anyway.
+    double safe = horizon;
+    for (std::size_t c : shard.inChannels) {
+        Channel &channel = *channels_[c];
+        safe = std::min(safe, channel.clock.read() + channel.lookahead);
+        RemoteEvent event;
+        while (channel.ring.tryPop(event))
+            shard.pending.push_back(std::move(event));
+        {
+            std::lock_guard<std::mutex> lock(channel.overflowMutex);
+            while (!channel.overflow.empty()) {
+                shard.pending.push_back(
+                    std::move(channel.overflow.front()));
+                channel.overflow.pop_front();
+            }
+        }
+    }
+
+    // Commit the pending remote events that are now safe, in a
+    // deterministic order (time, then sender shard, then send seq) so
+    // equal-time deliveries from different senders tie-break stably.
+    auto firstUnsafe = std::partition(
+        shard.pending.begin(), shard.pending.end(),
+        [safe](const RemoteEvent &e) { return e.when <= safe; });
+    std::sort(shard.pending.begin(), firstUnsafe,
+              [](const RemoteEvent &a, const RemoteEvent &b) {
+                  if (a.when != b.when)
+                      return a.when < b.when;
+                  if (a.fromShard != b.fromShard)
+                      return a.fromShard < b.fromShard;
+                  return a.seq < b.seq;
+              });
+    for (auto it = shard.pending.begin(); it != firstUnsafe; ++it)
+        shard.sim->scheduleAt(it->when, std::move(it->fn));
+    shard.pending.erase(shard.pending.begin(), firstUnsafe);
+
+    // Fire everything conservatively proven safe, journaling each
+    // event so callers can reconstruct counters at any global cut.
+    Simulator &sim = *shard.sim;
+    while (const std::optional<double> next = sim.nextEventTime()) {
+        if (*next > safe)
+            break;
+        sim.step();
+        shard.lastEventTime = sim.now();
+        shard.journal.push_back(
+            {timeToBits(sim.now()), sim.scheduled(), sim.cancelled()});
+        if (shard.hook && !shard.hook()) {
+            shard.parked = true;
+            break;
+        }
+    }
+
+    // Publish the strongest truthful clock: every future event this
+    // shard could execute is bounded below by min(its next local
+    // event, its unsafe pending deliveries, its own safe bound), and
+    // every future send adds that channel's lookahead on top.
+    double floor = horizon;
+    if (!shard.parked) {
+        if (const std::optional<double> next = sim.nextEventTime())
+            floor = std::min(floor, *next);
+        for (const RemoteEvent &event : shard.pending)
+            floor = std::min(floor, event.when);
+        floor = std::min(floor, safe);
+    }
+    for (std::size_t c : shard.outChannels)
+        channels_[c]->clock.publish(floor);
+
+    shard.windowDone = shard.parked || safe >= horizon;
+    return shard.windowDone;
+}
+
+void
+PartitionedSimulator::advanceWindow(double horizon,
+                                    common::Executor *executor)
+{
+    const std::size_t n = shards_.size();
+    const bool parallel = executor != nullptr && executor->size() > 1;
+    inRound_ = true;
+    while (true) {
+        if (parallel) {
+            executor->parallelFor(
+                n, [&](std::size_t s) { runShardTurn(s, horizon); });
+        } else {
+            for (std::size_t s = 0; s < n; ++s)
+                runShardTurn(s, horizon);
+        }
+        bool allDone = true;
+        for (const Shard &shard : shards_)
+            allDone = allDone && shard.windowDone;
+        if (allDone)
+            break;
+    }
+    inRound_ = false;
+}
+
+bool
+PartitionedSimulator::drained() const
+{
+    for (const Shard &shard : shards_) {
+        if (shard.parked || shard.sim->pending() != 0 ||
+            !shard.pending.empty())
+            return false;
+    }
+    for (const auto &channel : channels_) {
+        std::lock_guard<std::mutex> lock(channel->overflowMutex);
+        if (!channel->ring.empty() || !channel->overflow.empty())
+            return false;
+    }
+    return true;
+}
+
+KernelCounters
+PartitionedSimulator::totals() const
+{
+    KernelCounters sum;
+    for (const Shard &shard : shards_) {
+        const KernelCounters c = shard.sim->counters();
+        sum.scheduled += c.scheduled;
+        sum.fired += c.fired;
+        sum.cancelled += c.cancelled;
+        sum.arenaBytes += c.arenaBytes;
+    }
+    return sum;
+}
+
+} // namespace des
+} // namespace rsin

@@ -1,0 +1,220 @@
+#pragma once
+
+/**
+ * @file
+ * Conservative parallel execution over a set of shard calendars.
+ *
+ * A PartitionedSimulator owns no model: it coordinates N independently
+ * built des::Simulator calendars ("shards"), each reusing the slab
+ * arena/calendar machinery, and advances them window by window under
+ * the classic Chandy-Misra-Bryant conservative rule: a shard may fire
+ * events up to
+ *
+ *     safe = min(horizon, min over in-channels (sender clock + lookahead))
+ *
+ * where lookahead is the modeled transmit delay on the shard boundary
+ * -- the paper's own structure supplies it, because a task crossing a
+ * partition boundary always occupies the network for its transmit
+ * time first, so no cross-shard event can take effect sooner.
+ *
+ * Cross-shard events travel over bounded SPSC rings (one per ordered
+ * shard pair) and senders broadcast their clocks through monotone
+ * atomic publications -- the null-message role: a shard with nothing
+ * to send still announces "nothing from me before t", which unblocks
+ * receivers that would otherwise stall at their last delivery.
+ *
+ * Execution is organized in rounds: every shard takes one turn
+ * (drain channels, compute its safe bound, fire up to it, publish its
+ * clock), with a barrier between rounds; a window ends when every
+ * shard has conservatively reached the horizon.  Rounds never block
+ * inside a shard turn, so the engine cannot deadlock regardless of
+ * worker count -- with no executor at all the rounds simply run on
+ * the calling thread, producing the same event order.
+ *
+ * Each shard keeps a per-window journal of (time, counters) per fired
+ * event.  The journal is what lets a caller reconstruct the exact
+ * serial stop point: "counters as of global event E" is a binary
+ * search per shard, and the globally ordered k-way merge of journals
+ * recovers the serial event sequence wherever timestamps are distinct
+ * (ties across shards are measure-zero for the continuous workloads
+ * here, and within a shard the journal order is the serial order).
+ */
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <optional>
+#include <vector>
+
+#include "common/contract.hpp"
+#include "common/parallel.hpp"
+#include "common/spsc_channel.hpp"
+#include "des/simulator.hpp"
+
+namespace rsin {
+namespace des {
+
+/** Order-preserving bit pattern of a non-negative event time. */
+std::uint64_t timeToBits(double time);
+
+/** Inverse of timeToBits. */
+double bitsToTime(std::uint64_t bits);
+
+class PartitionedSimulator
+{
+  public:
+    /** One fired event: its time and the shard counters just after. */
+    struct JournalEntry
+    {
+        std::uint64_t timeBits = 0;
+        std::uint64_t scheduledAfter = 0;
+        std::uint64_t cancelledAfter = 0;
+    };
+
+    /** Counter snapshot taken at the start of the current window. */
+    struct WindowBase
+    {
+        std::uint64_t scheduled = 0;
+        std::uint64_t fired = 0;
+        std::uint64_t cancelled = 0;
+    };
+
+    explicit PartitionedSimulator(std::size_t shardCount);
+
+    PartitionedSimulator(const PartitionedSimulator &) = delete;
+    PartitionedSimulator &operator=(const PartitionedSimulator &) = delete;
+
+    std::size_t shardCount() const { return shards_.size(); }
+
+    /** Bind shard @p shard to @p sim (not owned; must outlive this). */
+    void attach(std::size_t shard, Simulator &sim);
+
+    /**
+     * Per-event hook for shard @p shard, invoked after every fired
+     * event; returning false parks the shard for the rest of the run
+     * (the model has detected a terminal condition, e.g. saturation,
+     * and further events cannot precede the global stop point).
+     */
+    void setEventHook(std::size_t shard, std::function<bool()> hook);
+
+    /**
+     * Declare that @p from may send events to @p to, with @p lookahead
+     * the minimum delay between the sender's clock and any event it
+     * emits (must be > 0: zero-lookahead cycles cannot make
+     * conservative progress).  @p ringCapacity bounds the lock-free
+     * fast path; bursts beyond it spill to a mutex-guarded overflow.
+     */
+    void connect(std::size_t from, std::size_t to, double lookahead,
+                 std::size_t ringCapacity = 256);
+
+    /**
+     * Emit a cross-shard event: @p fn runs on shard @p to at absolute
+     * time @p when.  Only legal from within shard @p from's own event
+     * execution (its turn in a round), and @p when must respect the
+     * channel's lookahead relative to the sender's current clock.
+     */
+    void send(std::size_t from, std::size_t to, double when,
+              std::function<void()> fn);
+
+    /**
+     * Start a new window: clear journals and snapshot counter bases.
+     * Call before each advanceWindow.
+     */
+    void beginWindow();
+
+    /**
+     * Conservatively advance every shard to @p horizon (events at
+     * exactly the horizon still fire).  With a multi-worker
+     * @p executor the shards' round turns run concurrently; a null
+     * (or single-worker) executor runs them on the calling thread.
+     */
+    void advanceWindow(double horizon, common::Executor *executor);
+
+    /** Journal of the current window for @p shard. */
+    const std::vector<JournalEntry> &journal(std::size_t shard) const
+    {
+        return shards_[shard].journal;
+    }
+
+    /** Counter snapshot taken at beginWindow() for @p shard. */
+    const WindowBase &windowBase(std::size_t shard) const
+    {
+        return shards_[shard].base;
+    }
+
+    /** Shard clock: time of its last fired event (0 before any). */
+    double lastEventTime(std::size_t shard) const
+    {
+        return shards_[shard].lastEventTime;
+    }
+
+    /** True once the shard's hook parked it (terminal model state). */
+    bool parked(std::size_t shard) const { return shards_[shard].parked; }
+
+    /**
+     * True when nothing is left anywhere: every calendar is empty and
+     * every channel is flushed.  Parked shards never count as drained
+     * (their calendars are intentionally frozen).
+     */
+    bool drained() const;
+
+    /** Sum of all shards' lifetime kernel counters, as of now. */
+    KernelCounters totals() const;
+
+  private:
+    struct RemoteEvent
+    {
+        double when = 0.0;
+        std::uint64_t seq = 0;
+        std::size_t fromShard = 0;
+        std::function<void()> fn;
+    };
+
+    struct Channel
+    {
+        std::size_t from = 0;
+        std::size_t to = 0;
+        double lookahead = 0.0;
+        common::SpscChannel<RemoteEvent> ring;
+        common::ClockBroadcast clock;
+        /** Spill path for bursts beyond the ring capacity. */
+        mutable std::mutex overflowMutex;
+        std::deque<RemoteEvent> overflow;
+        /** Sender-side running sequence (deterministic merge order). */
+        std::uint64_t nextSeq = 0;
+
+        Channel(std::size_t f, std::size_t t, double look,
+                std::size_t ringCapacity)
+            : from(f), to(t), lookahead(look), ring(ringCapacity)
+        {
+        }
+    };
+
+    struct Shard
+    {
+        Simulator *sim = nullptr;
+        std::function<bool()> hook;
+        std::vector<JournalEntry> journal;
+        WindowBase base;
+        std::vector<std::size_t> inChannels;  ///< indices into channels_
+        std::vector<std::size_t> outChannels; ///< indices into channels_
+        /** Remote events received but not yet safe to commit. */
+        std::vector<RemoteEvent> pending;
+        double lastEventTime = 0.0;
+        bool parked = false;
+        bool windowDone = false;
+    };
+
+    /** One shard turn within a round; returns true if now windowDone. */
+    bool runShardTurn(std::size_t shard, double horizon);
+
+    std::vector<Shard> shards_;
+    std::vector<std::unique_ptr<Channel>> channels_;
+    /** Set while advanceWindow runs a round (send() legality check). */
+    bool inRound_ = false;
+};
+
+} // namespace des
+} // namespace rsin

@@ -310,6 +310,15 @@ Simulator::step()
     return true;
 }
 
+std::optional<double>
+Simulator::nextEventTime()
+{
+    const QueueEntry *top = settleTop();
+    if (!top)
+        return std::nullopt;
+    return top->time();
+}
+
 void
 Simulator::runUntil(double until)
 {

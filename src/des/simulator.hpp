@@ -35,6 +35,7 @@
 #include <functional>
 #include <memory>
 #include <new>
+#include <optional>
 #include <type_traits>
 #include <utility>
 #include <vector>
@@ -327,6 +328,15 @@ class Simulator
 
     /** Fire the next event; returns false if the calendar is empty. */
     bool step();
+
+    /**
+     * Time of the earliest pending event without firing it, or no
+     * value when the calendar is empty.  Non-const because it settles
+     * lazily-cancelled entries off the top (like step() would).  This
+     * is the peek the partitioned driver uses to stop a shard exactly
+     * at its conservative safe bound.
+     */
+    std::optional<double> nextEventTime();
 
     /**
      * Run until the calendar empties or simulated time would exceed

@@ -130,6 +130,7 @@ RunLog::writeRecordJson(JsonWriter &w, const RunRecord &r) const
     w.field("events_fired", r.result.kernel.fired);
     w.field("events_cancelled", r.result.kernel.cancelled);
     w.field("arena_bytes", r.result.kernel.arenaBytes);
+    w.field("shards", std::uint64_t{r.result.shardsUsed});
     w.endObject();
     w.endObject();
 }
@@ -170,7 +171,8 @@ RunLog::writeCsv(std::ostream &os) const
           "mean_routing_attempts,mean_boxes_traversed,delay_imbalance,"
           "time_avg_queue,delay_p95,delay_p99,fraction_no_wait,"
           "completed_tasks,counted_tasks,rejections,simulated_time,"
-          "events_scheduled,events_fired,events_cancelled,arena_bytes\n";
+          "events_scheduled,events_fired,events_cancelled,arena_bytes,"
+          "shards\n";
     for (const auto &r : records_) {
         os << csvField(bench_) << ',' << csvField(r.curve) << ','
            << csvField(r.config) << ',' << toString(r.kind) << ','
@@ -195,7 +197,8 @@ RunLog::writeCsv(std::ostream &os) const
            << csvNumber(r.result.simulatedTime) << ','
            << r.result.kernel.scheduled << ',' << r.result.kernel.fired
            << ',' << r.result.kernel.cancelled << ','
-           << r.result.kernel.arenaBytes << '\n';
+           << r.result.kernel.arenaBytes << ',' << r.result.shardsUsed
+           << '\n';
     }
 }
 

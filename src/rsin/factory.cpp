@@ -2,10 +2,12 @@
 
 #include <algorithm>
 #include <cmath>
+#include <thread>
 
 #include "common/contract.hpp"
 #include "common/error.hpp"
 #include "common/stats.hpp"
+#include "rsin/partitioned_run.hpp"
 
 namespace rsin {
 
@@ -31,8 +33,27 @@ makeSystem(const SystemConfig &config,
 
 SimResult
 simulate(const SystemConfig &config, const workload::WorkloadParams &params,
-         const SimOptions &options, const ModelOptions &model)
+         const SimOptions &options, const ModelOptions &model,
+         common::Executor *executor)
 {
+    std::size_t requested = options.shards;
+    if (requested == 0) {
+        // Auto: one shard per available worker (the same "0 means
+        // hardware concurrency" convention as --jobs).
+        requested = executor
+                        ? std::max<std::size_t>(executor->size(), 1)
+                        : std::max<std::size_t>(
+                              std::thread::hardware_concurrency(), 1);
+    }
+    if (requested > 1) {
+        const PartitionPlan plan = planPartition(config, requested);
+        if (plan.kind != PartitionKind::None)
+            return runPartitioned(config, params, options, model, plan,
+                                  executor);
+    }
+    // Unsplittable (single network) or a single shard requested: the
+    // serial calendar, the oracle every partitioned run is checked
+    // against.
     return makeSystem(config, params, options, model)->run();
 }
 
@@ -144,12 +165,17 @@ simulateReplicated(const SystemConfig &config,
                  "simulateReplicated: need at least one replication");
     const auto seeds = replicationSeeds(options.seed, replications);
     std::vector<SimResult> runs(replications);
+    // Spend the executor on exactly one level of parallelism: in-run
+    // sharding when the caller asked for it (shards == 0 auto or > 1),
+    // across replications otherwise.
+    const bool sharded = options.shards != 1;
     const auto runOne = [&](std::size_t i) {
         SimOptions opts = options;
         opts.seed = seeds[i];
-        runs[i] = simulate(config, params, opts, model);
+        runs[i] = simulate(config, params, opts, model,
+                           sharded ? executor : nullptr);
     };
-    if (executor && executor->size() > 1) {
+    if (!sharded && executor && executor->size() > 1) {
         executor->parallelFor(replications, runOne);
     } else {
         for (std::size_t i = 0; i < replications; ++i)

@@ -34,11 +34,20 @@ makeSystem(const SystemConfig &config,
            const workload::WorkloadParams &params,
            const SimOptions &options, const ModelOptions &model = {});
 
-/** Build and run in one call. */
+/**
+ * Build and run in one call.  When options.shards requests a
+ * partitioned run (0 = auto, >1 = explicit) and the configuration can
+ * be split (more than one network), the system is sharded by network
+ * and executed through des::PartitionedSimulator; @p executor then
+ * supplies the worker threads (null runs the shards on the calling
+ * thread, with an identical result).  See src/rsin/partitioned_run.hpp
+ * for the bit-exactness contract against the serial calendar.
+ */
 SimResult simulate(const SystemConfig &config,
                    const workload::WorkloadParams &params,
                    const SimOptions &options,
-                   const ModelOptions &model = {});
+                   const ModelOptions &model = {},
+                   common::Executor *executor = nullptr);
 
 /**
  * Per-replication seeds derived from @p baseSeed, exactly the sequence
@@ -67,7 +76,10 @@ SimResult aggregateReplications(std::vector<SimResult> runs,
  * Benches use this for smooth figure curves.  With an @p executor
  * (e.g. an exec::ThreadPool) the replications run concurrently;
  * results are bit-identical to the serial path because each run's seed
- * depends only on its index.
+ * depends only on its index.  When options.shards also requests a
+ * partitioned run, the executor is spent on in-run sharding instead
+ * and the replications proceed one at a time (one level of
+ * parallelism, never nested).
  */
 SimResult simulateReplicated(const SystemConfig &config,
                              const workload::WorkloadParams &params,

@@ -7,8 +7,9 @@ namespace rsin {
 OmegaSystem::OmegaSystem(const SystemConfig &config,
                          const workload::WorkloadParams &params,
                          const SimOptions &options,
-                         const OmegaOptions &omega_options)
-    : SystemSimulation(config.processors, params, options),
+                         const OmegaOptions &omega_options,
+                         const ShardContext &shard)
+    : SystemSimulation(config.processors, params, options, shard),
       omegaOptions_(omega_options)
 {
     config.validate();

@@ -80,7 +80,8 @@ class OmegaSystem : public SystemSimulation
     OmegaSystem(const SystemConfig &config,
                 const workload::WorkloadParams &params,
                 const SimOptions &options,
-                const OmegaOptions &omega_options = {});
+                const OmegaOptions &omega_options = {},
+                const ShardContext &shard = {});
 
   protected:
     void dispatch() override;

@@ -6,8 +6,9 @@ namespace rsin {
 
 SbusSystem::SbusSystem(const SystemConfig &config,
                        const workload::WorkloadParams &params,
-                       const SimOptions &options)
-    : SystemSimulation(config.processors, params, options)
+                       const SimOptions &options,
+                       const ShardContext &shard)
+    : SystemSimulation(config.processors, params, options, shard)
 {
     config.validate();
     RSIN_REQUIRE(config.network == NetworkClass::SingleBus,

@@ -27,10 +27,11 @@ class SbusSystem : public SystemSimulation
      * @param config must have network == NetworkClass::SingleBus
      * @param params workload description
      * @param options run control
+     * @param shard partitioned-run capture context (default: serial)
      */
     SbusSystem(const SystemConfig &config,
                const workload::WorkloadParams &params,
-               const SimOptions &options);
+               const SimOptions &options, const ShardContext &shard = {});
 
     std::size_t partitions() const { return buses_.size(); }
 

@@ -39,27 +39,44 @@ parseRunStatus(const std::string &name)
 
 SystemSimulation::SystemSimulation(std::size_t processors,
                                    const workload::WorkloadParams &params,
-                                   const SimOptions &options)
-    : params_(params), options_(options), rng_(options.seed)
+                                   const SimOptions &options,
+                                   const ShardContext &shard)
+    : params_(params), options_(options), rng_(options.seed),
+      shard_(shard)
 {
     RSIN_REQUIRE(processors >= 1, "SystemSimulation: need a processor");
     params_.validate();
     queues_.resize(processors);
     transmitting_.assign(processors, false);
     sources_.reserve(processors);
+    // A shard reproduces the serial run's per-processor RNG streams by
+    // discarding the splits of the processors owned by earlier shards:
+    // processor (offset + j) here draws from the same stream it would
+    // in the serial run.
+    for (std::size_t skip = 0; skip < shard_.processorOffset; ++skip)
+        (void)rng_.split();
     for (std::size_t proc = 0; proc < processors; ++proc)
         sources_.emplace_back(proc, params_, rng_.split());
     metrics_ = std::make_unique<workload::MetricsCollector>(
         options_.warmupTasks);
 }
 
+std::uint64_t
+SystemSimulation::completedCount() const
+{
+    // The shard log is cleared at every window barrier, so capture
+    // mode keeps its own lifetime completion count.
+    return shard_.capturing() ? captureCompleted_
+                              : metrics_->completed();
+}
+
 void
 SystemSimulation::checkConservation() const
 {
     RSIN_INVARIANT(
-        nextTaskId_ == metrics_->completed() + queuedNow_ + inFlight_,
+        nextTaskId_ == completedCount() + queuedNow_ + inFlight_,
         "task conservation broken: issued ", nextTaskId_,
-        " != completed ", metrics_->completed(), " + queued ",
+        " != completed ", completedCount(), " + queued ",
         queuedNow_, " + in-flight ", inFlight_);
     RSIN_INVARIANT(
         queuedNow_ == std::accumulate(
@@ -81,9 +98,22 @@ SystemSimulation::scheduleArrival(std::size_t proc)
             sources_[proc].makeTask(sim_.now(), nextTaskId_++);
         queues_[proc].push_back(std::move(task));
         ++queuedNow_;
-        queueTrace_.record(sim_.now(), static_cast<double>(queuedNow_));
-        if (queuedNow_ > options_.saturationQueueLimit)
-            saturated_ = true;
+        if (shard_.capturing()) {
+            // Log the step; the merge driver reconstructs the global
+            // queue trace and detects global saturation.  The local
+            // count still guards this shard: local > limit implies
+            // global > limit, so the serial stop point is at or before
+            // this event and the shard may park.
+            shard_.log->queueChanges.push_back(
+                {sim_.now(), sim_.fired(), +1});
+            if (queuedNow_ > options_.saturationQueueLimit)
+                captureParked_ = true;
+        } else {
+            queueTrace_.record(sim_.now(),
+                               static_cast<double>(queuedNow_));
+            if (queuedNow_ > options_.saturationQueueLimit)
+                saturated_ = true;
+        }
         checkConservation();
         scheduleArrival(proc);
         dispatch();
@@ -132,7 +162,11 @@ SystemSimulation::beginTransmission(std::size_t proc)
     workload::Task task = std::move(queues_[proc].front());
     queues_[proc].pop_front();
     --queuedNow_;
-    queueTrace_.record(sim_.now(), static_cast<double>(queuedNow_));
+    if (shard_.capturing())
+        shard_.log->queueChanges.push_back(
+            {sim_.now(), sim_.fired(), -1});
+    else
+        queueTrace_.record(sim_.now(), static_cast<double>(queuedNow_));
     transmitting_[proc] = true;
     task.transmitStart = sim_.now();
     ++inFlight_;
@@ -153,7 +187,17 @@ SystemSimulation::completeTask(workload::Task task)
     RSIN_INVARIANT(inFlight_ > 0,
                    "completeTask without a matching beginTransmission");
     task.serviceEnd = sim_.now();
-    metrics_->taskCompleted(task);
+    if (shard_.capturing()) {
+        ++captureCompleted_;
+        shard_.log->completions.push_back(
+            {task.arrival, task.transmitStart, task.serviceEnd,
+             sim_.fired(),
+             static_cast<std::uint32_t>(task.processor +
+                                        shard_.processorOffset),
+             task.routingAttempts, task.boxesTraversed});
+    } else {
+        metrics_->taskCompleted(task);
+    }
     --inFlight_;
     checkConservation();
 }
@@ -162,58 +206,84 @@ bool
 SystemSimulation::done() const
 {
     return saturated_ ||
-           metrics_->completed() >=
+           completedCount() >=
                options_.warmupTasks + options_.measureTasks ||
            sim_.fired() >= options_.maxEvents;
+}
+
+void
+SystemSimulation::primePartitionedRun()
+{
+    RSIN_REQUIRE(shard_.capturing(),
+                 "primePartitionedRun: only legal in capture mode");
+    if (params_.lambda > 0.0) {
+        for (std::size_t proc = 0; proc < queues_.size(); ++proc)
+            scheduleArrival(proc);
+    }
 }
 
 SimResult
 SystemSimulation::run()
 {
+    RSIN_REQUIRE(!shard_.capturing(),
+                 "run: a capture-mode shard is driven through "
+                 "primePartitionedRun and the partitioned driver");
     if (params_.lambda > 0.0) {
         for (std::size_t proc = 0; proc < queues_.size(); ++proc)
             scheduleArrival(proc);
     }
     while (!done() && sim_.step()) {
     }
+    return assembleSimResult(*metrics_, queueTrace_, saturated_,
+                             options_, params_, sim_.now(),
+                             sim_.counters());
+}
 
+SimResult
+assembleSimResult(const workload::MetricsCollector &metrics,
+                  TimeWeighted &queueTrace, bool saturated,
+                  const SimOptions &options,
+                  const workload::WorkloadParams &params,
+                  double simulatedTime,
+                  const des::KernelCounters &kernel)
+{
     SimResult result;
     // Classify the stop reason.  A run cut off by maxEvents (or an
     // emptied calendar) before its measurement quota used to fall
     // through here as a zero-delay "success"; it is Truncated when it
     // measured something and NoData when it measured nothing at all.
     const std::uint64_t quota =
-        options_.warmupTasks + options_.measureTasks;
-    if (saturated_)
+        options.warmupTasks + options.measureTasks;
+    if (saturated)
         result.status = RunStatus::Saturated;
-    else if (metrics_->counted() == 0)
+    else if (metrics.counted() == 0)
         result.status = RunStatus::NoData;
-    else if (metrics_->completed() < quota)
+    else if (metrics.completed() < quota)
         result.status = RunStatus::Truncated;
     else
         result.status = RunStatus::Ok;
-    result.saturated = saturated_;
-    const bool no_data = metrics_->counted() == 0;
+    result.saturated = saturated;
+    const bool no_data = metrics.counted() == 0;
     const double nan = std::numeric_limits<double>::quiet_NaN();
-    result.meanDelay = no_data ? nan : metrics_->meanDelay();
-    result.delayHalfWidth = no_data ? nan : metrics_->delayHalfWidth();
-    result.normalizedDelay = result.meanDelay * params_.muS;
-    result.meanResponse = no_data ? nan : metrics_->meanResponse();
+    result.meanDelay = no_data ? nan : metrics.meanDelay();
+    result.delayHalfWidth = no_data ? nan : metrics.delayHalfWidth();
+    result.normalizedDelay = result.meanDelay * params.muS;
+    result.meanResponse = no_data ? nan : metrics.meanResponse();
     result.meanRoutingAttempts =
-        no_data ? nan : metrics_->meanRoutingAttempts();
+        no_data ? nan : metrics.meanRoutingAttempts();
     result.meanBoxesTraversed =
-        no_data ? nan : metrics_->meanBoxesTraversed();
-    result.delayImbalance = no_data ? nan : metrics_->delayImbalance();
-    queueTrace_.finish(sim_.now());
-    result.timeAvgQueue = queueTrace_.average();
-    result.delayP95 = metrics_->delayQuantile(0.95);
-    result.delayP99 = metrics_->delayQuantile(0.99);
-    result.fractionNoWait = no_data ? nan : metrics_->fractionZeroDelay();
-    result.completedTasks = metrics_->completed();
-    result.countedTasks = metrics_->counted();
-    result.rejections = metrics_->rejections();
-    result.simulatedTime = sim_.now();
-    result.kernel = sim_.counters();
+        no_data ? nan : metrics.meanBoxesTraversed();
+    result.delayImbalance = no_data ? nan : metrics.delayImbalance();
+    queueTrace.finish(simulatedTime);
+    result.timeAvgQueue = queueTrace.average();
+    result.delayP95 = metrics.delayQuantile(0.95);
+    result.delayP99 = metrics.delayQuantile(0.99);
+    result.fractionNoWait = no_data ? nan : metrics.fractionZeroDelay();
+    result.completedTasks = metrics.completed();
+    result.countedTasks = metrics.counted();
+    result.rejections = metrics.rejections();
+    result.simulatedTime = simulatedTime;
+    result.kernel = kernel;
     return result;
 }
 

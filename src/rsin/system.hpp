@@ -31,6 +31,7 @@
 #include "common/stats.hpp"
 #include "des/simulator.hpp"
 #include "rsin/config.hpp"
+#include "rsin/partition.hpp"
 #include "workload/metrics.hpp"
 #include "workload/workload.hpp"
 
@@ -46,6 +47,14 @@ struct SimOptions
     std::size_t saturationQueueLimit = 50000;
     /** Hard ceiling on simulated events (secondary safety valve). */
     std::uint64_t maxEvents = 200000000;
+    /**
+     * Calendar shards for parallel-in-run execution: 1 runs the serial
+     * oracle, 0 means "auto: one shard per available hardware thread",
+     * and any other value is a shard-count request (clamped to the
+     * number of independent networks in the config; unsplittable
+     * systems fall back to the serial path).
+     */
+    std::size_t shards = 1;
 };
 
 /**
@@ -103,30 +112,74 @@ struct SimResult
     std::uint64_t countedTasks = 0;
     std::uint64_t rejections = 0;
     double simulatedTime = 0.0;
-    /** Event-kernel counters for the run (observability layer). */
+    /** Event-kernel counters for the run (observability layer).  In a
+     *  partitioned run these are the exact cross-shard aggregate at
+     *  the serial stop point (arenaBytes is the sum of the per-shard
+     *  high-water marks, so it alone may differ from a serial run). */
     des::KernelCounters kernel;
+    /** Calendar shards that executed the run (1 = serial oracle). */
+    std::size_t shardsUsed = 1;
 
     /** True when the point estimates are trustworthy. */
     bool ok() const { return status == RunStatus::Ok; }
 };
 
+/**
+ * Assemble a SimResult from a finished run's collected state.  Shared
+ * by the serial run loop and the partitioned merge driver so the two
+ * paths produce bit-identical records from identical observations.
+ * Closes @p queueTrace at @p simulatedTime.
+ */
+SimResult assembleSimResult(const workload::MetricsCollector &metrics,
+                            TimeWeighted &queueTrace, bool saturated,
+                            const SimOptions &options,
+                            const workload::WorkloadParams &params,
+                            double simulatedTime,
+                            const des::KernelCounters &kernel);
+
 /** Base class: processors, queues, arrivals, measurement, run loop. */
 class SystemSimulation
 {
   public:
+    /**
+     * @param shard when capturing (shard.log != nullptr) this instance
+     *        models one shard of a partitioned run: observations go to
+     *        the shard log instead of local reduction, and RNG streams
+     *        / reported processor indices are offset to match the
+     *        serial run's global numbering.
+     */
     SystemSimulation(std::size_t processors,
                      const workload::WorkloadParams &params,
-                     const SimOptions &options);
+                     const SimOptions &options,
+                     const ShardContext &shard = {});
     virtual ~SystemSimulation() = default;
 
     SystemSimulation(const SystemSimulation &) = delete;
     SystemSimulation &operator=(const SystemSimulation &) = delete;
 
-    /** Execute the run and collect the result. */
+    /** Execute the run and collect the result (serial mode only). */
     SimResult run();
 
     std::size_t processors() const { return queues_.size(); }
     const workload::WorkloadParams &params() const { return params_; }
+
+    /** @name Partitioned-driver interface (capture mode only)
+     *  The merge driver primes the arrival streams, then steps the
+     *  calendar through des::PartitionedSimulator and reads the shard
+     *  log; the run loop and result assembly live in the driver. */
+    ///@{
+    /** Schedule the initial arrival on every processor. */
+    void primePartitionedRun();
+    /** The shard's event calendar, for the conservative driver. */
+    des::Simulator &partitionKernel() { return sim_; }
+    /**
+     * True once this shard hit a terminal condition (its local queue
+     * crossed the saturation limit, or the model called
+     * noteSaturated()); the driver must stop executing it -- the
+     * global stop point provably lies at or before the parking event.
+     */
+    bool captureParked() const { return captureParked_; }
+    ///@}
 
 #if RSIN_CONTRACTS_ENABLED
     /**
@@ -169,13 +222,29 @@ class SystemSimulation
     void completeTask(workload::Task task);
 
     /** Record a routing rejection (for network statistics). */
-    void noteRejection() { metrics_->taskRejected(); }
+    void
+    noteRejection()
+    {
+        if (shard_.capturing())
+            shard_.log->rejections.push_back({sim_.now(), sim_.fired()});
+        else
+            metrics_->taskRejected();
+    }
 
     /** A master RNG for subclass needs (tie-breaks etc.). */
     Rng &rng() { return rng_; }
 
     /** Subclass-detected saturation (e.g. auxiliary queues growing). */
-    void noteSaturated() { saturated_ = true; }
+    void
+    noteSaturated()
+    {
+        if (shard_.capturing()) {
+            shard_.log->satEvents.push_back({sim_.now(), sim_.fired()});
+            captureParked_ = true;
+        } else {
+            saturated_ = true;
+        }
+    }
 
     /** The configured queue-size saturation threshold. */
     std::size_t saturationLimit() const
@@ -186,6 +255,8 @@ class SystemSimulation
   private:
     void scheduleArrival(std::size_t proc);
     bool done() const;
+    /** Completions so far (log length in capture mode). */
+    std::uint64_t completedCount() const;
     /**
      * Contract: tasks are conserved at every sample point --
      * issued == completed + queued + in-flight -- and the cached
@@ -210,6 +281,10 @@ class SystemSimulation
     std::size_t queuedNow_ = 0;
     TimeWeighted queueTrace_;
     bool saturated_ = false;
+    ShardContext shard_;
+    bool captureParked_ = false;
+    /** Lifetime completions in capture mode (log clears per window). */
+    std::uint64_t captureCompleted_ = 0;
 };
 
 } // namespace rsin

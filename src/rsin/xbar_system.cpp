@@ -9,8 +9,9 @@ namespace rsin {
 CrossbarSystem::CrossbarSystem(const SystemConfig &config,
                                const workload::WorkloadParams &params,
                                const SimOptions &options,
-                               XbarArbitration arbitration)
-    : SystemSimulation(config.processors, params, options),
+                               XbarArbitration arbitration,
+                               const ShardContext &shard)
+    : SystemSimulation(config.processors, params, options, shard),
       arbitration_(arbitration)
 {
     config.validate();

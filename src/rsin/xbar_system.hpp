@@ -48,7 +48,8 @@ class CrossbarSystem : public SystemSimulation
                    const workload::WorkloadParams &params,
                    const SimOptions &options,
                    XbarArbitration arbitration =
-                       XbarArbitration::IndexPriority);
+                       XbarArbitration::IndexPriority,
+                   const ShardContext &shard = {});
 
   protected:
     void dispatch() override;

@@ -266,6 +266,7 @@ sampleRecord()
     rec.result.kernel.fired = 9;
     rec.result.kernel.cancelled = 1;
     rec.result.kernel.arenaBytes = 4096;
+    rec.result.shardsUsed = 3;
     return rec;
 }
 
@@ -304,6 +305,7 @@ TEST(RunLogTest, JsonArtifactCarriesTheRecord)
               std::string::npos);
     EXPECT_EQ(jsonToken(doc, "status"), "\"ok\"");
     EXPECT_EQ(jsonToken(doc, "cells_done"), "3");
+    EXPECT_EQ(jsonToken(doc, "shards"), "3");
     // The full-precision delay must round-trip bit-exactly.
     const auto delay = jsonToken(doc, "mean_delay");
     EXPECT_EQ(std::strtod(delay.c_str(), nullptr), 2.851);
@@ -358,9 +360,9 @@ TEST(RunLogTest, CsvRowsMatchTheHeaderWidth)
         }
         return commas + 1;
     };
-    EXPECT_EQ(width(lines[0]), 32u);
-    EXPECT_EQ(width(lines[1]), 32u);
-    EXPECT_EQ(width(lines[2]), 32u);
+    EXPECT_EQ(width(lines[0]), 33u);
+    EXPECT_EQ(width(lines[1]), 33u);
+    EXPECT_EQ(width(lines[2]), 33u);
     // RFC 4180: the embedded quote is doubled inside a quoted field.
     EXPECT_NE(lines[1].find("\"weird \"\"name\"\", with comma\""),
               std::string::npos);
