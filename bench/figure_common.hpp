@@ -53,8 +53,9 @@ struct BenchContext
     std::string out;                       ///< artifact path; "" = none
     obs::Format format = obs::Format::Json;
     std::chrono::steady_clock::time_point start;
-    /** Calendar shards per run (1 = serial; 0 never stored: resolved
-     *  to the hardware thread count at parse time). */
+    /** Calendar shards per run, in the unified SimOptions convention:
+     *  1 = serial, 0 = auto (resolved by the run layer against the
+     *  executor driving the shards), P > 1 explicit. */
     std::size_t shards = 1;
     /** Values of the bench-specific options passed to initBench. */
     std::map<std::string, std::string> extra;
@@ -95,9 +96,10 @@ runLog()
  * Parse the common bench options and size the sweep pool:
  *   --jobs N        worker count (0 or absent: one per hardware thread)
  *   --shards P      calendar shards per run (default 1 = serial;
- *                   0 = auto, one per hardware thread).  With P != 1
- *                   the pool drives the shards *inside* each run and
- *                   cells are visited one at a time.
+ *                   0 = auto, one per worker of the pool driving the
+ *                   run).  With P != 1 the pool drives the shards
+ *                   *inside* each run and cells are visited one at a
+ *                   time.
  *   --out PATH      write the collected run records to PATH at exit
  *   --format F      artifact format, json (default) or csv
  *   --progress      live cells-done line on stderr during sweeps
@@ -119,7 +121,7 @@ initBench(int argc, const char *const *argv,
     const std::size_t jobs = args.getJobs();
     if (jobs > 1)
         ctx.pool = std::make_unique<exec::ThreadPool>(jobs);
-    ctx.shards = ArgParser::resolveJobs(args.getLong("shards", 1));
+    ctx.shards = args.getShards();
     ctx.out = args.get("out");
     ctx.format = obs::parseFormat(args.get("format", "json"));
     std::string bench = args.program();

@@ -18,9 +18,11 @@
  * --shards moves the parallelism *inside* each run: the system is
  * partitioned by network and executed on that many calendar shards
  * (see docs/PERF.md).  SBUS cells print bit-identical values at any
- * shard count; 0 means "auto: one shard per hardware thread", the
- * same convention --jobs 0 uses.  With --shards active the worker
- * pool drives the shards, so cells are visited one at a time.
+ * shard count; 0 means "auto: one shard per worker of the pool
+ * driving the run" (hardware threads when there is no pool) -- the
+ * convention shared by every --shards option in the tree.  With
+ * --shards active the worker pool drives the shards, so cells are
+ * visited one at a time.
  *
  * Cells whose run produced no post-warmup observations (truncated or
  * no-data status) print "n/a" -- distinct from "inf", which means the
@@ -72,9 +74,11 @@ main(int argc, char **argv)
                    " shards (partitioned\n"
                    "  by network; SBUS output is bit-identical at any"
                    " P).  --shards 0\n"
-                   "  means auto -- one shard per hardware thread,"
-                   " like --jobs 0;\n"
-                   "  the default 1 is the serial calendar.\n"
+                   "  means auto -- one shard per worker of the pool"
+                   " driving the run\n"
+                   "  (hardware threads when there is no pool);"
+                   " the default 1 is the\n"
+                   "  serial calendar.\n"
                    "--out writes every cell as a structured run record"
                    " (json or csv).\n";
             return args.flag("help") ? 0 : 1;
@@ -93,10 +97,11 @@ main(int argc, char **argv)
         const bool csv = args.flag("csv");
         const bool response = args.flag("response");
         const std::size_t jobs = args.getJobs();
-        // 0 = auto (hardware concurrency), same convention as --jobs;
-        // the default of 1 is the serial calendar oracle.
-        const std::size_t shards =
-            ArgParser::resolveJobs(args.getLong("shards", 1));
+        // Unified --shards convention (see ArgParser::getShards):
+        // default 1 = serial calendar, 0 = auto (resolved by the run
+        // layer against the pool that actually drives the shards),
+        // P > 1 explicit.
+        const std::size_t shards = args.getShards();
         const std::string out = args.get("out");
         const obs::Format out_format =
             obs::parseFormat(args.get("format", "json"));
@@ -168,7 +173,6 @@ main(int argc, char **argv)
 
         TextTable table(csv ? "" : "rsin_sweep");
         table.header(head);
-        std::vector<std::vector<std::string>> csv_rows;
 
         for (long step = 0; step < steps; ++step) {
             const double rho = rhoAt(step);
@@ -230,24 +234,15 @@ main(int argc, char **argv)
                     log.add(std::move(rec));
                 }
             }
-            if (csv)
-                csv_rows.push_back(std::move(row));
-            else
-                table.row(std::move(row));
+            table.row(std::move(row));
         }
 
-        if (csv) {
-            for (std::size_t i = 0; i < head.size(); ++i)
-                std::cout << (i ? "," : "") << head[i];
-            std::cout << "\n";
-            for (const auto &row : csv_rows) {
-                for (std::size_t i = 0; i < row.size(); ++i)
-                    std::cout << (i ? "," : "") << row[i];
-                std::cout << "\n";
-            }
-        } else {
+        // RFC 4180 quoting lives in the table emitter; hand-joining
+        // with ',' breaks as soon as a label carries a comma.
+        if (csv)
+            table.printCsv(std::cout);
+        else
             table.print(std::cout);
-        }
 
         if (!out.empty()) {
             const std::chrono::duration<double> elapsed =

@@ -96,6 +96,17 @@ ArgParser::resolveJobs(long jobs)
 }
 
 std::size_t
+ArgParser::getShards(const std::string &name, long fallback) const
+{
+    const long raw = getLong(name, fallback);
+    RSIN_REQUIRE(raw >= 0, "ArgParser: --", name,
+                 " must be >= 0 (0 means auto: one shard per worker "
+                 "of the pool driving the run; 1 is the serial "
+                 "calendar), got ", raw);
+    return static_cast<std::size_t>(raw);
+}
+
+std::size_t
 ArgParser::getJobs(const std::string &name, long fallback) const
 {
     const long raw = getLong(name, fallback);

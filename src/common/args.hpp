@@ -53,6 +53,20 @@ class ArgParser
     /** Resolve a raw jobs value (0 -> hardware concurrency, min 1). */
     static std::size_t resolveJobs(long jobs);
 
+    /**
+     * Shard count from a "--shards P" style option, preserving the
+     * SimOptions convention everywhere: the default 1 is the serial
+     * calendar, 0 means "auto" and is passed through UNresolved so the
+     * run layer can size it against the executor actually driving the
+     * shards (hardware threads only when no pool exists), and P > 1 is
+     * an explicit request.  Rejects negative values.  Every tool with
+     * a --shards option must parse it through here so the flag means
+     * the same thing in rsin_sweep, the figure benches and the
+     * campaign runner.
+     */
+    std::size_t getShards(const std::string &name = "shards",
+                          long fallback = 1) const;
+
     const std::vector<std::string> &positional() const
     {
         return positional_;

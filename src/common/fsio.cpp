@@ -1,0 +1,149 @@
+#include "fsio.hpp"
+
+#include <algorithm>
+#include <array>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <system_error>
+
+#include <unistd.h>
+
+#include "error.hpp"
+
+namespace rsin {
+namespace common {
+
+namespace fs = std::filesystem;
+
+std::uint32_t
+crc32(std::string_view bytes)
+{
+    // Reflected CRC-32 (polynomial 0xEDB88320), table built once.
+    static const auto table = [] {
+        std::array<std::uint32_t, 256> t{};
+        for (std::uint32_t i = 0; i < 256; ++i) {
+            std::uint32_t c = i;
+            for (int k = 0; k < 8; ++k)
+                c = (c & 1) ? 0xEDB88320U ^ (c >> 1) : c >> 1;
+            t[i] = c;
+        }
+        return t;
+    }();
+    std::uint32_t crc = 0xFFFFFFFFU;
+    for (const char ch : bytes) {
+        const auto byte = static_cast<unsigned char>(ch);
+        crc = table[(crc ^ byte) & 0xFFU] ^ (crc >> 8);
+    }
+    return crc ^ 0xFFFFFFFFU;
+}
+
+void
+writeFileAtomic(const std::string &path,
+                const std::function<void(std::ostream &)> &fill)
+{
+    // The temporary must live in the destination directory: rename(2)
+    // is only atomic within one filesystem, and a same-directory name
+    // guarantees that.  The pid suffix keeps concurrent shard
+    // processes exporting the same artifact from clobbering each
+    // other's half-written temporaries.
+    const std::string tmp =
+        path + ".tmp." + std::to_string(::getpid());
+    {
+        std::ofstream os(tmp, std::ios::binary | std::ios::trunc);
+        RSIN_REQUIRE(os.good(), "writeFileAtomic: cannot open '", tmp,
+                     "' for writing");
+        try {
+            fill(os);
+        } catch (...) {
+            // A throwing producer must not litter the directory with
+            // half-written temporaries (the destination is untouched
+            // either way).
+            os.close();
+            removeFile(tmp);
+            throw;
+        }
+        os.flush();
+        if (!os.good()) {
+            os.close();
+            removeFile(tmp);
+            RSIN_FATAL("writeFileAtomic: write to '", tmp, "' failed");
+        }
+    }
+    std::error_code ec;
+    fs::rename(tmp, path, ec);
+    if (ec) {
+        removeFile(tmp);
+        RSIN_FATAL("writeFileAtomic: rename '", tmp, "' -> '", path,
+                   "' failed: ", ec.message());
+    }
+}
+
+std::optional<std::string>
+readFile(const std::string &path)
+{
+    std::ifstream is(path, std::ios::binary);
+    if (!is.good())
+        return std::nullopt;
+    std::ostringstream os;
+    os << is.rdbuf();
+    return os.str();
+}
+
+void
+ensureDir(const std::string &dir)
+{
+    std::error_code ec;
+    fs::create_directories(dir, ec);
+    RSIN_REQUIRE(!ec, "ensureDir: cannot create '", dir,
+                 "': ", ec.message());
+    RSIN_REQUIRE(fs::is_directory(dir), "ensureDir: '", dir,
+                 "' exists but is not a directory");
+}
+
+bool
+fileExists(const std::string &path)
+{
+    std::error_code ec;
+    return fs::is_regular_file(path, ec);
+}
+
+std::vector<std::string>
+listFiles(const std::string &dir, std::string_view suffix)
+{
+    std::vector<std::string> names;
+    std::error_code ec;
+    fs::directory_iterator it(dir, ec);
+    if (ec)
+        return names;
+    for (const auto &entry : it) {
+        if (!entry.is_regular_file(ec))
+            continue;
+        const std::string name = entry.path().filename().string();
+        if (name.size() >= suffix.size() &&
+            name.compare(name.size() - suffix.size(), suffix.size(),
+                         suffix) == 0)
+            names.push_back(name);
+    }
+    std::sort(names.begin(), names.end());
+    return names;
+}
+
+void
+removeFile(const std::string &path)
+{
+    std::error_code ec;
+    fs::remove(path, ec);
+}
+
+void
+renameFile(const std::string &from, const std::string &to)
+{
+    std::error_code ec;
+    fs::rename(from, to, ec);
+    RSIN_REQUIRE(!ec, "renameFile: '", from, "' -> '", to,
+                 "' failed: ", ec.message());
+}
+
+} // namespace common
+} // namespace rsin

@@ -1,0 +1,70 @@
+#pragma once
+
+/**
+ * @file
+ * Crash-consistent file I/O helpers shared by every artifact writer.
+ *
+ * The repo's durability story has two layers, both rooted here:
+ *
+ *  - writeFileAtomic(): artifacts are materialized in a same-directory
+ *    temporary file and rename(2)d over the destination, so a consumer
+ *    can never observe a torn JSON/CSV artifact -- it sees either the
+ *    old file or the complete new one.  An interrupt mid-write leaves
+ *    at most a stray *.tmp.* file, never a half-written artifact.
+ *
+ *  - crc32(): the IEEE 802.3 checksum used to stamp individual records
+ *    in append-only logs (obs ledger segments, the persisted analysis
+ *    cache), so a torn tail line is detected on replay instead of
+ *    being trusted.
+ */
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace rsin {
+namespace common {
+
+/** CRC-32 (IEEE 802.3, reflected) of a byte string. */
+std::uint32_t crc32(std::string_view bytes);
+
+/**
+ * Write a file atomically: @p fill streams the content into a
+ * temporary file next to @p path, which is then renamed over @p path.
+ * Throws FatalError when the temporary cannot be created, the stream
+ * errors, or the rename fails; the destination is untouched in every
+ * failure case (the temporary is cleaned up best-effort).
+ */
+void writeFileAtomic(const std::string &path,
+                     const std::function<void(std::ostream &)> &fill);
+
+/** Whole file as a string; nullopt when it cannot be opened. */
+std::optional<std::string> readFile(const std::string &path);
+
+/** Create @p dir (and parents); throws FatalError on failure. */
+void ensureDir(const std::string &dir);
+
+/** True when @p path names an existing regular file. */
+bool fileExists(const std::string &path);
+
+/**
+ * Sorted names (not paths) of the regular files directly inside
+ * @p dir whose name ends with @p suffix; empty when the directory
+ * does not exist.  Sorted so replay order never depends on readdir
+ * order.
+ */
+std::vector<std::string> listFiles(const std::string &dir,
+                                   std::string_view suffix);
+
+/** Remove a file if present (best effort; missing is not an error). */
+void removeFile(const std::string &path);
+
+/** Atomically rename @p from to @p to; throws FatalError on failure. */
+void renameFile(const std::string &from, const std::string &to);
+
+} // namespace common
+} // namespace rsin

@@ -15,6 +15,18 @@ splitmix64(std::uint64_t &state)
     return z ^ (z >> 31);
 }
 
+std::uint64_t
+mixSeed(std::uint64_t baseSeed, std::uint64_t a, std::uint64_t b,
+        std::uint64_t c)
+{
+    constexpr std::uint64_t kGamma = 0x9e3779b97f4a7c15ULL;
+    std::uint64_t state = baseSeed;
+    state ^= splitmix64(state) + kGamma * (a + 1);
+    state ^= splitmix64(state) + kGamma * (b + 1);
+    state ^= splitmix64(state) + kGamma * (c + 1);
+    return splitmix64(state);
+}
+
 namespace {
 
 inline std::uint64_t

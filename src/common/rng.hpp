@@ -20,6 +20,19 @@ namespace rsin {
 std::uint64_t splitmix64(std::uint64_t &state);
 
 /**
+ * Stateless per-cell seed: fold three grid coordinates into a
+ * SplitMix64 chain (golden-ratio increments keep coordinate
+ * permutations from colliding).  This is THE seed function of every
+ * sweep grid in the tree -- exec::cellSeed and the campaign planner
+ * both delegate here, so a campaign cell replays exactly the stream a
+ * SweepRunner cell with the same coordinates would.  A pure function
+ * of its arguments: any subset of cells can be computed in any order,
+ * on any thread, or in any process shard.
+ */
+std::uint64_t mixSeed(std::uint64_t baseSeed, std::uint64_t a,
+                      std::uint64_t b, std::uint64_t c);
+
+/**
  * xoshiro256** pseudo-random generator with distribution helpers.
  *
  * Satisfies the essentials of UniformRandomBitGenerator, but the

@@ -90,4 +90,18 @@ TextTable::print(std::ostream &os) const
     os << str();
 }
 
+void
+TextTable::printCsv(std::ostream &os) const
+{
+    const auto emit = [&](const std::vector<std::string> &cells) {
+        for (std::size_t i = 0; i < cells.size(); ++i)
+            os << (i ? "," : "") << csvQuote(cells[i]);
+        os << "\n";
+    };
+    if (!header_.empty())
+        emit(header_);
+    for (const auto &r : rows_)
+        emit(r);
+}
+
 } // namespace rsin

@@ -40,6 +40,14 @@ class TextTable
     /** Render to a stream (used by benches: `table.print(std::cout)`). */
     void print(std::ostream &os) const;
 
+    /**
+     * Render header + rows as RFC 4180 CSV (fields with commas,
+     * quotes or newlines are quoted; the title is omitted).  The one
+     * sanctioned CSV table emitter: ad-hoc `<< ','` joins corrupt
+     * rows as soon as a config or scheduler name carries a comma.
+     */
+    void printCsv(std::ostream &os) const;
+
   private:
     std::string title_;
     std::vector<std::string> header_;

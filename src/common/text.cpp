@@ -55,6 +55,55 @@ toUpper(std::string_view s)
     return out;
 }
 
+std::string
+csvQuote(std::string_view field)
+{
+    if (field.find_first_of(",\"\n\r") == std::string_view::npos)
+        return std::string(field);
+    std::string out;
+    out.reserve(field.size() + 2);
+    out += '"';
+    for (const char c : field) {
+        if (c == '"')
+            out += '"';
+        out += c;
+    }
+    out += '"';
+    return out;
+}
+
+std::vector<std::string>
+csvSplit(std::string_view row)
+{
+    std::vector<std::string> fields;
+    std::string current;
+    bool quoted = false;
+    for (std::size_t i = 0; i < row.size(); ++i) {
+        const char c = row[i];
+        if (quoted) {
+            if (c == '"') {
+                if (i + 1 < row.size() && row[i + 1] == '"') {
+                    current += '"'; // doubled quote inside a field
+                    ++i;
+                } else {
+                    quoted = false;
+                }
+            } else {
+                current += c;
+            }
+        } else if (c == '"') {
+            quoted = true;
+        } else if (c == ',') {
+            fields.push_back(std::move(current));
+            current.clear();
+        } else {
+            current += c;
+        }
+    }
+    fields.push_back(std::move(current));
+    return fields;
+}
+
 std::optional<long>
 parseLong(std::string_view s)
 {

@@ -24,6 +24,23 @@ bool iequals(std::string_view a, std::string_view b);
 /** Upper-case an ASCII string. */
 std::string toUpper(std::string_view s);
 
+/**
+ * Quote one CSV field per RFC 4180: returned verbatim unless it
+ * contains a comma, double quote, CR or LF, in which case it is
+ * wrapped in double quotes with embedded quotes doubled.  Every CSV
+ * emitter in the tree must route fields through this helper --
+ * campaign matrices carry user-supplied scheduler/workload names, so
+ * "no special characters" can never be assumed.
+ */
+std::string csvQuote(std::string_view field);
+
+/**
+ * Split one RFC 4180 CSV record into its fields, undoing csvQuote
+ * (quoted fields may contain commas, doubled quotes and newlines).
+ * The inverse of joining csvQuote()d fields with ','.
+ */
+std::vector<std::string> csvSplit(std::string_view row);
+
 /** Parse a non-negative integer; nullopt on malformed input. */
 std::optional<long> parseLong(std::string_view s);
 

@@ -15,15 +15,12 @@ std::uint64_t
 cellSeed(std::uint64_t baseSeed, std::size_t config, std::size_t point,
          std::size_t replication)
 {
-    // Fold each coordinate into a SplitMix64 chain.  The golden-ratio
-    // increments keep (c, p, r) permutations from colliding.
-    constexpr std::uint64_t kGamma = 0x9e3779b97f4a7c15ULL;
-    std::uint64_t state = baseSeed;
-    state ^= splitmix64(state) + kGamma * (static_cast<std::uint64_t>(config) + 1);
-    state ^= splitmix64(state) + kGamma * (static_cast<std::uint64_t>(point) + 1);
-    state ^= splitmix64(state) +
-             kGamma * (static_cast<std::uint64_t>(replication) + 1);
-    return splitmix64(state);
+    // The mixing lives in common/rng so model-layer planners (the
+    // campaign enumerator) can derive the identical seed without an
+    // upward dependency on exec.
+    return mixSeed(baseSeed, static_cast<std::uint64_t>(config),
+                   static_cast<std::uint64_t>(point),
+                   static_cast<std::uint64_t>(replication));
 }
 
 SweepObserver::SweepObserver(std::string label,
@@ -123,6 +120,47 @@ SweepRunner::run(std::size_t configs, std::size_t points,
     } else {
         for (std::size_t flat = 0; flat < total; ++flat)
             runCell(flat);
+    }
+}
+
+void
+SweepRunner::runCells(const std::vector<SweepCell> &cells,
+                      const std::function<void(const SweepCell &)> &fn) const
+{
+    RSIN_PRECONDITION(static_cast<bool>(fn) || cells.empty(),
+                      "SweepRunner::runCells: empty cell function");
+#if RSIN_CONTRACTS_ENABLED
+    {
+        std::vector<std::uint64_t> seeds;
+        seeds.reserve(cells.size());
+        for (const SweepCell &cell : cells)
+            seeds.push_back(cell.seed);
+        std::sort(seeds.begin(), seeds.end());
+        RSIN_INVARIANT(std::adjacent_find(seeds.begin(), seeds.end()) ==
+                           seeds.end(),
+                       "seed collision inside one cell list: two cells "
+                       "would replay the same random stream");
+    }
+#endif
+    if (observer_)
+        observer_->addWork(cells.size());
+    const auto runCell = [&](std::size_t i) {
+        const SweepCell &cell = cells[i];
+        if (observer_) {
+            const auto start = std::chrono::steady_clock::now();
+            fn(cell);
+            const std::chrono::duration<double> elapsed =
+                std::chrono::steady_clock::now() - start;
+            observer_->cellDone(cell, elapsed.count());
+        } else {
+            fn(cell);
+        }
+    };
+    if (parallel()) {
+        pool_->parallelFor(cells.size(), runCell);
+    } else {
+        for (std::size_t i = 0; i < cells.size(); ++i)
+            runCell(i);
     }
 }
 

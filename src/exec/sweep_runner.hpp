@@ -20,6 +20,7 @@
 #include <iosfwd>
 #include <mutex>
 #include <string>
+#include <vector>
 
 #include "exec/thread_pool.hpp"
 
@@ -115,6 +116,19 @@ class SweepRunner
      */
     void run(std::size_t configs, std::size_t points,
              std::size_t replications, std::uint64_t baseSeed,
+             const std::function<void(const SweepCell &)> &fn) const;
+
+    /**
+     * Invoke @p fn once per cell of an explicit, caller-built cell
+     * list -- the scheduling hook resumable sweeps need: a campaign
+     * replaying its ledger passes only the cells that still have to
+     * run (and only those of its process shard), with seeds carried
+     * in the cells themselves.  Same concurrency/ownership contract
+     * as run(); cells carrying duplicate seeds are a contract
+     * violation (each cell must own a distinct stream).
+     */
+    void
+    runCells(const std::vector<SweepCell> &cells,
              const std::function<void(const SweepCell &)> &fn) const;
 
     /** True when cells will actually run concurrently. */

@@ -1,12 +1,321 @@
 #include "json.hpp"
 
 #include <cmath>
+#include <cstdlib>
+#include <limits>
 
 #include "common/error.hpp"
 #include "common/text.hpp"
 
 namespace rsin {
 namespace obs {
+
+namespace {
+
+/** Recursive-descent JSON parser over a string_view cursor. */
+class JsonParser
+{
+  public:
+    explicit JsonParser(std::string_view text) : text_(text) {}
+
+    JsonValue
+    parseDocument()
+    {
+        JsonValue v = parseValue();
+        skipWs();
+        RSIN_REQUIRE(pos_ == text_.size(),
+                     "parseJson: trailing garbage at byte ", pos_);
+        return v;
+    }
+
+  private:
+    [[noreturn]] void
+    fail(const char *what)
+    {
+        RSIN_FATAL("parseJson: ", what, " at byte ", pos_);
+    }
+
+    void
+    skipWs()
+    {
+        while (pos_ < text_.size() &&
+               (text_[pos_] == ' ' || text_[pos_] == '\t' ||
+                text_[pos_] == '\n' || text_[pos_] == '\r'))
+            ++pos_;
+    }
+
+    char
+    peek()
+    {
+        if (pos_ >= text_.size())
+            fail("unexpected end of input");
+        return text_[pos_];
+    }
+
+    void
+    expect(char c)
+    {
+        if (peek() != c)
+            fail("unexpected character");
+        ++pos_;
+    }
+
+    bool
+    consumeLiteral(std::string_view lit)
+    {
+        if (text_.compare(pos_, lit.size(), lit) != 0)
+            return false;
+        pos_ += lit.size();
+        return true;
+    }
+
+    JsonValue
+    parseValue()
+    {
+        skipWs();
+        switch (peek()) {
+          case '{':
+            return parseObject();
+          case '[':
+            return parseArray();
+          case '"': {
+            JsonValue v;
+            v.kind = JsonValue::Kind::String;
+            v.text = parseString();
+            return v;
+          }
+          case 't':
+          case 'f': {
+            JsonValue v;
+            v.kind = JsonValue::Kind::Bool;
+            if (consumeLiteral("true"))
+                v.boolean = true;
+            else if (consumeLiteral("false"))
+                v.boolean = false;
+            else
+                fail("bad literal");
+            return v;
+          }
+          case 'n': {
+            if (!consumeLiteral("null"))
+                fail("bad literal");
+            return JsonValue{};
+          }
+          default:
+            return parseNumber();
+        }
+    }
+
+    JsonValue
+    parseObject()
+    {
+        expect('{');
+        JsonValue v;
+        v.kind = JsonValue::Kind::Object;
+        skipWs();
+        if (peek() == '}') {
+            ++pos_;
+            return v;
+        }
+        for (;;) {
+            skipWs();
+            std::string key = parseString();
+            skipWs();
+            expect(':');
+            v.members.emplace_back(std::move(key), parseValue());
+            skipWs();
+            if (peek() == ',') {
+                ++pos_;
+                continue;
+            }
+            expect('}');
+            return v;
+        }
+    }
+
+    JsonValue
+    parseArray()
+    {
+        expect('[');
+        JsonValue v;
+        v.kind = JsonValue::Kind::Array;
+        skipWs();
+        if (peek() == ']') {
+            ++pos_;
+            return v;
+        }
+        for (;;) {
+            v.items.push_back(parseValue());
+            skipWs();
+            if (peek() == ',') {
+                ++pos_;
+                continue;
+            }
+            expect(']');
+            return v;
+        }
+    }
+
+    std::string
+    parseString()
+    {
+        expect('"');
+        std::string out;
+        for (;;) {
+            if (pos_ >= text_.size())
+                fail("unterminated string");
+            const char c = text_[pos_++];
+            if (c == '"')
+                return out;
+            if (c != '\\') {
+                out += c;
+                continue;
+            }
+            if (pos_ >= text_.size())
+                fail("unterminated escape");
+            const char esc = text_[pos_++];
+            switch (esc) {
+              case '"':
+              case '\\':
+              case '/':
+                out += esc;
+                break;
+              case 'b':
+                out += '\b';
+                break;
+              case 'f':
+                out += '\f';
+                break;
+              case 'n':
+                out += '\n';
+                break;
+              case 'r':
+                out += '\r';
+                break;
+              case 't':
+                out += '\t';
+                break;
+              case 'u': {
+                if (pos_ + 4 > text_.size())
+                    fail("truncated \\u escape");
+                unsigned code = 0;
+                for (int i = 0; i < 4; ++i) {
+                    const char h = text_[pos_++];
+                    code <<= 4;
+                    if (h >= '0' && h <= '9')
+                        code |= static_cast<unsigned>(h - '0');
+                    else if (h >= 'a' && h <= 'f')
+                        code |= static_cast<unsigned>(h - 'a' + 10);
+                    else if (h >= 'A' && h <= 'F')
+                        code |= static_cast<unsigned>(h - 'A' + 10);
+                    else
+                        fail("bad \\u escape");
+                }
+                // The writer only emits \u00xx control escapes; wider
+                // code points are stored UTF-8 verbatim, so a basic
+                // Latin-1 fold suffices here.
+                if (code < 0x80) {
+                    out += static_cast<char>(code);
+                } else {
+                    out += static_cast<char>(0xC0 | (code >> 6));
+                    out += static_cast<char>(0x80 | (code & 0x3F));
+                }
+                break;
+              }
+              default:
+                fail("unknown escape");
+            }
+        }
+    }
+
+    JsonValue
+    parseNumber()
+    {
+        const std::size_t start = pos_;
+        if (peek() == '-')
+            ++pos_;
+        while (pos_ < text_.size() &&
+               ((text_[pos_] >= '0' && text_[pos_] <= '9') ||
+                text_[pos_] == '.' || text_[pos_] == 'e' ||
+                text_[pos_] == 'E' || text_[pos_] == '+' ||
+                text_[pos_] == '-'))
+            ++pos_;
+        JsonValue v;
+        v.kind = JsonValue::Kind::Number;
+        v.raw = std::string(text_.substr(start, pos_ - start));
+        const auto parsed = parseDouble(v.raw);
+        if (!parsed.has_value())
+            fail("malformed number");
+        v.number = *parsed;
+        return v;
+    }
+
+    std::string_view text_;
+    std::size_t pos_ = 0;
+};
+
+} // namespace
+
+const JsonValue *
+JsonValue::find(std::string_view key) const
+{
+    for (const auto &[name, value] : members)
+        if (name == key)
+            return &value;
+    return nullptr;
+}
+
+const std::string &
+JsonValue::asString() const
+{
+    RSIN_REQUIRE(kind == Kind::String, "JsonValue: not a string");
+    return text;
+}
+
+double
+JsonValue::asDouble() const
+{
+    if (kind == Kind::Null)
+        return std::numeric_limits<double>::quiet_NaN();
+    RSIN_REQUIRE(kind == Kind::Number, "JsonValue: not a number");
+    return number;
+}
+
+std::uint64_t
+JsonValue::asU64() const
+{
+    RSIN_REQUIRE(kind == Kind::Number, "JsonValue: not a number");
+    // Parse the raw token: doubles lose integers above 2^53.
+    char *end = nullptr;
+    const std::uint64_t v = std::strtoull(raw.c_str(), &end, 10);
+    RSIN_REQUIRE(end == raw.c_str() + raw.size(),
+                 "JsonValue: '", raw, "' is not an unsigned integer");
+    return v;
+}
+
+std::int64_t
+JsonValue::asI64() const
+{
+    RSIN_REQUIRE(kind == Kind::Number, "JsonValue: not a number");
+    char *end = nullptr;
+    const std::int64_t v = std::strtoll(raw.c_str(), &end, 10);
+    RSIN_REQUIRE(end == raw.c_str() + raw.size(),
+                 "JsonValue: '", raw, "' is not an integer");
+    return v;
+}
+
+bool
+JsonValue::asBool() const
+{
+    RSIN_REQUIRE(kind == Kind::Bool, "JsonValue: not a bool");
+    return boolean;
+}
+
+JsonValue
+parseJson(std::string_view text)
+{
+    return JsonParser(text).parseDocument();
+}
 
 std::string
 escapeJson(std::string_view s)

@@ -18,10 +18,60 @@
 #include <ostream>
 #include <string>
 #include <string_view>
+#include <utility>
 #include <vector>
 
 namespace rsin {
 namespace obs {
+
+/**
+ * Parsed JSON document node -- the read side of the emitter above,
+ * used by the ledger replay path and the artifact tests.  Numbers are
+ * stored as double (17-significant-digit parsing, so every value the
+ * writer emits round-trips bit-exactly) plus the raw token for
+ * integer-exact access; `null` maps to Kind::Null (the writer uses it
+ * for NaN/inf).  Object member order is preserved for deterministic
+ * re-emission.
+ */
+struct JsonValue
+{
+    enum class Kind : std::uint8_t
+    {
+        Null,
+        Bool,
+        Number,
+        String,
+        Array,
+        Object,
+    };
+
+    Kind kind = Kind::Null;
+    bool boolean = false;
+    double number = 0.0;
+    std::string raw;    ///< exact numeric token (integer-safe access)
+    std::string text;   ///< string payload
+    std::vector<JsonValue> items; ///< array elements
+    std::vector<std::pair<std::string, JsonValue>> members; ///< object
+
+    bool isNull() const { return kind == Kind::Null; }
+
+    /** Object member by key; nullptr when absent or not an object. */
+    const JsonValue *find(std::string_view key) const;
+
+    /** Typed accessors; throw FatalError on a kind mismatch. */
+    const std::string &asString() const;
+    double asDouble() const; ///< Null (the writer's NaN) reads as NaN
+    std::uint64_t asU64() const;
+    std::int64_t asI64() const;
+    bool asBool() const;
+};
+
+/**
+ * Parse one JSON document; the entire input must be consumed (bar
+ * trailing whitespace).  Throws FatalError on malformed input --
+ * callers replaying ledgers catch it to classify a torn record.
+ */
+JsonValue parseJson(std::string_view text);
 
 /** Escape a string for inclusion inside JSON quotes (no outer quotes). */
 std::string escapeJson(std::string_view s);

@@ -1,0 +1,336 @@
+#include "ledger.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <utility>
+
+#include "common/error.hpp"
+#include "common/fsio.hpp"
+#include "common/text.hpp"
+#include "obs/json.hpp"
+
+namespace rsin {
+namespace obs {
+
+namespace {
+
+/** seg-SSSS-NNNN stem for one (shard, sequence) pair. */
+std::string
+segmentStem(std::size_t shard, std::size_t seq)
+{
+    return formatf("seg-%04zu-%04zu", shard, seq);
+}
+
+std::string
+manifestPath(const std::string &dir)
+{
+    return dir + "/manifest.json";
+}
+
+/**
+ * Write (first open) or verify (resume) the manifest.  The spec string
+ * is the campaign's canonical identity: resuming a ledger that was
+ * written for a different matrix would merge incomparable cells, so a
+ * mismatch is fatal rather than a warning.
+ */
+void
+writeOrCheckManifest(const std::string &dir, const std::string &spec)
+{
+    const std::string path = manifestPath(dir);
+    const auto existing = common::readFile(path);
+    if (existing.has_value()) {
+        const JsonValue doc = parseJson(*existing);
+        const JsonValue *schema = doc.find("schema");
+        RSIN_REQUIRE(schema != nullptr &&
+                         schema->asString() == kLedgerSchema,
+                     "ledger '", dir, "': manifest schema is not ",
+                     kLedgerSchema);
+        if (spec.empty())
+            return;
+        const JsonValue *pinned = doc.find("spec");
+        RSIN_REQUIRE(pinned != nullptr, "ledger '", dir,
+                     "': manifest has no spec");
+        RSIN_REQUIRE(pinned->asString() == spec, "ledger '", dir,
+                     "' was written for a different campaign:\n  ",
+                     pinned->asString(), "\nvs requested\n  ", spec);
+        return;
+    }
+    RSIN_REQUIRE(!spec.empty(), "ledger '", dir,
+                 "': no manifest found and no spec to pin");
+    common::writeFileAtomic(path, [&](std::ostream &os) {
+        JsonWriter w(os);
+        w.beginObject();
+        w.field("schema", kLedgerSchema);
+        w.field("spec", spec);
+        w.endObject();
+        os << "\n";
+    });
+}
+
+/** Shard index encoded in a "seg-SSSS-NNNN.*" name; SIZE_MAX on junk. */
+std::size_t
+segmentShard(const std::string &name)
+{
+    if (name.size() < 13 || name.compare(0, 4, "seg-") != 0)
+        return static_cast<std::size_t>(-1);
+    const auto parsed = parseLong(name.substr(4, 4));
+    if (!parsed.has_value())
+        return static_cast<std::size_t>(-1);
+    return static_cast<std::size_t>(*parsed);
+}
+
+/** Segment sequence in a "seg-SSSS-NNNN.*" name; -1 on junk. */
+long
+segmentSeq(const std::string &name)
+{
+    if (name.size() < 13 || name.compare(0, 4, "seg-") != 0)
+        return -1;
+    return parseLong(name.substr(9, 4)).value_or(-1);
+}
+
+/**
+ * Valid prefix of one segment file: every line up to (excluding) the
+ * first torn one.  @p torn counts the break, @p lines the survivors.
+ */
+std::vector<std::string>
+validPrefix(const std::string &content, std::size_t &torn)
+{
+    std::vector<std::string> good;
+    std::size_t pos = 0;
+    while (pos < content.size()) {
+        const std::size_t nl = content.find('\n', pos);
+        const bool complete = nl != std::string::npos;
+        std::string line = content.substr(
+            pos, complete ? nl - pos : std::string::npos);
+        pos = complete ? nl + 1 : content.size();
+        if (line.empty())
+            continue;
+        LedgerEntry entry;
+        // A line without its newline was torn mid-append even if its
+        // bytes happen to parse; only complete lines are trusted.
+        if (!complete || !parseLedgerLine(line, entry)) {
+            ++torn;
+            break;
+        }
+        good.push_back(std::move(line));
+    }
+    return good;
+}
+
+/** Recover crashed .open segments, optionally only one shard's. */
+std::size_t
+recoverSegments(const std::string &dir, std::size_t onlyShard,
+                bool filterShard)
+{
+    std::size_t recovered = 0;
+    for (const auto &name : common::listFiles(dir, ".open")) {
+        if (filterShard && segmentShard(name) != onlyShard)
+            continue;
+        const std::string openPath = dir + "/" + name;
+        const auto content = common::readFile(openPath);
+        if (!content.has_value())
+            continue;
+        std::size_t torn = 0;
+        const auto lines = validPrefix(*content, torn);
+        if (!lines.empty()) {
+            const std::string sealed =
+                dir + "/" + name.substr(0, name.size() - 5) + ".jsonl";
+            common::writeFileAtomic(sealed, [&](std::ostream &os) {
+                for (const auto &line : lines)
+                    os << line << "\n";
+            });
+        }
+        common::removeFile(openPath);
+        ++recovered;
+    }
+    return recovered;
+}
+
+} // namespace
+
+std::string
+formatLedgerLine(const std::string &key, const RunRecord &record)
+{
+    std::ostringstream rec;
+    {
+        JsonWriter w(rec, 0);
+        writeRunRecordJson(w, record);
+    }
+    const std::string json = rec.str();
+    // "record" goes last so replay can crc the raw byte substring
+    // after `"record":` without re-serializing.
+    return formatf("{\"key\":\"%s\",\"crc32\":\"%08x\",\"record\":",
+                   escapeJson(key).c_str(), common::crc32(json)) +
+           json + "}";
+}
+
+bool
+parseLedgerLine(const std::string &line, LedgerEntry &out)
+{
+    try {
+        const JsonValue doc = parseJson(line);
+        const JsonValue *key = doc.find("key");
+        const JsonValue *crc = doc.find("crc32");
+        const JsonValue *record = doc.find("record");
+        if (key == nullptr || crc == nullptr || record == nullptr)
+            return false;
+        // Reconstruct the exact writer prefix to locate the raw bytes
+        // of the record object; crc is computed over those bytes.
+        const std::string prefix =
+            "{\"key\":\"" + escapeJson(key->asString()) +
+            "\",\"crc32\":\"" + crc->asString() + "\",\"record\":";
+        if (line.size() <= prefix.size() + 1 ||
+            line.compare(0, prefix.size(), prefix) != 0 ||
+            line.back() != '}')
+            return false;
+        const std::string json = line.substr(
+            prefix.size(), line.size() - prefix.size() - 1);
+        if (formatf("%08x", common::crc32(json)) != crc->asString())
+            return false;
+        out.key = key->asString();
+        out.json = json;
+        out.record = parseRunRecordJson(*record);
+        return true;
+    } catch (const FatalError &) {
+        return false;
+    }
+}
+
+LedgerReplay
+replayLedger(const std::string &dir, const std::string &spec)
+{
+    LedgerReplay replay;
+    if (common::fileExists(manifestPath(dir)))
+        writeOrCheckManifest(dir, spec);
+
+    const auto replaySegment = [&](const std::string &name,
+                                   bool sealed) {
+        const auto content = common::readFile(dir + "/" + name);
+        if (!content.has_value())
+            return;
+        std::size_t torn = 0;
+        for (auto &line : validPrefix(*content, torn)) {
+            LedgerEntry entry;
+            parseLedgerLine(line, entry); // valid by construction
+            replay.entries[entry.key] = std::move(entry);
+            ++replay.linesRead;
+        }
+        replay.tornRecords += torn;
+        (sealed ? replay.sealedSegments : replay.openSegments) += 1;
+    };
+
+    // Sealed segments first, then crashed .open ones: within a shard
+    // the sealed sequence numbers precede the open segment's, and the
+    // map keeps last-record-wins per key either way.
+    for (const auto &name : common::listFiles(dir, ".jsonl"))
+        if (segmentSeq(name) >= 0)
+            replaySegment(name, true);
+    for (const auto &name : common::listFiles(dir, ".open"))
+        if (segmentSeq(name) >= 0)
+            replaySegment(name, false);
+    return replay;
+}
+
+std::size_t
+recoverLedger(const std::string &dir)
+{
+    return recoverSegments(dir, 0, false);
+}
+
+LedgerWriter::LedgerWriter(std::string dir, std::size_t shardIndex,
+                           const std::string &spec,
+                           std::size_t sealEvery)
+    : dir_(std::move(dir)), shardIndex_(shardIndex),
+      sealEvery_(sealEvery == 0 ? 1 : sealEvery)
+{
+    common::ensureDir(dir_);
+    writeOrCheckManifest(dir_, spec);
+    // Recover only THIS shard's crashed segments: sibling shard
+    // processes may be alive and mid-append in their own .open files.
+    recoverSegments(dir_, shardIndex_, true);
+    // Resume numbering after every segment this shard ever wrote.
+    long max_seq = -1;
+    for (const char *suffix : {".jsonl", ".open"})
+        for (const auto &name : common::listFiles(dir_, suffix))
+            if (segmentShard(name) == shardIndex_)
+                max_seq = std::max(max_seq, segmentSeq(name));
+    segmentSeq_ = static_cast<std::size_t>(max_seq + 1);
+}
+
+LedgerWriter::~LedgerWriter()
+{
+    try {
+        close();
+    } catch (...) {
+        // Destructor runs on the crash path too; sealing is best
+        // effort there (replay recovers the .open segment anyway).
+    }
+}
+
+void
+LedgerWriter::openSegment()
+{
+    const std::string stem = segmentStem(shardIndex_, segmentSeq_);
+    openPath_ = dir_ + "/" + stem + ".open";
+    sealedPath_ = dir_ + "/" + stem + ".jsonl";
+    out_.open(openPath_, std::ios::binary | std::ios::trunc);
+    RSIN_REQUIRE(out_.good(), "ledger: cannot open segment '",
+                 openPath_, "'");
+    recordsInSegment_ = 0;
+}
+
+std::size_t
+LedgerWriter::append(const std::string &key, const RunRecord &record)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    RSIN_REQUIRE(!closed_, "ledger: append after close");
+    if (!out_.is_open())
+        openSegment();
+    out_ << formatLedgerLine(key, record) << "\n";
+    // Flush per record: after a SIGKILL every append that returned is
+    // on disk; at most the in-flight line is torn.
+    out_.flush();
+    RSIN_REQUIRE(out_.good(), "ledger: append to '", openPath_,
+                 "' failed");
+    ++recordsInSegment_;
+    ++recordsAppended_;
+    if (recordsInSegment_ >= sealEvery_)
+        sealLocked();
+    return recordsAppended_;
+}
+
+void
+LedgerWriter::sealLocked()
+{
+    if (!out_.is_open())
+        return;
+    out_.close();
+    if (recordsInSegment_ == 0) {
+        common::removeFile(openPath_);
+    } else {
+        common::renameFile(openPath_, sealedPath_);
+        ++segmentSeq_;
+    }
+    openPath_.clear();
+    recordsInSegment_ = 0;
+}
+
+void
+LedgerWriter::seal()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    sealLocked();
+}
+
+void
+LedgerWriter::close()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (closed_)
+        return;
+    sealLocked();
+    closed_ = true;
+}
+
+} // namespace obs
+} // namespace rsin

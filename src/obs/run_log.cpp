@@ -1,10 +1,10 @@
 #include "run_log.hpp"
 
 #include <cmath>
-#include <fstream>
-#include <ostream>
+#include <sstream>
 
 #include "common/error.hpp"
+#include "common/fsio.hpp"
 #include "common/text.hpp"
 #include "obs/json.hpp"
 
@@ -12,23 +12,6 @@ namespace rsin {
 namespace obs {
 
 namespace {
-
-/** Quote a CSV field per RFC 4180 when it needs it. */
-std::string
-csvField(const std::string &s)
-{
-    if (s.find_first_of(",\"\n\r") == std::string::npos)
-        return s;
-    std::string out = "\"";
-    for (const char c : s) {
-        if (c == '"')
-            out += "\"\"";
-        else
-            out += c;
-    }
-    out += "\"";
-    return out;
-}
 
 /** CSV rendering of a double: full precision, nan/inf as text. */
 std::string
@@ -91,51 +74,6 @@ RunLog::records() const
 }
 
 void
-RunLog::writeRecordJson(JsonWriter &w, const RunRecord &r) const
-{
-    w.beginObject();
-    w.field("curve", r.curve);
-    w.field("config", r.config);
-    w.field("kind", toString(r.kind));
-    w.field("rho", r.rho);
-    w.field("lambda", r.lambda);
-    w.field("mu_n", r.muN);
-    w.field("mu_s", r.muS);
-    w.field("seed", r.seed);
-    w.field("replication", r.replication);
-    w.field("status", toString(r.result.status));
-    w.field("display", r.display);
-    w.field("wall_seconds", r.wallSeconds);
-    w.key("result");
-    w.beginObject();
-    w.field("mean_delay", r.result.meanDelay);
-    w.field("delay_half_width", r.result.delayHalfWidth);
-    w.field("normalized_delay", r.result.normalizedDelay);
-    w.field("mean_response", r.result.meanResponse);
-    w.field("mean_routing_attempts", r.result.meanRoutingAttempts);
-    w.field("mean_boxes_traversed", r.result.meanBoxesTraversed);
-    w.field("delay_imbalance", r.result.delayImbalance);
-    w.field("time_avg_queue", r.result.timeAvgQueue);
-    w.field("delay_p95", r.result.delayP95);
-    w.field("delay_p99", r.result.delayP99);
-    w.field("fraction_no_wait", r.result.fractionNoWait);
-    w.field("completed_tasks", r.result.completedTasks);
-    w.field("counted_tasks", r.result.countedTasks);
-    w.field("rejections", r.result.rejections);
-    w.field("simulated_time", r.result.simulatedTime);
-    w.endObject();
-    w.key("kernel");
-    w.beginObject();
-    w.field("events_scheduled", r.result.kernel.scheduled);
-    w.field("events_fired", r.result.kernel.fired);
-    w.field("events_cancelled", r.result.kernel.cancelled);
-    w.field("arena_bytes", r.result.kernel.arenaBytes);
-    w.field("shards", std::uint64_t{r.result.shardsUsed});
-    w.endObject();
-    w.endObject();
-}
-
-void
 RunLog::writeJson(std::ostream &os) const
 {
     std::lock_guard<std::mutex> lock(mutex_);
@@ -155,7 +93,7 @@ RunLog::writeJson(std::ostream &os) const
     w.key("records");
     w.beginArray();
     for (const auto &r : records_)
-        writeRecordJson(w, r);
+        writeRunRecordJson(w, r);
     w.endArray();
     w.endObject();
     os << "\n";
@@ -174,12 +112,12 @@ RunLog::writeCsv(std::ostream &os) const
           "events_scheduled,events_fired,events_cancelled,arena_bytes,"
           "shards\n";
     for (const auto &r : records_) {
-        os << csvField(bench_) << ',' << csvField(r.curve) << ','
-           << csvField(r.config) << ',' << toString(r.kind) << ','
+        os << csvQuote(bench_) << ',' << csvQuote(r.curve) << ','
+           << csvQuote(r.config) << ',' << toString(r.kind) << ','
            << csvNumber(r.rho) << ',' << csvNumber(r.lambda) << ','
            << csvNumber(r.muN) << ',' << csvNumber(r.muS) << ','
            << r.seed << ',' << r.replication << ','
-           << toString(r.result.status) << ',' << csvField(r.display)
+           << toString(r.result.status) << ',' << csvQuote(r.display)
            << ',' << csvNumber(r.wallSeconds) << ','
            << csvNumber(r.result.meanDelay) << ','
            << csvNumber(r.result.delayHalfWidth) << ','
@@ -205,15 +143,15 @@ RunLog::writeCsv(std::ostream &os) const
 void
 RunLog::writeFile(const std::string &path, Format format) const
 {
-    std::ofstream os(path);
-    RSIN_REQUIRE(os.good(), "RunLog: cannot open '", path,
-                 "' for writing");
-    if (format == Format::Json)
-        writeJson(os);
-    else
-        writeCsv(os);
-    os.flush();
-    RSIN_REQUIRE(os.good(), "RunLog: write to '", path, "' failed");
+    // Atomic tmp-file + rename: a crash (or disk-full failure) mid
+    // write must never leave a truncated artifact under the final
+    // name -- downstream plot scripts read these unconditionally.
+    common::writeFileAtomic(path, [&](std::ostream &os) {
+        if (format == Format::Json)
+            writeJson(os);
+        else
+            writeCsv(os);
+    });
 }
 
 } // namespace obs

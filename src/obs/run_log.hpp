@@ -59,12 +59,14 @@ class RunLog
     /** Flat CSV: header row plus one row per record. */
     void writeCsv(std::ostream &os) const;
 
-    /** Write the artifact to @p path; throws FatalError on I/O error. */
+    /**
+     * Write the artifact to @p path atomically (tmp-file + rename, so
+     * an interrupt never leaves a truncated artifact under the final
+     * name); throws FatalError on I/O error.
+     */
     void writeFile(const std::string &path, Format format) const;
 
   private:
-    void writeRecordJson(class JsonWriter &w, const RunRecord &r) const;
-
     mutable std::mutex mutex_;
     std::string bench_;
     std::vector<RunRecord> records_;

@@ -29,6 +29,9 @@ enum class RecordKind
 /** Lower-case wire name of a record kind. */
 const char *toString(RecordKind kind);
 
+/** Parse a wire name back into a kind; throws FatalError on junk. */
+RecordKind parseRecordKind(const std::string &name);
+
 /** One structured observation of a (config, load) sweep cell. */
 struct RunRecord
 {
@@ -56,6 +59,24 @@ struct RunRecord
  */
 std::string displayValue(const SimResult &result, double value,
                          const char *fmt = "%.4f");
+
+class JsonWriter;
+struct JsonValue;
+
+/**
+ * Serialize one record as a JSON object on @p w -- the single
+ * "rsin.run_record.v1" record serializer, shared by the RunLog
+ * artifact writer and the campaign ledger so the two cannot drift.
+ */
+void writeRunRecordJson(JsonWriter &w, const RunRecord &r);
+
+/**
+ * Inverse of writeRunRecordJson.  Re-serializing the parsed record
+ * reproduces the input bytes exactly (doubles travel as %.17g, NaN as
+ * null), which is what makes ledger resume bit-identical.  Throws
+ * FatalError on a malformed or wrong-kind node.
+ */
+RunRecord parseRunRecordJson(const JsonValue &v);
 
 } // namespace obs
 } // namespace rsin

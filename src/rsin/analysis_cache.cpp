@@ -3,11 +3,16 @@
 #include <array>
 #include <bit>
 #include <condition_variable>
+#include <cstdlib>
 #include <deque>
 #include <map>
 #include <mutex>
+#include <ostream>
+#include <vector>
 
 #include "common/error.hpp"
+#include "common/fsio.hpp"
+#include "common/text.hpp"
 
 namespace rsin {
 
@@ -58,6 +63,75 @@ computeSolution(const markov::SbusParams &prm, SbusSolverKind solver,
         return markov::solveDirect(chain, opts);
     }
     RSIN_PANIC("AnalysisCache: unknown solver kind");
+}
+
+/** Persisted-format header line (version-bumps invalidate old files). */
+constexpr const char *kCacheHeader = "rsin.analysis_cache.v1";
+
+/**
+ * One persisted entry: 11 key words + stable flag + 7 bit-cast
+ * solution doubles + levelsUsed, all hex, in field order.  The crc
+ * appended by save() covers exactly these bytes.
+ */
+std::string
+formatEntry(const Key &key, const markov::SbusSolution &sol)
+{
+    const auto dbits = [](double v) {
+        return std::bit_cast<std::uint64_t>(v);
+    };
+    std::string line;
+    for (const std::uint64_t word : key)
+        line += formatf("%016llx ",
+                        static_cast<unsigned long long>(word));
+    const std::uint64_t fields[] = {
+        sol.stable ? 1ULL : 0ULL,
+        dbits(sol.meanQueueLength),
+        dbits(sol.queueingDelay),
+        dbits(sol.normalizedDelay),
+        dbits(sol.busUtilization),
+        dbits(sol.resourceUtilization),
+        dbits(sol.probEmptySystem),
+        dbits(sol.probNoWait),
+        std::uint64_t{sol.levelsUsed},
+    };
+    for (const std::uint64_t word : fields)
+        line += formatf("%016llx ",
+                        static_cast<unsigned long long>(word));
+    line.pop_back();
+    return line;
+}
+
+/** Inverse of formatEntry (crc already stripped); false on junk. */
+bool
+parseEntry(const std::string &line, Key &key,
+           markov::SbusSolution &sol)
+{
+    std::vector<std::uint64_t> words;
+    for (const auto &tok : split(line, ' ')) {
+        if (tok.empty())
+            return false;
+        char *end = nullptr;
+        words.push_back(std::strtoull(tok.c_str(), &end, 16));
+        if (end != tok.c_str() + tok.size())
+            return false;
+    }
+    if (words.size() != 20)
+        return false;
+    const auto bitsd = [](std::uint64_t v) {
+        return std::bit_cast<double>(v);
+    };
+    for (std::size_t i = 0; i < key.size(); ++i)
+        key[i] = words[i];
+    sol.stable = words[11] != 0;
+    sol.meanQueueLength = bitsd(words[12]);
+    sol.queueingDelay = bitsd(words[13]);
+    sol.normalizedDelay = bitsd(words[14]);
+    sol.busUtilization = bitsd(words[15]);
+    sol.resourceUtilization = bitsd(words[16]);
+    sol.probEmptySystem = bitsd(words[17]);
+    sol.probNoWait = bitsd(words[18]);
+    sol.levelsUsed = static_cast<std::size_t>(words[19]);
+    return true;
 }
 
 } // namespace
@@ -156,6 +230,74 @@ AnalysisCache::clear()
         impl_->entries.erase(key);
     impl_->fifo.clear();
     impl_->counters = Stats{};
+}
+
+std::size_t
+AnalysisCache::save(const std::string &path) const
+{
+    // Snapshot under the lock, write outside it: holding the mutex
+    // across file I/O would stall concurrent solvers.
+    std::vector<std::pair<Key, markov::SbusSolution>> snapshot;
+    {
+        std::lock_guard<std::mutex> lock(impl_->mutex);
+        for (const auto &[key, entry] : impl_->entries)
+            if (entry.ready)
+                snapshot.emplace_back(key, entry.value);
+    }
+    common::writeFileAtomic(path, [&](std::ostream &os) {
+        os << kCacheHeader << "\n";
+        for (const auto &[key, sol] : snapshot) {
+            const std::string body = formatEntry(key, sol);
+            os << body
+               << formatf(" %08x", common::crc32(body)) << "\n";
+        }
+    });
+    return snapshot.size();
+}
+
+std::size_t
+AnalysisCache::load(const std::string &path)
+{
+    const auto content = common::readFile(path);
+    if (!content.has_value())
+        return 0;
+    std::size_t added = 0;
+    bool first = true;
+    for (const auto &line : split(*content, '\n')) {
+        if (first) {
+            first = false;
+            if (line != kCacheHeader)
+                return 0; // foreign or stale format: load nothing
+            continue;
+        }
+        if (line.empty())
+            continue;
+        // Split off the trailing crc field and verify the body.
+        const std::size_t cut = line.rfind(' ');
+        if (cut == std::string::npos)
+            continue;
+        const std::string body = line.substr(0, cut);
+        if (formatf("%08x", common::crc32(body)) != line.substr(cut + 1))
+            continue;
+        Key key{};
+        markov::SbusSolution sol;
+        if (!parseEntry(body, key, sol))
+            continue;
+        std::lock_guard<std::mutex> lock(impl_->mutex);
+        if (impl_->entries.find(key) != impl_->entries.end())
+            continue;
+        Impl::Entry entry;
+        entry.ready = true;
+        entry.value = sol;
+        impl_->entries.emplace(key, entry);
+        impl_->fifo.push_back(key);
+        while (impl_->fifo.size() > impl_->capacity) {
+            impl_->entries.erase(impl_->fifo.front());
+            impl_->fifo.pop_front();
+        }
+        ++added;
+    }
+    return added;
 }
 
 AnalysisCache &

@@ -30,6 +30,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <string>
 
 #include "markov/sbus_solvers.hpp"
 
@@ -76,6 +77,24 @@ class AnalysisCache
 
     /** Drop all entries and reset the counters. */
     void clear();
+
+    /**
+     * Persist every completed entry to @p path (atomic tmp + rename).
+     * Text format "rsin.analysis_cache.v1": one line per entry -- the
+     * 11 key words and the bit-cast solution doubles in hex, crc32
+     * stamped -- so a load returns bit-identical solutions.  Returns
+     * the number of entries written.
+     */
+    std::size_t save(const std::string &path) const;
+
+    /**
+     * Merge entries from a file written by save() into the cache
+     * (existing keys keep their value).  Tolerant: a missing file
+     * loads nothing, and malformed or crc-mismatched lines -- e.g. a
+     * torn tail from a crashed writer -- are skipped, not fatal.
+     * Returns the number of entries added.
+     */
+    std::size_t load(const std::string &path);
 
     /** Process-wide instance used by rsin/analysis. */
     static AnalysisCache &global();

@@ -1,0 +1,131 @@
+#pragma once
+
+/**
+ * @file
+ * Declarative campaign model: a scenario matrix (configurations x
+ * schedulers x routing policies x service-time distributions x
+ * workload ratios x a rho grid x replications) expanded into a flat,
+ * deterministically ordered and deterministically seeded list of
+ * cells.
+ *
+ * This layer owns *what* a campaign is -- enumeration, canonical
+ * identity, per-cell seeds and model/workload parameters -- and knows
+ * nothing about execution or persistence: the examples-layer runner
+ * (examples/rsin_campaign.cpp) shards the cell list across workers and
+ * processes and streams results into an obs::LedgerWriter.  The split
+ * keeps the module DAG acyclic (rsin cannot see exec/obs) and makes
+ * the planner unit-testable without touching a disk.
+ *
+ * Determinism contract: planCampaign() is a pure function of the spec.
+ * Cell order, keys and seeds never depend on wall clock, host, shard
+ * count or worker count -- which is what lets an interrupted campaign
+ * resume into a record set bit-identical to an uninterrupted run.
+ */
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "rsin/config.hpp"
+#include "rsin/factory.hpp"
+#include "workload/workload.hpp"
+
+namespace rsin {
+
+/** The declarative scenario matrix a campaign expands. */
+struct CampaignSpec
+{
+    /** Configurations in paper notation (at least one). */
+    std::vector<SystemConfig> configs;
+    /** Scheduler tokens: "default" (the network's native scheme),
+     *  "distributed", "distributed-clocked", "address-random",
+     *  "address-first".  Applies to OMEGA/CUBE configs; other
+     *  networks collapse this dimension. */
+    std::vector<std::string> schedulers = {"default"};
+    /** Routing-policy tokens: "most-resources", "prefer-upper",
+     *  "random-tie".  OMEGA/CUBE only, like schedulers. */
+    std::vector<std::string> policies = {"most-resources"};
+    /** Service-time distribution tokens: "exp", "det", "erlang2",
+     *  "hyper2" (transmission stays exponential, as in the paper). */
+    std::vector<std::string> workloads = {"exp"};
+    /** Workload ratios mu_s / mu_n. */
+    std::vector<double> ratios = {0.1};
+
+    double rhoMin = 0.1;
+    double rhoMax = 0.9;
+    std::size_t rhoSteps = 9;
+
+    std::uint64_t tasks = 20000;   ///< measured completions per run
+    std::size_t replications = 1;  ///< independent runs per point
+    std::uint64_t seed = 1;        ///< campaign base seed
+    double muN = 1.0;              ///< transmission rate
+    /** Also solve SBUS configurations with the exact Markov model. */
+    bool analytic = true;
+
+    /** Throw FatalError when the matrix is malformed or empty. */
+    void validate() const;
+};
+
+/** One expanded cell of the matrix -- the unit of work and of resume. */
+struct CampaignCell
+{
+    /** Unique, human-readable ledger key; the resume identity. */
+    std::string key;
+    bool analytic = false; ///< Markov solver point, not a simulation
+
+    std::size_t configIndex = 0;
+    std::size_t schedIndex = 0;
+    std::size_t policyIndex = 0;
+    std::size_t workloadIndex = 0;
+    std::size_t ratioIndex = 0;
+    /** Flat index over the non-rho dimensions (the seed's first
+     *  coordinate); analytic cells get their own combo stream. */
+    std::size_t comboIndex = 0;
+    std::size_t rhoIndex = 0;
+    int replication = -1; ///< -1 for analytic cells
+
+    double ratio = 0.0;  ///< mu_s / mu_n
+    double rho = 0.0;    ///< traffic intensity at this grid point
+    double lambda = 0.0; ///< per-processor arrival rate for @p rho
+    /** mixSeed(spec.seed, comboIndex, rhoIndex, replication); 0 for
+     *  analytic cells (the solver is deterministic). */
+    std::uint64_t seed = 0;
+};
+
+/**
+ * Canonical identity string of a spec ("rsin.campaign.v1 ...").  Two
+ * specs with the same canonical string expand to the same cells with
+ * the same keys and seeds; the ledger manifest pins it so a resume
+ * against a different matrix is refused.
+ */
+std::string canonicalSpec(const CampaignSpec &spec);
+
+/**
+ * Expand the matrix into cells, deterministically ordered (simulation
+ * cells first, then the SBUS analytic cells).  Keys are unique;
+ * validates the spec first.
+ */
+std::vector<CampaignCell> planCampaign(const CampaignSpec &spec);
+
+/** Curve label shared by all replications of a cell's sweep point. */
+std::string cellCurve(const CampaignSpec &spec,
+                      const CampaignCell &cell);
+
+/** Workload parameters (lambda, rates, distributions) for a cell. */
+workload::WorkloadParams cellWorkload(const CampaignSpec &spec,
+                                      const CampaignCell &cell);
+
+/** Model options (scheduling scheme, routing policy) for a cell. */
+ModelOptions cellModel(const CampaignSpec &spec,
+                       const CampaignCell &cell);
+
+/** Parse a scheduler token; throws FatalError on junk. */
+OmegaScheduling parseScheduler(const std::string &token);
+
+/** Parse a routing-policy token; throws FatalError on junk. */
+sched::RoutingPolicy parseRoutingPolicy(const std::string &token);
+
+/** Parse a distribution token; throws FatalError on junk. */
+workload::TimeDistribution parseWorkloadDist(const std::string &token);
+
+} // namespace rsin

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 #include <thread>
 
 #include "common/contract.hpp"
@@ -136,8 +137,40 @@ aggregateReplications(std::vector<SimResult> runs,
         result = partial[partial.size() / 2];
         result.status = RunStatus::Truncated;
     } else {
-        // Every replication saturated or produced nothing.
-        result = runs.front();
+        // Every replication saturated or produced nothing.  Build the
+        // aggregate from scratch: copying runs.front() here leaked one
+        // tainted run's residual point estimates (a saturated run's
+        // pre-abort tallies, or zeros) into fields a JSON/CSV consumer
+        // could read as real numbers despite the status.  Estimates
+        // get the NaN sentinel NoData runs already carry; only the
+        // activity counters -- which are facts, not estimates -- are
+        // summed across the replications.
+        const double nan = std::numeric_limits<double>::quiet_NaN();
+        result.meanDelay = nan;
+        result.delayHalfWidth = nan;
+        result.normalizedDelay = nan;
+        result.meanResponse = nan;
+        result.meanRoutingAttempts = nan;
+        result.meanBoxesTraversed = nan;
+        result.delayImbalance = nan;
+        result.timeAvgQueue = nan;
+        result.delayP95 = nan;
+        result.delayP99 = nan;
+        result.fractionNoWait = nan;
+        for (const auto &run : runs) {
+            result.completedTasks += run.completedTasks;
+            result.countedTasks += run.countedTasks;
+            result.rejections += run.rejections;
+            result.simulatedTime =
+                std::max(result.simulatedTime, run.simulatedTime);
+            result.kernel.scheduled += run.kernel.scheduled;
+            result.kernel.fired += run.kernel.fired;
+            result.kernel.cancelled += run.kernel.cancelled;
+            result.kernel.arenaBytes =
+                std::max(result.kernel.arenaBytes,
+                         run.kernel.arenaBytes);
+        }
+        result.shardsUsed = runs.front().shardsUsed;
         result.status = saturated > 0 ? RunStatus::Saturated
                                       : RunStatus::NoData;
     }

@@ -6,7 +6,11 @@
  */
 
 #include <cmath>
+#include <cstdio>
 #include <cstring>
+#include <fstream>
+#include <iterator>
+#include <string>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -176,6 +180,76 @@ TEST(AnalysisCacheTest, ConcurrentSweepMatchesUncachedSerial)
     EXPECT_EQ(stats.misses, points);
     EXPECT_EQ(stats.hits, points * (replications - 1));
     EXPECT_EQ(stats.entries, points);
+}
+
+TEST(AnalysisCachePersistTest, SaveLoadRoundTripsBitExact)
+{
+    const std::string path =
+        ::testing::TempDir() + "rsin_analysis_cache_roundtrip.txt";
+    std::remove(path.c_str());
+
+    AnalysisCache source;
+    std::vector<markov::SbusParams> prms;
+    for (double lambda : {0.02, 0.05, 0.08})
+        prms.push_back(paramsAt(4, 2, 0.1, lambda));
+    std::vector<markov::SbusSolution> solved;
+    for (const auto &prm : prms)
+        solved.push_back(
+            source.solve(prm, SbusSolverKind::MatrixGeometric));
+    EXPECT_EQ(source.save(path), prms.size());
+
+    AnalysisCache restored;
+    EXPECT_EQ(restored.load(path), prms.size());
+    EXPECT_EQ(restored.stats().entries, prms.size());
+    for (std::size_t i = 0; i < prms.size(); ++i) {
+        const auto sol =
+            restored.solve(prms[i], SbusSolverKind::MatrixGeometric);
+        expectBitIdentical(sol, solved[i]);
+    }
+    // Every solve above must have been served from the loaded file,
+    // not recomputed.
+    EXPECT_EQ(restored.stats().misses, 0u);
+    EXPECT_EQ(restored.stats().hits, prms.size());
+    std::remove(path.c_str());
+}
+
+TEST(AnalysisCachePersistTest, LoadToleratesCorruptionAndAbsence)
+{
+    const std::string path =
+        ::testing::TempDir() + "rsin_analysis_cache_torn.txt";
+    std::remove(path.c_str());
+
+    AnalysisCache empty;
+    EXPECT_EQ(empty.load(path), 0u); // missing file: nothing, no throw
+
+    AnalysisCache source;
+    source.solve(paramsAt(4, 2, 0.1, 0.02),
+                 SbusSolverKind::MatrixGeometric);
+    source.solve(paramsAt(4, 2, 0.1, 0.05),
+                 SbusSolverKind::MatrixGeometric);
+    EXPECT_EQ(source.save(path), 2u);
+
+    // Tear the file the way a crashed writer would: drop the tail of
+    // the final line.  The intact first entry must still load.
+    {
+        std::ifstream is(path);
+        std::string content((std::istreambuf_iterator<char>(is)),
+                            std::istreambuf_iterator<char>());
+        content.resize(content.size() - 20);
+        std::ofstream os(path, std::ios::trunc);
+        os << content;
+    }
+    AnalysisCache restored;
+    EXPECT_EQ(restored.load(path), 1u);
+
+    // A foreign header loads nothing at all.
+    {
+        std::ofstream os(path, std::ios::trunc);
+        os << "not-a-cache-file\ndeadbeef\n";
+    }
+    AnalysisCache foreign;
+    EXPECT_EQ(foreign.load(path), 0u);
+    std::remove(path.c_str());
 }
 
 } // namespace

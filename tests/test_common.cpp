@@ -10,8 +10,15 @@
 #include <set>
 #include <vector>
 
+#include <fstream>
+#include <stdexcept>
+#include <string>
+
+#include <unistd.h>
+
 #include "common/args.hpp"
 #include "common/error.hpp"
+#include "common/fsio.hpp"
 #include "common/rng.hpp"
 #include "common/stats.hpp"
 #include "common/table.hpp"
@@ -395,6 +402,89 @@ TEST(ArgParserTest, Rejections)
         const ArgParser args(3, argv, {}, {"rho"});
         EXPECT_THROW(args.getDouble("rho", 0.0), FatalError);
     }
+}
+
+TEST(CsvQuoteTest, QuotesOnlyWhenRfc4180Requires)
+{
+    EXPECT_EQ(csvQuote("plain"), "plain");
+    EXPECT_EQ(csvQuote(""), "");
+    EXPECT_EQ(csvQuote("a,b"), "\"a,b\"");
+    EXPECT_EQ(csvQuote("say \"hi\""), "\"say \"\"hi\"\"\"");
+    EXPECT_EQ(csvQuote("line\nbreak"), "\"line\nbreak\"");
+    EXPECT_EQ(csvQuote("cr\rhere"), "\"cr\rhere\"");
+}
+
+TEST(CsvQuoteTest, SplitUndoesQuoteForEvilFields)
+{
+    // The exact field set a campaign matrix can smuggle into a curve
+    // label: commas, embedded quotes, newlines, empties.
+    const std::vector<std::string> fields{
+        "plain", "", "a,b", "say \"hi\"", "multi\nline",
+        "\"leading quote", "trailing,\"both\"\n"};
+    std::string row;
+    for (std::size_t i = 0; i < fields.size(); ++i)
+        row += (i ? "," : "") + csvQuote(fields[i]);
+    EXPECT_EQ(csvSplit(row), fields);
+}
+
+TEST(Crc32Test, MatchesTheIeeeCheckValue)
+{
+    // The standard check vector for reflected CRC-32/IEEE 802.3 --
+    // pins the polynomial and bit order the ledger lines depend on.
+    EXPECT_EQ(common::crc32("123456789"), 0xCBF43926u);
+    EXPECT_EQ(common::crc32(""), 0x00000000u);
+    EXPECT_NE(common::crc32("a"), common::crc32("b"));
+}
+
+TEST(FsioTest, WriteFileAtomicLeavesNoTemporary)
+{
+    const std::string path = ::testing::TempDir() + "rsin_fsio_ok.txt";
+    common::removeFile(path);
+    common::writeFileAtomic(path,
+                            [](std::ostream &os) { os << "payload"; });
+    EXPECT_EQ(common::readFile(path).value_or(""), "payload");
+    // The pid-suffixed temporary must be gone after the rename.
+    EXPECT_FALSE(common::fileExists(path + ".tmp." +
+                                    std::to_string(::getpid())));
+    common::removeFile(path);
+}
+
+TEST(FsioTest, ThrowingProducerPreservesPriorContent)
+{
+    // The crash-consistency contract behind every artifact emitter: a
+    // failed rewrite must leave the previous artifact intact and no
+    // half-written temporary behind.
+    const std::string path =
+        ::testing::TempDir() + "rsin_fsio_throw.txt";
+    common::writeFileAtomic(path,
+                            [](std::ostream &os) { os << "original"; });
+    EXPECT_THROW(common::writeFileAtomic(
+                     path,
+                     [](std::ostream &os) {
+                         os << "half-writ";
+                         throw std::runtime_error("producer died");
+                     }),
+                 std::runtime_error);
+    EXPECT_EQ(common::readFile(path).value_or(""), "original");
+    EXPECT_FALSE(common::fileExists(path + ".tmp." +
+                                    std::to_string(::getpid())));
+    common::removeFile(path);
+}
+
+TEST(FsioTest, ListFilesFiltersBySuffixAndSorts)
+{
+    const std::string dir = ::testing::TempDir() + "rsin_fsio_list";
+    common::ensureDir(dir);
+    for (const char *name : {"seg-0000-0002.jsonl", "seg-0000-0000.jsonl",
+                             "seg-0000-0001.open", "manifest.json"})
+        common::writeFileAtomic(dir + "/" + name,
+                                [](std::ostream &os) { os << "x"; });
+    const auto sealed = common::listFiles(dir, ".jsonl");
+    ASSERT_EQ(sealed.size(), 2u);
+    EXPECT_EQ(sealed[0], "seg-0000-0000.jsonl");
+    EXPECT_EQ(sealed[1], "seg-0000-0002.jsonl");
+    EXPECT_EQ(common::listFiles(dir, ".open").size(), 1u);
+    EXPECT_TRUE(common::listFiles(dir + "/missing", ".jsonl").empty());
 }
 
 TEST(TextTableTest, AlignedRendering)

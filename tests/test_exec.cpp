@@ -126,6 +126,20 @@ TEST(SweepRunnerTest, CellSeedIsPureAndCollisionFree)
     EXPECT_EQ(seeds.size(), 2u * 3u * 3u + 1u);
 }
 
+TEST(SweepRunnerTest, CellSeedIsTheSharedMixerOfItsCoordinates)
+{
+    // cellSeed must stay a thin wrapper over common::mixSeed: the
+    // campaign planner seeds its cells with mixSeed directly, and
+    // resume bit-identity relies on both sides deriving the exact same
+    // stream from the same coordinates.
+    for (const std::uint64_t base : {1ull, 42ull, 0xDEADBEEFull})
+        for (std::size_t c = 0; c < 3; ++c)
+            for (std::size_t p = 0; p < 5; ++p)
+                for (std::size_t r = 0; r < 4; ++r)
+                    EXPECT_EQ(cellSeed(base, c, p, r),
+                              mixSeed(base, c, p, r));
+}
+
 TEST(SweepRunnerTest, CellSeedCollisionFreeOverFullSweepGrid)
 {
     // Full-scale grid: every cell of a configs x points x replications

@@ -15,10 +15,14 @@
 #include <string>
 #include <vector>
 
+#include <unistd.h>
+
 #include <gtest/gtest.h>
 
 #include "common/args.hpp"
 #include "common/error.hpp"
+#include "common/fsio.hpp"
+#include "common/text.hpp"
 #include "exec/sweep_runner.hpp"
 #include "obs/json.hpp"
 #include "obs/run_log.hpp"
@@ -184,6 +188,40 @@ TEST(AggregateTest, SaturatedMajorityWins)
     const auto agg = aggregateReplications(runs, lightParams());
     EXPECT_EQ(agg.status, RunStatus::Saturated);
     EXPECT_TRUE(agg.saturated);
+}
+
+TEST(AggregateTest, AllSaturatedLeaksNoResidualEstimates)
+{
+    // Regression: the all-tainted branch used to copy runs.front(),
+    // leaking one saturated run's pre-abort point estimates into
+    // fields a JSON/CSV consumer could mistake for real numbers.
+    auto tainted = [](double residue) {
+        SimResult res = resultWith(RunStatus::Saturated, residue);
+        res.timeAvgQueue = residue * 10.0;
+        res.fractionNoWait = 0.5;
+        res.completedTasks = 40;
+        res.countedTasks = 40;
+        res.simulatedTime = 123.0;
+        res.kernel.scheduled = 1000;
+        res.kernel.fired = 900;
+        return res;
+    };
+    const std::vector<SimResult> runs{tainted(7.0), tainted(9.0)};
+    const auto agg = aggregateReplications(runs, lightParams());
+    EXPECT_EQ(agg.status, RunStatus::Saturated);
+    EXPECT_TRUE(agg.saturated);
+    // Every estimate carries the NaN sentinel, not residue.
+    EXPECT_TRUE(std::isnan(agg.meanDelay));
+    EXPECT_TRUE(std::isnan(agg.normalizedDelay));
+    EXPECT_TRUE(std::isnan(agg.timeAvgQueue));
+    EXPECT_TRUE(std::isnan(agg.fractionNoWait));
+    EXPECT_TRUE(std::isnan(agg.delayP95));
+    // The activity counters are facts and sum across replications.
+    EXPECT_EQ(agg.completedTasks, 80u);
+    EXPECT_EQ(agg.kernel.fired, 1800u);
+    EXPECT_DOUBLE_EQ(agg.simulatedTime, 123.0);
+    // The tainted aggregate still renders as "inf", never a number.
+    EXPECT_EQ(obs::displayValue(agg, agg.normalizedDelay), "inf");
 }
 
 std::string
@@ -369,6 +407,97 @@ TEST(RunLogTest, CsvRowsMatchTheHeaderWidth)
     // No-data metrics appear as the text "nan", never as 0.
     EXPECT_NE(lines[2].find(",no_data,"), std::string::npos);
     EXPECT_NE(lines[2].find(",nan,"), std::string::npos);
+}
+
+TEST(RunLogTest, CsvRoundTripsEvilCurveNamesThroughCsvSplit)
+{
+    // Campaign matrices put user-supplied tokens into curve labels, so
+    // the CSV artifact must survive the full RFC 4180 gauntlet and
+    // parse back field-exact with the shared csvSplit helper.
+    obs::RunLog log;
+    auto rec = sampleRecord();
+    rec.curve = "cfg \"X\", ratio=0.5\nsecond line";
+    rec.config = "8/1x8x8 OMEGA/2";
+    log.add(rec);
+
+    std::ostringstream os;
+    log.writeCsv(os);
+    const std::string doc = os.str();
+    // The embedded newline lives inside a quoted field, so the record
+    // spans two physical lines: header + 2.
+    const auto header_end = doc.find('\n');
+    const std::vector<std::string> header =
+        csvSplit(doc.substr(0, header_end));
+    const std::vector<std::string> row = csvSplit(
+        doc.substr(header_end + 1,
+                   doc.size() - header_end - 2)); // trailing newline
+    ASSERT_EQ(row.size(), header.size());
+    EXPECT_EQ(header[1], "curve");
+    EXPECT_EQ(row[1], rec.curve);
+    EXPECT_EQ(row[2], rec.config);
+}
+
+TEST(RunLogTest, WriteFileReplacesArtifactsAtomically)
+{
+    const std::string path =
+        ::testing::TempDir() + "rsin_runlog_artifact.json";
+    obs::RunLog log;
+    log.add(sampleRecord());
+    log.writeFile(path, obs::Format::Json);
+    const auto first = common::readFile(path);
+    ASSERT_TRUE(first.has_value());
+
+    // Overwriting goes through the same tmp+rename path: afterwards
+    // the artifact is the complete new document and no pid-suffixed
+    // temporary is left beside it.
+    log.add(sampleRecord());
+    log.writeFile(path, obs::Format::Json);
+    const auto second = common::readFile(path);
+    ASSERT_TRUE(second.has_value());
+    EXPECT_NE(*first, *second);
+    EXPECT_FALSE(common::fileExists(path + ".tmp." +
+                                    std::to_string(::getpid())));
+    common::removeFile(path);
+}
+
+TEST(RunRecordJsonTest, ParseInvertsTheWriterByteExactly)
+{
+    // The ledger's resume bit-identity rests on this inversion: parse
+    // then re-serialize must reproduce the exact bytes, including the
+    // NaN -> null -> NaN trip for tainted metrics.
+    for (const bool tainted : {false, true}) {
+        auto rec = sampleRecord();
+        if (tainted) {
+            rec.result = resultWith(RunStatus::NoData, 0.0);
+            rec.display = "n/a";
+        }
+        std::ostringstream os;
+        {
+            obs::JsonWriter w(os, 0);
+            obs::writeRunRecordJson(w, rec);
+        }
+        const std::string doc = os.str();
+        const auto parsed =
+            obs::parseRunRecordJson(obs::parseJson(doc));
+        EXPECT_EQ(parsed.curve, rec.curve);
+        EXPECT_EQ(parsed.seed, rec.seed);
+        EXPECT_EQ(parsed.result.status, rec.result.status);
+        std::ostringstream again;
+        {
+            obs::JsonWriter w(again, 0);
+            obs::writeRunRecordJson(w, parsed);
+        }
+        EXPECT_EQ(again.str(), doc);
+    }
+}
+
+TEST(RunRecordJsonTest, ParserRejectsMalformedDocuments)
+{
+    EXPECT_THROW(obs::parseJson("{\"a\":1"), FatalError);
+    EXPECT_THROW(obs::parseJson("{\"a\":1} trailing"), FatalError);
+    EXPECT_THROW(obs::parseJson("{'a':1}"), FatalError);
+    EXPECT_THROW(obs::parseRunRecordJson(obs::parseJson("{}")),
+                 FatalError);
 }
 
 TEST(RunLogTest, FormatParsing)
