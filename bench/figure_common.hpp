@@ -64,6 +64,7 @@ struct BenchContext
 inline BenchContext &
 benchContext()
 {
+    // rsin-lint: allow(R10): audited 2026-08: ctx is fully initialized by initBench() before any worker spawns; workers only read pool/observer/shards and append through RunLog, which guards its records with an internal mutex
     static BenchContext ctx;
     return ctx;
 }

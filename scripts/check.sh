@@ -83,7 +83,21 @@ run_lint() {
         cmake -B "$build" -S "$repo" -DCMAKE_BUILD_TYPE=Release "$@"
     fi
     cmake --build "$build" --target rsin_lint -j "$(nproc)"
-    "$build/tools/rsin_lint/rsin_lint" --root "$repo" \
+    # Smoke-check the cross-TU layer before trusting a clean lint: an
+    # empty call graph or zero worker roots would mean R10/R11 were
+    # vacuously silent over the whole tree.
+    graph=$("$build/tools/rsin_lint/rsin_lint" --root "$repo" \
+        --dump-callgraph)
+    echo "$graph" | head -n 1
+    echo "$graph" | grep -q "worker root:" || {
+        echo "check.sh: lint call graph found no worker roots" >&2
+        exit 1
+    }
+    echo "$graph" | grep -q -- " -> " || {
+        echo "check.sh: lint call graph has no resolved edges" >&2
+        exit 1
+    }
+    "$build/tools/rsin_lint/rsin_lint" --root "$repo" --ratchet \
         --baseline "$repo/tools/rsin_lint/baseline.json"
 }
 

@@ -273,6 +273,7 @@ LedgerWriter::openSegment()
     const std::string stem = segmentStem(shardIndex_, segmentSeq_);
     openPath_ = dir_ + "/" + stem + ".open";
     sealedPath_ = dir_ + "/" + stem + ".jsonl";
+    // rsin-lint: allow(R11): append-only segment protocol -- open/append/flush are serialized behind mutex_ and the segment is sealed by atomic rename; writeFileAtomic (whole-file-then-rename) cannot express incremental crash-consistent append
     out_.open(openPath_, std::ios::binary | std::ios::trunc);
     RSIN_REQUIRE(out_.good(), "ledger: cannot open segment '",
                  openPath_, "'");

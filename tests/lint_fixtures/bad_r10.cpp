@@ -1,0 +1,36 @@
+// Fixture: R10 -- unsynchronized writes to shared mutable state on a
+// worker-reachable path (and a mutable static local in worker context).
+#include <cstddef>
+
+namespace rsin {
+namespace exec {
+
+struct ThreadPool
+{
+    template <typename Fn>
+    void parallelFor(std::size_t n, Fn fn);
+};
+
+namespace {
+std::size_t g_hits = 0;
+} // namespace
+
+int
+tally()
+{
+    static int calls = 0;
+    ++calls;
+    return calls;
+}
+
+void
+runAll(ThreadPool &pool)
+{
+    pool.parallelFor(8, [](std::size_t i) {
+        g_hits += i;
+        tally();
+    });
+}
+
+} // namespace exec
+} // namespace rsin

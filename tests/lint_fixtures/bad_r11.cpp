@@ -1,0 +1,28 @@
+// Fixture: R11 -- non-reentrant call and direct file write on a
+// worker-reachable path.
+#include <cstddef>
+#include <ctime>
+#include <fstream>
+
+namespace rsin {
+namespace exec {
+
+struct ThreadPool
+{
+    template <typename Fn>
+    void parallelFor(std::size_t n, Fn fn);
+};
+
+void
+dumpAll(ThreadPool &pool)
+{
+    pool.parallelFor(4, [](std::size_t i) {
+        std::time_t stamp = static_cast<std::time_t>(i);
+        std::tm *parts = std::localtime(&stamp);
+        std::ofstream out("frame.txt");
+        out << parts->tm_year << "\n";
+    });
+}
+
+} // namespace exec
+} // namespace rsin

@@ -1,0 +1,35 @@
+// Fixture: R12 -- writer emits a field the manifest does not pin and
+// the parser misses one it does, without a schema-version bump.
+
+struct JsonWriter
+{
+    void field(const char *name, double value);
+};
+
+struct JsonValue
+{
+    const JsonValue *find(const char *name) const;
+};
+
+namespace rsin {
+namespace obs {
+
+constexpr const char *kDemoSchema = "rsin.demo.v1";
+
+void
+writeDemo(JsonWriter &w)
+{
+    w.field("alpha", 1.0);
+    w.field("beta", 2.0);
+    w.field("gamma", 3.0);
+}
+
+const char *
+parseDemo(const JsonValue &v)
+{
+    v.find("alpha");
+    return kDemoSchema;
+}
+
+} // namespace obs
+} // namespace rsin

@@ -1,0 +1,33 @@
+// Fixture: R10 stays silent when worker writes are mutex-guarded or
+// the shared state is atomic.
+#include <atomic>
+#include <cstddef>
+#include <mutex>
+
+namespace rsin {
+namespace exec {
+
+struct ThreadPool
+{
+    template <typename Fn>
+    void parallelFor(std::size_t n, Fn fn);
+};
+
+namespace {
+std::mutex g_mu;
+std::size_t g_hits = 0;
+std::atomic<std::size_t> g_started{0};
+} // namespace
+
+void
+runAll(ThreadPool &pool)
+{
+    pool.parallelFor(8, [](std::size_t i) {
+        g_started.store(i);
+        std::lock_guard<std::mutex> lock(g_mu);
+        g_hits += i;
+    });
+}
+
+} // namespace exec
+} // namespace rsin

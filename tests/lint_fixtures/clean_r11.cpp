@@ -1,0 +1,32 @@
+// Fixture: R11 stays silent when persistence is routed through
+// common::writeFileAtomic.
+#include <cstddef>
+#include <ostream>
+#include <string>
+
+namespace rsin {
+namespace common {
+template <typename Body>
+void writeFileAtomic(const std::string &path, Body body);
+} // namespace common
+
+namespace exec {
+
+struct ThreadPool
+{
+    template <typename Fn>
+    void parallelFor(std::size_t n, Fn fn);
+};
+
+void
+persistAll(ThreadPool &pool)
+{
+    pool.parallelFor(4, [](std::size_t i) {
+        common::writeFileAtomic(
+            "frame-" + std::to_string(i) + ".txt",
+            [](std::ostream &os) { os << "ok\n"; });
+    });
+}
+
+} // namespace exec
+} // namespace rsin

@@ -1,0 +1,23 @@
+// Fixture: R12 version-bump exemption -- the format was deliberately
+// re-versioned (v2), so drift against the manifest's v1 entry is
+// expected and silent until the manifest row is updated alongside it.
+
+struct JsonWriter
+{
+    void field(const char *name, double value);
+};
+
+namespace rsin {
+namespace obs {
+
+constexpr const char *kDemoSchema = "rsin.demo.v2";
+
+void
+writeDemo(JsonWriter &w)
+{
+    w.field("alpha", 1.0);
+    w.field("gamma", 3.0);
+}
+
+} // namespace obs
+} // namespace rsin

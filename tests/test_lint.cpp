@@ -2,15 +2,18 @@
  * @file
  * Tests for the rsin-lint rule engine (tools/rsin_lint).
  *
- * Every rule R1-R9 is proven to fire on a known-bad fixture with the
+ * Every rule R1-R12 is proven to fire on a known-bad fixture with the
  * right rule ID and line; a clean fixture and a correctly-suppressed
  * violation both pass; a suppression without a reason string (or with
  * an unknown rule name) is itself an error and does not silence the
  * violation it covers.  The graph rules (R6 layering, R7 cycles) are
- * driven through the multi-file lintFiles() API; the output layer is
- * covered by a SARIF structure test and a baseline round-trip.
- * Fixtures live in tests/lint_fixtures/ and are linted under virtual
- * paths, because rule scoping is directory-based.
+ * driven through the multi-file lintFiles() API; the cross-TU rules
+ * (R10 worker-state, R11 worker-calls, R12 schema drift) through
+ * lintFiles() with a LintOptions manifest plus the symbol-index /
+ * call-graph dumps; the output layer is covered by a SARIF structure
+ * test (including full finding-span regions) and a baseline
+ * round-trip.  Fixtures live in tests/lint_fixtures/ and are linted
+ * under virtual paths, because rule scoping is directory-based.
  */
 
 #include <algorithm>
@@ -24,6 +27,8 @@
 
 #include "lint.hpp"
 #include "output.hpp"
+#include "symbols.hpp"
+#include "xtu_rules.hpp"
 
 namespace {
 
@@ -469,6 +474,24 @@ TEST(LintOutput, SarifHasThe210Structure)
     EXPECT_NE(sarif.find("\"physicalLocation\""), std::string::npos);
     EXPECT_NE(sarif.find("\"uri\": \"src/a.cpp\""), std::string::npos);
     EXPECT_NE(sarif.find("\"startLine\": 3"), std::string::npos);
+    // Line-only findings still carry an endLine so annotations
+    // highlight the whole line rather than a zero-width point.
+    EXPECT_NE(sarif.find("\"endLine\": 3"), std::string::npos);
+
+    // A finding with a recorded span gets the full region.
+    Finding spanned{"src/b.cpp", 7, "R10", "worker write"};
+    spanned.column = 9;
+    spanned.endLine = 7;
+    spanned.endColumn = 15;
+    const std::string sarif2 = rsin::lint::formatSarif({spanned});
+    EXPECT_NE(sarif2.find("\"startLine\": 7"), std::string::npos)
+        << sarif2;
+    EXPECT_NE(sarif2.find("\"startColumn\": 9"), std::string::npos)
+        << sarif2;
+    EXPECT_NE(sarif2.find("\"endLine\": 7"), std::string::npos)
+        << sarif2;
+    EXPECT_NE(sarif2.find("\"endColumn\": 15"), std::string::npos)
+        << sarif2;
 }
 
 TEST(LintBaseline, RoundTripFiltersEverythingItRecorded)
@@ -512,6 +535,245 @@ TEST(LintBaseline, WrongSchemaOrGarbageThrows)
         rsin::lint::parseBaseline(
             "{\"schema\": \"rsin.other.v9\", \"entries\": []}"),
         std::runtime_error);
+}
+
+TEST(LintBaseline, SlackReportsUnconsumedBudget)
+{
+    // Two grandfathered R6 findings in a.cpp, but only one remains:
+    // the ratchet-direction check needs to see slack == 1.
+    const rsin::lint::Baseline base = rsin::lint::parseBaseline(
+        "{\"schema\": \"rsin.lint_baseline.v1\", \"entries\": ["
+        "{\"file\": \"src/a.cpp\", \"rule\": \"R6\", \"count\": 2}]}");
+    std::vector<Finding> now{{"src/a.cpp", 3, "R6", "m1"}};
+    std::size_t baselined = 0;
+    std::size_t slack = 0;
+    const auto left =
+        rsin::lint::applyBaseline(now, base, &baselined, &slack);
+    EXPECT_TRUE(left.empty());
+    EXPECT_EQ(baselined, 1u);
+    EXPECT_EQ(slack, 1u);
+}
+
+// ---------------------------------------------------------------------
+// Cross-TU layer: worker-context rules R10/R11, schema drift R12, and
+// the symbol-index / call-graph debug dumps.
+// ---------------------------------------------------------------------
+
+TEST(LintR10, FlagsUnsynchronizedWorkerWritesAndStaticLocals)
+{
+    const auto findings =
+        lintFixture("src/exec/bad_r10.cpp", "bad_r10.cpp");
+    EXPECT_EQ(countRule(findings, "R10"), 3u)
+        << rsin::lint::formatFindings(findings);
+    EXPECT_TRUE(hasFindingAt(findings, "R10", 21)); // static int calls
+    EXPECT_TRUE(hasFindingAt(findings, "R10", 22)); // ++calls
+    EXPECT_TRUE(hasFindingAt(findings, "R10", 30)); // g_hits += i
+}
+
+TEST(LintR10, MutexGuardedAndAtomicWritesAreExempt)
+{
+    const auto findings =
+        lintFixture("src/exec/clean_r10.cpp", "clean_r10.cpp");
+    EXPECT_EQ(countRule(findings, "R10"), 0u)
+        << rsin::lint::formatFindings(findings);
+}
+
+TEST(LintR10, NeverFiresUnderTests)
+{
+    // Same bad fixture linted as a test file: tests are
+    // single-threaded by construction, so the rule stays quiet.
+    const auto findings =
+        lintFixture("tests/bad_r10.cpp", "bad_r10.cpp");
+    EXPECT_EQ(countRule(findings, "R10"), 0u)
+        << rsin::lint::formatFindings(findings);
+}
+
+TEST(LintR10, SuppressionWithReasonMasksTheFinding)
+{
+    const auto findings = lintSource(
+        "src/exec/sup10.cpp",
+        "struct Pool {\n"
+        "    template <typename F> void parallelFor(int n, F fn);\n"
+        "};\n"
+        "int g_hits = 0;\n"
+        "void go(Pool &p)\n"
+        "{\n"
+        "    p.parallelFor(2, [](int i) {\n"
+        "        // rsin-lint: allow(R10): external barrier "
+        "serializes these iterations\n"
+        "        g_hits += i;\n"
+        "    });\n"
+        "}\n");
+    EXPECT_EQ(countRule(findings, "R10"), 0u)
+        << rsin::lint::formatFindings(findings);
+    EXPECT_EQ(countRule(findings, "R9"), 0u)
+        << rsin::lint::formatFindings(findings);
+}
+
+TEST(LintR11, FlagsNonReentrantCallsAndDirectFileWrites)
+{
+    const auto findings =
+        lintFixture("src/exec/bad_r11.cpp", "bad_r11.cpp");
+    EXPECT_EQ(countRule(findings, "R11"), 2u)
+        << rsin::lint::formatFindings(findings);
+    EXPECT_TRUE(hasFindingAt(findings, "R11", 21)); // localtime
+    EXPECT_TRUE(hasFindingAt(findings, "R11", 22)); // ofstream
+}
+
+TEST(LintR11, WriteFileAtomicRoutingIsExempt)
+{
+    const auto findings =
+        lintFixture("src/exec/clean_r11.cpp", "clean_r11.cpp");
+    EXPECT_EQ(countRule(findings, "R11"), 0u)
+        << rsin::lint::formatFindings(findings);
+}
+
+TEST(LintR12, FlagsFieldDriftWithoutVersionBump)
+{
+    const rsin::lint::SchemaManifest manifest =
+        rsin::lint::parseSchemaManifest(
+            "{\"schema\": \"rsin.lint_schemas.v1\", \"entries\": ["
+            "{\"tag\": \"rsin.demo.v1\","
+            " \"writer\": {\"file\": \"src/obs/bad_r12.cpp\","
+            "              \"function\": \"writeDemo\"},"
+            " \"parser\": {\"file\": \"src/obs/bad_r12.cpp\","
+            "              \"function\": \"parseDemo\"},"
+            " \"fields\": [\"alpha\", \"beta\"]}]}");
+    rsin::lint::LintOptions options;
+    options.schemas = &manifest;
+    const auto findings = lintFiles(
+        {{"src/obs/bad_r12.cpp", readFixture("bad_r12.cpp")}},
+        options);
+    EXPECT_EQ(countRule(findings, "R12"), 2u)
+        << rsin::lint::formatFindings(findings);
+    EXPECT_TRUE(hasFindingAt(findings, "R12", 20)); // writer: +gamma
+    EXPECT_TRUE(hasFindingAt(findings, "R12", 28)); // parser: -beta
+}
+
+TEST(LintR12, VersionBumpedSchemaIsExempt)
+{
+    const rsin::lint::SchemaManifest manifest =
+        rsin::lint::parseSchemaManifest(
+            "{\"schema\": \"rsin.lint_schemas.v1\", \"entries\": ["
+            "{\"tag\": \"rsin.demo.v1\","
+            " \"writer\": {\"file\": \"src/obs/clean_r12.cpp\","
+            "              \"function\": \"writeDemo\"},"
+            " \"parser\": {\"file\": \"src/obs/clean_r12.cpp\","
+            "              \"function\": \"writeDemo\"},"
+            " \"fields\": [\"alpha\", \"beta\"]}]}");
+    rsin::lint::LintOptions options;
+    options.schemas = &manifest;
+    const auto findings = lintFiles(
+        {{"src/obs/clean_r12.cpp", readFixture("clean_r12.cpp")}},
+        options);
+    EXPECT_EQ(countRule(findings, "R12"), 0u)
+        << rsin::lint::formatFindings(findings);
+}
+
+TEST(LintR12, WordCountGuardMustMatchManifest)
+{
+    const rsin::lint::SchemaManifest manifest =
+        rsin::lint::parseSchemaManifest(
+            "{\"schema\": \"rsin.lint_schemas.v1\", \"entries\": ["
+            "{\"tag\": \"rsin.packed.v1\","
+            " \"writer\": {\"file\": \"src/obs/packed.cpp\","
+            "              \"function\": \"writeLine\"},"
+            " \"parser\": {\"file\": \"src/obs/packed.cpp\","
+            "              \"function\": \"parseLine\"},"
+            " \"fields\": [], \"words\": 5}]}");
+    rsin::lint::LintOptions options;
+    options.schemas = &manifest;
+    const auto findings = lintFiles(
+        {{"src/obs/packed.cpp",
+          "#include <vector>\n"
+          "void writeLine() {}\n"
+          "bool parseLine(const std::vector<int> &words)\n"
+          "{\n"
+          "    return words.size() != 4;\n"
+          "}\n"}},
+        options);
+    EXPECT_EQ(countRule(findings, "R12"), 1u)
+        << rsin::lint::formatFindings(findings);
+    EXPECT_TRUE(hasFindingAt(findings, "R12", 5));
+}
+
+TEST(LintR12, ManifestRotIsItselfAFinding)
+{
+    // A manifest naming a function that no longer exists must fail
+    // loudly: silently skipping the entry would turn R12 off for
+    // exactly the refactor most likely to break the schema.
+    const rsin::lint::SchemaManifest manifest =
+        rsin::lint::parseSchemaManifest(
+            "{\"schema\": \"rsin.lint_schemas.v1\", \"entries\": ["
+            "{\"tag\": \"rsin.demo.v1\","
+            " \"writer\": {\"file\": \"src/obs/bad_r12.cpp\","
+            "              \"function\": \"renamedAway\"},"
+            " \"parser\": {\"file\": \"src/obs/bad_r12.cpp\","
+            "              \"function\": \"parseDemo\"},"
+            " \"fields\": [\"alpha\"]}]}");
+    rsin::lint::LintOptions options;
+    options.schemas = &manifest;
+    const auto findings = lintFiles(
+        {{"src/obs/bad_r12.cpp", readFixture("bad_r12.cpp")}},
+        options);
+    EXPECT_GE(countRule(findings, "R12"), 1u)
+        << rsin::lint::formatFindings(findings);
+    EXPECT_TRUE(hasFindingAt(findings, "R12", 1)); // manifest rot
+}
+
+TEST(LintR12, MalformedManifestThrows)
+{
+    EXPECT_THROW(rsin::lint::parseSchemaManifest("not json"),
+                 std::runtime_error);
+    EXPECT_THROW(rsin::lint::parseSchemaManifest(
+                     "{\"schema\": \"rsin.other.v1\", "
+                     "\"entries\": []}"),
+                 std::runtime_error);
+    EXPECT_THROW(rsin::lint::parseSchemaManifest(
+                     "{\"schema\": \"rsin.lint_schemas.v1\", "
+                     "\"entries\": [{\"tag\": \"t.v1\"}]}"),
+                 std::runtime_error);
+}
+
+TEST(LintXtu, CallGraphDumpExposesRootsAndEdges)
+{
+    const std::vector<SourceFile> files{
+        {"src/exec/bad_r10.cpp", readFixture("bad_r10.cpp")}};
+    const rsin::lint::Program prog = rsin::lint::indexProgram(files);
+    const rsin::lint::WorkerAnalysis wa =
+        rsin::lint::analyzeWorkers(prog);
+    EXPECT_FALSE(wa.roots.empty());
+    const std::string graph = rsin::lint::dumpCallGraph(prog, wa);
+    EXPECT_NE(graph.find("worker root:"), std::string::npos) << graph;
+    EXPECT_NE(graph.find(" -> "), std::string::npos) << graph;
+    const std::string symbols = rsin::lint::dumpSymbols(prog);
+    EXPECT_NE(symbols.find("runAll"), std::string::npos) << symbols;
+    EXPECT_NE(symbols.find("g_hits"), std::string::npos) << symbols;
+}
+
+TEST(LintXtu, ForwarderFixpointReachesThroughCallableParameters)
+{
+    // fn is spawned only transitively: run() forwards its callable
+    // parameter into parallelFor, so callables handed to run() at any
+    // call site are worker roots too -- the SweepRunner pattern.
+    const auto findings = lintSource(
+        "src/exec/forward.cpp",
+        "struct Pool {\n"
+        "    template <typename F> void parallelFor(int n, F fn);\n"
+        "};\n"
+        "int g_total = 0;\n"
+        "template <typename Fn>\n"
+        "void run(Pool &p, Fn fn)\n"
+        "{\n"
+        "    p.parallelFor(4, [&](int i) { fn(i); });\n"
+        "}\n"
+        "void driver(Pool &p)\n"
+        "{\n"
+        "    run(p, [](int i) { g_total += i; });\n"
+        "}\n");
+    EXPECT_EQ(countRule(findings, "R10"), 1u)
+        << rsin::lint::formatFindings(findings);
+    EXPECT_TRUE(hasFindingAt(findings, "R10", 12));
 }
 
 } // namespace

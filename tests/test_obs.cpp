@@ -8,6 +8,7 @@
  */
 
 #include <algorithm>
+#include <cfloat>
 #include <cmath>
 #include <cstdint>
 #include <cstdlib>
@@ -498,6 +499,80 @@ TEST(RunRecordJsonTest, ParserRejectsMalformedDocuments)
     EXPECT_THROW(obs::parseJson("{'a':1}"), FatalError);
     EXPECT_THROW(obs::parseRunRecordJson(obs::parseJson("{}")),
                  FatalError);
+}
+
+TEST(JsonTest, UnicodeEscapesFoldToUtf8)
+{
+    // ASCII range: one byte out.
+    EXPECT_EQ(obs::parseJson("\"\\u0041\"").asString(), "A");
+    EXPECT_EQ(obs::parseJson("\"\\u0001\"").asString(),
+              std::string(1, '\x01'));
+    // Latin-1 range: two-byte UTF-8 fold (e-acute, U+00E9).
+    EXPECT_EQ(obs::parseJson("\"\\u00e9\"").asString(), "\xc3\xa9");
+    EXPECT_EQ(obs::parseJson("\"\\u00E9\"").asString(), "\xc3\xa9");
+    // Writer round trip: a control character escapes to \u00xx and
+    // parses back to the original byte.
+    const std::string evil = std::string("a\x02") + "b";
+    EXPECT_EQ(
+        obs::parseJson("\"" + obs::escapeJson(evil) + "\"").asString(),
+        evil);
+    // Malformed escapes are errors, not silent truncations.
+    EXPECT_THROW(obs::parseJson("\"\\u12\""), FatalError);
+    EXPECT_THROW(obs::parseJson("\"\\u12gz\""), FatalError);
+    EXPECT_THROW(obs::parseJson("\"\\q\""), FatalError);
+}
+
+TEST(JsonTest, DeeplyNestedArraysParse)
+{
+    // Ledger replay never sees documents this deep, but the parser
+    // must not misbehave before the recursion would become a real
+    // stack concern.
+    constexpr int kDepth = 256;
+    std::string doc;
+    for (int i = 0; i < kDepth; ++i)
+        doc += '[';
+    doc += "7";
+    for (int i = 0; i < kDepth; ++i)
+        doc += ']';
+    obs::JsonValue v = obs::parseJson(doc);
+    int depth = 0;
+    const obs::JsonValue *node = &v;
+    while (node->kind == obs::JsonValue::Kind::Array) {
+        ASSERT_EQ(node->items.size(), 1u);
+        node = &node->items[0];
+        ++depth;
+    }
+    EXPECT_EQ(depth, kDepth);
+    EXPECT_EQ(node->asU64(), 7u);
+}
+
+TEST(JsonTest, DuplicateKeysKeepOrderAndFindReturnsTheFirst)
+{
+    const obs::JsonValue v =
+        obs::parseJson("{\"k\": 1, \"other\": 2, \"k\": 3}");
+    ASSERT_EQ(v.members.size(), 3u); // preserved for re-emission
+    EXPECT_EQ(v.members[0].first, "k");
+    EXPECT_EQ(v.members[2].first, "k");
+    const obs::JsonValue *hit = v.find("k");
+    ASSERT_NE(hit, nullptr);
+    EXPECT_EQ(hit->asU64(), 1u); // first wins, matching ledger replay
+}
+
+TEST(JsonTest, ExtremeDoublesSurviveTheWriterParserTrip)
+{
+    // DBL_MAX, the smallest denormal, and a negative denormal: %.17g
+    // emission followed by parseJson must recover the exact bits.
+    for (const double v : {DBL_MAX, DBL_MIN, 5e-324, -5e-324,
+                           -DBL_MAX}) {
+        const std::string token = obs::jsonNumber(v);
+        const obs::JsonValue parsed = obs::parseJson(token);
+        EXPECT_EQ(parsed.asDouble(), v) << token;
+        EXPECT_EQ(parsed.raw, token); // raw token kept verbatim
+    }
+    // Integer-exact access at the uint64 edge goes through raw, not
+    // through the double field.
+    const obs::JsonValue big = obs::parseJson("18446744073709551615");
+    EXPECT_EQ(big.asU64(), UINT64_MAX);
 }
 
 TEST(RunLogTest, FormatParsing)

@@ -10,6 +10,7 @@
 #include <stdexcept>
 
 #include "include_graph.hpp"
+#include "xtu_rules.hpp"
 
 namespace rsin {
 namespace lint {
@@ -47,7 +48,8 @@ const std::set<std::string> &
 knownRules()
 {
     static const std::set<std::string> rules{
-        "R1", "R2", "R3", "R4", "R5", "R6", "R7", "R8", "R9"};
+        "R1", "R2", "R3",  "R4",  "R5", "R6",
+        "R7", "R8", "R9", "R10", "R11", "R12"};
     return rules;
 }
 
@@ -952,7 +954,8 @@ applySuppressions(std::vector<FileAnalysis> &analyses,
 } // namespace
 
 std::vector<Finding>
-lintFiles(const std::vector<SourceFile> &files)
+lintFiles(const std::vector<SourceFile> &files,
+          const LintOptions &options)
 {
     std::vector<FileAnalysis> analyses(files.size());
     std::vector<IncludeRef> includes;
@@ -976,6 +979,22 @@ lintFiles(const std::vector<SourceFile> &files)
         findings.insert(findings.end(),
                         std::make_move_iterator(graph.begin()),
                         std::make_move_iterator(graph.end()));
+
+    // Cross-TU pass: one program over the whole file set.  The
+    // findings join the stream *before* suppression so allow(R10..)
+    // directives and the stale check apply to them like any rule.
+    {
+        const Program prog = indexProgram(files);
+        const WorkerAnalysis wa = analyzeWorkers(prog);
+        for (std::vector<Finding> xtu :
+             {checkWorkerState(prog, wa), checkWorkerCalls(prog, wa),
+              options.schemas
+                  ? checkSchemas(prog, *options.schemas)
+                  : std::vector<Finding>{}})
+            findings.insert(findings.end(),
+                            std::make_move_iterator(xtu.begin()),
+                            std::make_move_iterator(xtu.end()));
+    }
 
     applySuppressions(analyses, findings);
 
@@ -1021,13 +1040,22 @@ lintFiles(const std::vector<SourceFile> &files)
 }
 
 std::vector<Finding>
+lintFiles(const std::vector<SourceFile> &files)
+{
+    return lintFiles(files, LintOptions{});
+}
+
+std::vector<Finding>
 lintSource(const std::string &path, const std::string &content)
 {
     return lintFiles({{path, content}});
 }
 
-TreeReport
-lintTree(const std::string &root)
+namespace {
+
+/** Sorted repo-relative paths of the tree's lintable files. */
+std::vector<std::string>
+treePaths(const std::string &root)
 {
     namespace fs = std::filesystem;
     static const char *kSubtrees[] = {"src", "bench", "examples",
@@ -1058,10 +1086,34 @@ lintTree(const std::string &root)
                                  "examples/, tools/ or tests/ under "
                                  "root '" + root + "'");
     std::sort(paths.begin(), paths.end());
+    return paths;
+}
 
+} // namespace
+
+std::vector<SourceFile>
+collectTree(const std::string &root)
+{
+    namespace fs = std::filesystem;
+    std::vector<SourceFile> files;
+    for (const std::string &path : treePaths(root)) {
+        std::ifstream in(fs::path(root) / path, std::ios::binary);
+        if (!in)
+            continue;
+        std::ostringstream text;
+        text << in.rdbuf();
+        files.push_back({path, text.str()});
+    }
+    return files;
+}
+
+TreeReport
+lintTree(const std::string &root)
+{
+    namespace fs = std::filesystem;
     TreeReport report;
     std::vector<SourceFile> files;
-    for (const std::string &path : paths) {
+    for (const std::string &path : treePaths(root)) {
         std::ifstream in(fs::path(root) / path, std::ios::binary);
         if (!in) {
             report.unreadable.push_back(path);
@@ -1071,7 +1123,19 @@ lintTree(const std::string &root)
         text << in.rdbuf();
         files.push_back({path, text.str()});
     }
-    report.findings = lintFiles(files);
+
+    LintOptions options;
+    SchemaManifest manifest;
+    const fs::path schemasPath =
+        fs::path(root) / "tools" / "rsin_lint" / "schemas.json";
+    if (fs::is_regular_file(schemasPath)) {
+        std::ifstream in(schemasPath, std::ios::binary);
+        std::ostringstream text;
+        text << in.rdbuf();
+        manifest = parseSchemaManifest(text.str());
+        options.schemas = &manifest;
+    }
+    report.findings = lintFiles(files, options);
     return report;
 }
 

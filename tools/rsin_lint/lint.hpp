@@ -40,6 +40,13 @@
  *   R8  common::Rng received or captured by value outside src/common
  *       (stream-forking hazard)
  *   R9  stale suppression: an allow(...) masking no finding
+ *   R10 write to mutable namespace-scope/static-local state on a
+ *       worker-thread-reachable path without lock evidence
+ *       (cross-TU call graph; see symbols.hpp)
+ *   R11 non-reentrant call or unrouted filesystem write on a
+ *       worker-thread-reachable path
+ *   R12 serialized writer/parser field set drifted from the committed
+ *       tools/rsin_lint/schemas.json manifest without a version bump
  *   SUP malformed suppression comment (missing reason, unknown rule)
  */
 
@@ -55,8 +62,14 @@ struct Finding
 {
     std::string file;     ///< path as given to the linter
     std::size_t line = 0; ///< 1-based line number
-    std::string rule;     ///< "R1".."R9" or "SUP"
+    std::string rule;     ///< "R1".."R12" or "SUP"
     std::string message;  ///< human-readable explanation
+    /** Optional span (0 = unknown): rules that know the exact token
+     *  fill these so SARIF regions highlight the finding, not just
+     *  the line. */
+    std::size_t column = 0;    ///< 1-based start column
+    std::size_t endLine = 0;   ///< 1-based inclusive end line
+    std::size_t endColumn = 0; ///< 1-based exclusive end column
 };
 
 /** A source file handed to the analyzer under a repo-relative path. */
@@ -66,15 +79,30 @@ struct SourceFile
     std::string content; ///< full file text
 };
 
+struct SchemaManifest; // xtu_rules.hpp
+
+/** Knobs for a lint run beyond the file set itself. */
+struct LintOptions
+{
+    /** Serialized-schema manifest driving R12; null disables R12. */
+    const SchemaManifest *schemas = nullptr;
+};
+
 /**
  * Lint a set of files as one program: per-file rules (R1-R5, R8),
  * include-graph rules (R6 layering, R7 cycles) over the whole set,
- * suppression application, and stale-suppression detection (R9).
- * Paths decide rule scoping (e.g. R2 only fires under src/des,
- * src/rsin, src/exec, src/workload); they are matched textually, so
- * callers pass repo-relative paths with forward slashes.  Findings
- * come back sorted by (file, line, rule).
+ * cross-TU rules (R10 worker-state writes, R11 worker-context calls,
+ * R12 schema drift when a manifest is supplied), suppression
+ * application, and stale-suppression detection (R9).  Paths decide
+ * rule scoping (e.g. R2 only fires under src/des, src/rsin, src/exec,
+ * src/workload; R10/R11 never fire under tests/); they are matched
+ * textually, so callers pass repo-relative paths with forward
+ * slashes.  Findings come back sorted by (file, line, rule).
  */
+std::vector<Finding> lintFiles(const std::vector<SourceFile> &files,
+                               const LintOptions &options);
+
+/** lintFiles() with default options (R12 off). */
 std::vector<Finding> lintFiles(const std::vector<SourceFile> &files);
 
 /** Lint one translation unit: lintFiles() with a single-element set. */
@@ -94,11 +122,21 @@ struct TreeReport
  * Walk @p root's src/, bench/, examples/, tools/ and tests/ trees and
  * lint every .cpp/.hpp/.h file as one set (lint test fixtures under
  * tests/lint_fixtures/ are excluded -- they violate rules on purpose).
- * Unreadable files are collected in TreeReport::unreadable instead of
- * silently skipped.  Throws FatalError when @p root lacks those
- * directories entirely.
+ * When @p root contains tools/rsin_lint/schemas.json it is loaded as
+ * the R12 manifest (malformed manifests throw -- a silently ignored
+ * manifest would turn R12 off).  Unreadable files are collected in
+ * TreeReport::unreadable instead of silently skipped.  Throws
+ * FatalError when @p root lacks those directories entirely.
  */
 TreeReport lintTree(const std::string &root);
+
+/**
+ * The file set a lintTree() run would analyze (sorted, fixtures
+ * excluded), without linting it -- the input to --dump-symbols /
+ * --dump-callgraph.  Unreadable files are silently skipped here;
+ * lintTree() itself still reports them.
+ */
+std::vector<SourceFile> collectTree(const std::string &root);
 
 /** Render findings one per line: "file:line: [rule] message". */
 std::string formatFindings(const std::vector<Finding> &findings);

@@ -16,6 +16,20 @@
  *   rsin_lint --emit-baseline          print the current findings as a
  *                                      baseline document and exit 0
  *   rsin_lint --list-rules             print the rule catalog
+ *   rsin_lint --ratchet                with --baseline: also fail when
+ *                                      the baseline holds unconsumed
+ *                                      budget (debt was paid but the
+ *                                      file was not shrunk) -- the
+ *                                      baseline may only ever ratchet
+ *                                      down
+ *   rsin_lint --schemas FILE           R12 manifest to use instead of
+ *                                      <root>/tools/rsin_lint/
+ *                                      schemas.json (file mode only;
+ *                                      tree mode loads it itself)
+ *   rsin_lint --dump-symbols           print the cross-TU symbol index
+ *                                      and exit 0
+ *   rsin_lint --dump-callgraph         print resolved call edges and
+ *                                      worker roots and exit 0
  *
  * Exit status: 0 clean (after the baseline, if any), 1 findings
  * reported, 2 usage or I/O error.  Unreadable files under the tree are
@@ -33,6 +47,8 @@
 
 #include "lint.hpp"
 #include "output.hpp"
+#include "symbols.hpp"
+#include "xtu_rules.hpp"
 
 namespace {
 
@@ -67,7 +83,11 @@ main(int argc, char **argv)
     std::string root = ".";
     std::string format = "text";
     std::string baselinePath;
+    std::string schemasPath;
     bool emitBaselineMode = false;
+    bool ratchet = false;
+    bool dumpSymbolsMode = false;
+    bool dumpCallGraphMode = false;
     std::vector<std::string> files;
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
@@ -93,13 +113,28 @@ main(int argc, char **argv)
             baselinePath = argv[++i];
         } else if (arg == "--emit-baseline") {
             emitBaselineMode = true;
+        } else if (arg == "--ratchet") {
+            ratchet = true;
+        } else if (arg == "--schemas") {
+            if (i + 1 >= argc) {
+                std::cerr << "rsin-lint: --schemas needs a file\n";
+                return 2;
+            }
+            schemasPath = argv[++i];
+        } else if (arg == "--dump-symbols") {
+            dumpSymbolsMode = true;
+        } else if (arg == "--dump-callgraph") {
+            dumpCallGraphMode = true;
         } else if (arg == "--list-rules") {
             printRules(std::cout);
             return 0;
         } else if (arg == "--help" || arg == "-h") {
             std::cout << "usage: rsin_lint [--root DIR] "
                          "[--format=text|json|sarif] [--baseline FILE] "
-                         "[--emit-baseline] [--list-rules] [file...]\n";
+                         "[--emit-baseline] [--ratchet] "
+                         "[--schemas FILE] [--dump-symbols] "
+                         "[--dump-callgraph] [--list-rules] "
+                         "[file...]\n";
             printRules(std::cout);
             return 0;
         } else if (!arg.empty() && arg[0] == '-') {
@@ -111,6 +146,35 @@ main(int argc, char **argv)
     }
 
     try {
+        if (dumpSymbolsMode || dumpCallGraphMode) {
+            // Debug views of the cross-TU layer over the same file
+            // set a lint run would see.
+            std::vector<rsin::lint::SourceFile> sources;
+            if (files.empty()) {
+                sources = rsin::lint::collectTree(root);
+            } else {
+                for (const std::string &file : files) {
+                    bool ok = false;
+                    std::string content =
+                        readFileOr(root + "/" + file, ok);
+                    if (!ok) {
+                        std::cerr << "rsin-lint: cannot read " << file
+                                  << " under " << root << "\n";
+                        return 2;
+                    }
+                    sources.push_back({file, std::move(content)});
+                }
+            }
+            const rsin::lint::Program prog =
+                rsin::lint::indexProgram(sources);
+            if (dumpSymbolsMode)
+                std::cout << rsin::lint::dumpSymbols(prog);
+            if (dumpCallGraphMode)
+                std::cout << rsin::lint::dumpCallGraph(
+                    prog, rsin::lint::analyzeWorkers(prog));
+            return 0;
+        }
+
         std::vector<rsin::lint::Finding> findings;
         bool ioError = false;
         if (files.empty()) {
@@ -135,7 +199,20 @@ main(int argc, char **argv)
                 }
                 sources.push_back({file, std::move(content)});
             }
-            findings = rsin::lint::lintFiles(sources);
+            rsin::lint::LintOptions options;
+            rsin::lint::SchemaManifest manifest;
+            if (!schemasPath.empty()) {
+                bool ok = false;
+                const std::string text = readFileOr(schemasPath, ok);
+                if (!ok) {
+                    std::cerr << "rsin-lint: cannot read schemas "
+                              << schemasPath << "\n";
+                    return 2;
+                }
+                manifest = rsin::lint::parseSchemaManifest(text);
+                options.schemas = &manifest;
+            }
+            findings = rsin::lint::lintFiles(sources, options);
         }
 
         if (emitBaselineMode) {
@@ -144,6 +221,7 @@ main(int argc, char **argv)
         }
 
         std::size_t baselined = 0;
+        std::size_t slack = 0;
         if (!baselinePath.empty()) {
             bool ok = false;
             const std::string text = readFileOr(baselinePath, ok);
@@ -154,7 +232,17 @@ main(int argc, char **argv)
             }
             findings = rsin::lint::applyBaseline(
                 std::move(findings), rsin::lint::parseBaseline(text),
-                &baselined);
+                &baselined, &slack);
+        }
+        if (ratchet && slack != 0) {
+            std::cerr << "rsin-lint: baseline has " << slack
+                      << " unconsumed entr"
+                      << (slack == 1 ? "y" : "ies")
+                      << " -- the debt was paid down, so shrink "
+                      << baselinePath
+                      << " (the baseline may only ever ratchet "
+                         "down)\n";
+            return 1;
         }
 
         // Machine formats carry only the findings on stdout; the

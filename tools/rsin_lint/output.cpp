@@ -1,5 +1,7 @@
 #include "output.hpp"
 
+#include "json_mini.hpp"
+
 #include <cctype>
 #include <cstdio>
 #include <sstream>
@@ -34,219 +36,6 @@ jsonEscape(const std::string &text)
     return out.str();
 }
 
-// ------------------------------------------------------------------
-// A deliberately tiny JSON reader -- just enough for baseline files.
-// No dependencies, throws std::runtime_error with a byte offset on
-// malformed input.
-// ------------------------------------------------------------------
-
-struct JsonValue
-{
-    enum class Kind { Null, Bool, Number, String, Array, Object };
-    Kind kind = Kind::Null;
-    bool boolean = false;
-    double number = 0.0;
-    std::string string;
-    std::vector<JsonValue> array;
-    std::map<std::string, JsonValue> object;
-};
-
-class JsonReader
-{
-  public:
-    explicit JsonReader(const std::string &text) : text_(text) {}
-
-    JsonValue
-    parse()
-    {
-        JsonValue v = value();
-        skipSpace();
-        if (at_ != text_.size())
-            fail("trailing content after JSON document");
-        return v;
-    }
-
-  private:
-    [[noreturn]] void
-    fail(const std::string &what) const
-    {
-        throw std::runtime_error("baseline JSON parse error at byte " +
-                                 std::to_string(at_) + ": " + what);
-    }
-
-    void
-    skipSpace()
-    {
-        while (at_ < text_.size() &&
-               std::isspace(static_cast<unsigned char>(text_[at_])))
-            ++at_;
-    }
-
-    char
-    peek()
-    {
-        skipSpace();
-        if (at_ >= text_.size())
-            fail("unexpected end of input");
-        return text_[at_];
-    }
-
-    void
-    expect(char c)
-    {
-        if (peek() != c)
-            fail(std::string("expected '") + c + "'");
-        ++at_;
-    }
-
-    JsonValue
-    value()
-    {
-        const char c = peek();
-        if (c == '{')
-            return object();
-        if (c == '[')
-            return array();
-        if (c == '"') {
-            JsonValue v;
-            v.kind = JsonValue::Kind::String;
-            v.string = string();
-            return v;
-        }
-        if (c == 't' || c == 'f')
-            return boolean();
-        if (c == 'n') {
-            literal("null");
-            return JsonValue{};
-        }
-        return number();
-    }
-
-    void
-    literal(const char *word)
-    {
-        for (const char *p = word; *p; ++p, ++at_)
-            if (at_ >= text_.size() || text_[at_] != *p)
-                fail(std::string("expected '") + word + "'");
-    }
-
-    JsonValue
-    boolean()
-    {
-        JsonValue v;
-        v.kind = JsonValue::Kind::Bool;
-        if (text_[at_] == 't') {
-            literal("true");
-            v.boolean = true;
-        } else {
-            literal("false");
-        }
-        return v;
-    }
-
-    JsonValue
-    number()
-    {
-        const std::size_t start = at_;
-        if (at_ < text_.size() && (text_[at_] == '-' || text_[at_] == '+'))
-            ++at_;
-        while (at_ < text_.size() &&
-               (std::isdigit(static_cast<unsigned char>(text_[at_])) ||
-                text_[at_] == '.' || text_[at_] == 'e' ||
-                text_[at_] == 'E' || text_[at_] == '-' ||
-                text_[at_] == '+'))
-            ++at_;
-        if (at_ == start)
-            fail("expected a number");
-        JsonValue v;
-        v.kind = JsonValue::Kind::Number;
-        try {
-            v.number = std::stod(text_.substr(start, at_ - start));
-        } catch (const std::exception &) {
-            fail("malformed number");
-        }
-        return v;
-    }
-
-    std::string
-    string()
-    {
-        expect('"');
-        std::string out;
-        while (at_ < text_.size() && text_[at_] != '"') {
-            char c = text_[at_++];
-            if (c == '\\') {
-                if (at_ >= text_.size())
-                    fail("dangling escape");
-                const char esc = text_[at_++];
-                switch (esc) {
-                  case 'n': c = '\n'; break;
-                  case 't': c = '\t'; break;
-                  case 'r': c = '\r'; break;
-                  case '"': c = '"'; break;
-                  case '\\': c = '\\'; break;
-                  case '/': c = '/'; break;
-                  default:
-                    fail("unsupported escape in baseline string");
-                }
-            }
-            out.push_back(c);
-        }
-        if (at_ >= text_.size())
-            fail("unterminated string");
-        ++at_; // closing quote
-        return out;
-    }
-
-    JsonValue
-    array()
-    {
-        expect('[');
-        JsonValue v;
-        v.kind = JsonValue::Kind::Array;
-        if (peek() == ']') {
-            ++at_;
-            return v;
-        }
-        while (true) {
-            v.array.push_back(value());
-            const char c = peek();
-            ++at_;
-            if (c == ']')
-                return v;
-            if (c != ',')
-                fail("expected ',' or ']' in array");
-        }
-    }
-
-    JsonValue
-    object()
-    {
-        expect('{');
-        JsonValue v;
-        v.kind = JsonValue::Kind::Object;
-        if (peek() == '}') {
-            ++at_;
-            return v;
-        }
-        while (true) {
-            peek();
-            std::string key = string();
-            expect(':');
-            v.object[key] = value();
-            const char c = peek();
-            ++at_;
-            if (c == '}')
-                return v;
-            if (c != ',')
-                fail("expected ',' or '}' in object");
-        }
-    }
-
-    const std::string &text_;
-    std::size_t at_ = 0;
-};
-
 const char kBaselineSchema[] = "rsin.lint_baseline.v1";
 
 } // namespace
@@ -276,6 +65,18 @@ ruleCatalog()
                "Rng&&, or derive a child with split()"},
         {"R9", "no stale suppressions: every allow(...) must mask a "
                "live finding"},
+        {"R10", "no writes to mutable namespace-scope or static-local "
+                "state on a worker-thread-reachable path without lock "
+                "evidence in the writing body (cross-TU call graph "
+                "from ThreadPool::submit / parallelFor / std::thread "
+                "roots)"},
+        {"R11", "no non-reentrant calls (strtok, setenv, localtime, "
+                "...) or filesystem writes outside "
+                "common::writeFileAtomic on a worker-thread-reachable "
+                "path"},
+        {"R12", "serialized writer/parser field sets must match "
+                "tools/rsin_lint/schemas.json; changing emitted "
+                "fields requires a schema-version bump"},
         {"SUP", "suppression comments must name known rules and carry "
                 "a reason"},
     };
@@ -313,7 +114,7 @@ formatSarif(const std::vector<Finding> &findings)
         << "      \"tool\": {\n"
         << "        \"driver\": {\n"
         << "          \"name\": \"rsin-lint\",\n"
-        << "          \"version\": \"2.0.0\",\n"
+        << "          \"version\": \"3.0.0\",\n"
         << "          \"rules\": [\n";
     const auto &catalog = ruleCatalog();
     for (std::size_t i = 0; i < catalog.size(); ++i) {
@@ -328,13 +129,23 @@ formatSarif(const std::vector<Finding> &findings)
         << "      \"results\": [\n";
     for (std::size_t i = 0; i < findings.size(); ++i) {
         const Finding &f = findings[i];
+        // Full region when the rule recorded a span; findings that
+        // only know their line still highlight that whole line
+        // (endLine == startLine, no columns).
         out << "        {\"ruleId\": \"" << jsonEscape(f.rule)
             << "\", \"level\": \"error\", \"message\": {\"text\": \""
             << jsonEscape(f.message) << "\"}, \"locations\": "
             << "[{\"physicalLocation\": {\"artifactLocation\": "
             << "{\"uri\": \"" << jsonEscape(f.file)
-            << "\"}, \"region\": {\"startLine\": " << f.line
-            << "}}}]}" << (i + 1 < findings.size() ? "," : "") << "\n";
+            << "\"}, \"region\": {\"startLine\": " << f.line;
+        if (f.column > 0)
+            out << ", \"startColumn\": " << f.column;
+        out << ", \"endLine\": "
+            << (f.endLine >= f.line ? f.endLine : f.line);
+        if (f.endColumn > f.column && f.column > 0)
+            out << ", \"endColumn\": " << f.endColumn;
+        out << "}}}]}" << (i + 1 < findings.size() ? "," : "")
+            << "\n";
     }
     out << "      ]\n"
         << "    }\n"
@@ -366,7 +177,7 @@ emitBaseline(const std::vector<Finding> &findings)
 Baseline
 parseBaseline(const std::string &json)
 {
-    const JsonValue doc = JsonReader(json).parse();
+    const JsonValue doc = JsonReader(json, "baseline").parse();
     if (doc.kind != JsonValue::Kind::Object)
         throw std::runtime_error(
             "baseline: top-level value must be an object");
@@ -408,7 +219,7 @@ parseBaseline(const std::string &json)
 
 std::vector<Finding>
 applyBaseline(std::vector<Finding> findings, const Baseline &baseline,
-              std::size_t *baselined)
+              std::size_t *baselined, std::size_t *slack)
 {
     std::map<std::pair<std::string, std::string>, std::size_t> budget =
         baseline.allowed;
@@ -425,6 +236,11 @@ applyBaseline(std::vector<Finding> findings, const Baseline &baseline,
     }
     if (baselined)
         *baselined = dropped;
+    if (slack) {
+        *slack = 0;
+        for (const auto &entry : budget)
+            *slack += entry.second;
+    }
     return kept;
 }
 

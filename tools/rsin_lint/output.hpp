@@ -63,11 +63,16 @@ Baseline parseBaseline(const std::string &json);
 /**
  * Drop up to the baselined count of findings from each (file, rule)
  * bucket; everything else survives.  @p baselined, when non-null,
- * receives the number of findings that were filtered out.
+ * receives the number of findings that were filtered out; @p slack,
+ * when non-null, receives the unconsumed baseline budget -- entries
+ * grandfathering findings that no longer exist.  Slack is how the
+ * ratchet-direction check (`--ratchet`) knows the baseline should
+ * have shrunk.
  */
 std::vector<Finding> applyBaseline(std::vector<Finding> findings,
                                    const Baseline &baseline,
-                                   std::size_t *baselined);
+                                   std::size_t *baselined,
+                                   std::size_t *slack = nullptr);
 
 } // namespace lint
 } // namespace rsin

@@ -1,0 +1,594 @@
+#include "xtu_rules.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <set>
+
+#include "json_mini.hpp"
+
+namespace rsin {
+namespace lint {
+
+namespace {
+
+bool
+underTests(const std::string &path)
+{
+    return path.rfind("tests/", 0) == 0;
+}
+
+bool
+identCharX(char c)
+{
+    return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+/** Direct-child lambda body ranges of @p sym, sorted by start. */
+std::vector<std::pair<std::size_t, std::size_t>>
+childRanges(const Program &prog, int sym)
+{
+    std::vector<std::pair<std::size_t, std::size_t>> out;
+    for (const Symbol &s : prog.symbols)
+        if (s.isLambda && s.parent == sym && s.bodyEnd > s.bodyBegin)
+            out.emplace_back(s.bodyBegin, s.bodyEnd);
+    std::sort(out.begin(), out.end());
+    return out;
+}
+
+/**
+ * Iterate @p sym's own body tokens (nested lambdas excluded -- they
+ * are separate symbols and get their own scan when reachable).
+ */
+template <typename Fn>
+void
+forOwnBody(const Program &prog, int symId, Fn &&fn)
+{
+    const Symbol &sym = prog.symbols[static_cast<std::size_t>(symId)];
+    const auto tokIt = prog.tokens.find(sym.file);
+    if (tokIt == prog.tokens.end())
+        return;
+    const std::vector<FullTok> &toks = tokIt->second;
+    const auto children = childRanges(prog, symId);
+    std::size_t child = 0;
+    for (std::size_t k = sym.bodyBegin;
+         k < sym.bodyEnd && k < toks.size(); ++k) {
+        while (child < children.size() && children[child].second <= k)
+            ++child;
+        if (child < children.size() && k >= children[child].first) {
+            k = children[child].second - 1;
+            continue;
+        }
+        fn(toks, k);
+    }
+}
+
+/** True when @p k writes the identifier token at @p k. */
+bool
+isWriteAt(const std::vector<FullTok> &t, std::size_t k)
+{
+    const auto isP = [&](std::size_t i, const char *p) {
+        return i < t.size() && t[i].kind == 'p' && t[i].text == p;
+    };
+    // a = b  (but not a == b, and not inside b == a via prev token)
+    if (isP(k + 1, "=") && !isP(k + 2, "=") && !isP(k - 1, "=") &&
+        !isP(k - 1, "!") && !isP(k - 1, "<") && !isP(k - 1, ">"))
+        return true;
+    // compound assignment a += b, a |= b, ...
+    static const char *kCompound[] = {"+", "-", "*", "/",
+                                      "%", "&", "|", "^"};
+    for (const char *op : kCompound)
+        if (isP(k + 1, op) && isP(k + 2, "="))
+            return true;
+    // ++a / a++ / --a / a--
+    if ((isP(k + 1, "+") && isP(k + 2, "+")) ||
+        (isP(k + 1, "-") && isP(k + 2, "-")))
+        return true;
+    if (k >= 2 && ((isP(k - 2, "+") && isP(k - 1, "+")) ||
+                   (isP(k - 2, "-") && isP(k - 1, "-"))))
+        return true;
+    // mutating member call a.push_back(...), a->clear(), ...
+    static const std::set<std::string> kMutators{
+        "push_back", "pop_back", "emplace_back", "emplace",
+        "insert",    "erase",    "clear",        "resize",
+        "reserve",   "assign",   "swap",         "push",
+        "pop",       "reset",    "store",        "exchange",
+        "fetch_add", "fetch_sub"};
+    if ((isP(k + 1, ".") || isP(k + 1, "->")) && k + 3 < t.size() &&
+        t[k + 2].kind == 'i' && kMutators.count(t[k + 2].text) &&
+        isP(k + 3, "("))
+        return true;
+    return false;
+}
+
+/** Lock evidence anywhere in [from, to) of the same token stream. */
+bool
+lockEvidence(const std::vector<FullTok> &t, std::size_t from,
+             std::size_t to)
+{
+    static const std::set<std::string> kGuards{
+        "lock_guard", "unique_lock", "scoped_lock", "shared_lock"};
+    for (std::size_t k = from; k < to && k < t.size(); ++k) {
+        if (t[k].kind != 'i')
+            continue;
+        if (kGuards.count(t[k].text))
+            return true;
+        if (t[k].text == "lock" && k >= 1 && t[k - 1].kind == 'p' &&
+            (t[k - 1].text == "." || t[k - 1].text == "->"))
+            return true;
+    }
+    return false;
+}
+
+/** @p owner is @p sym or one of its lexical ancestors. */
+bool
+ownsOrEncloses(const Program &prog, int owner, int sym)
+{
+    for (int s = sym; s >= 0;
+         s = prog.symbols[static_cast<std::size_t>(s)].parent)
+        if (s == owner)
+            return true;
+    return false;
+}
+
+Finding
+spanFinding(const std::string &file, const FullTok &tok,
+            const char *rule, std::string message)
+{
+    Finding f;
+    f.file = file;
+    f.line = tok.line;
+    f.rule = rule;
+    f.message = std::move(message);
+    f.column = tok.col;
+    f.endLine = tok.line;
+    f.endColumn = tok.col + tok.text.size();
+    return f;
+}
+
+} // namespace
+
+std::vector<Finding>
+checkWorkerState(const Program &prog, const WorkerAnalysis &wa)
+{
+    std::vector<Finding> out;
+    // Mutable, unsynchronized shared state by name.
+    std::map<std::string, std::vector<const GlobalVar *>> byName;
+    for (const GlobalVar &g : prog.globals)
+        if (!g.synchronized)
+            byName[g.name].push_back(&g);
+
+    // A mutable non-atomic static local *declared* in worker context
+    // is itself the finding: the object outlives the call and every
+    // worker gets the same instance.
+    for (const GlobalVar &g : prog.globals) {
+        if (!g.staticLocal || g.synchronized || g.owner < 0)
+            continue;
+        if (!wa.reachable.count(g.owner) || underTests(g.file))
+            continue;
+        const Symbol &owner =
+            prog.symbols[static_cast<std::size_t>(g.owner)];
+        out.push_back(
+            {g.file, g.line, "R10",
+             "mutable non-atomic static local '" + g.name +
+                 "' is shared across worker threads (" +
+                 workerChain(prog, wa, g.owner) +
+                 "); make it std::atomic, guard every access with "
+                 "the same mutex, or confirm the object is "
+                 "internally synchronized and suppress with the "
+                 "audit as the reason"});
+        (void)owner;
+    }
+
+    for (const int id : wa.reachable) {
+        const Symbol &sym =
+            prog.symbols[static_cast<std::size_t>(id)];
+        if (underTests(sym.file))
+            continue;
+        forOwnBody(prog, id,
+                   [&](const std::vector<FullTok> &toks,
+                       std::size_t k) {
+            if (toks[k].kind != 'i')
+                return;
+            const auto it = byName.find(toks[k].text);
+            if (it == byName.end())
+                return;
+            for (const GlobalVar *g : it->second) {
+                if (g->staticLocal) {
+                    // Only the owning function (or lambdas nested in
+                    // it) can really name a static local.
+                    if (!ownsOrEncloses(prog, g->owner, id))
+                        continue;
+                } else if (g->file != sym.file) {
+                    // Namespace-scope state is matched within its own
+                    // TU; cross-TU extern aliasing is out of scope.
+                    continue;
+                }
+                if (g->file == sym.file && g->line == toks[k].line)
+                    continue; // the declaration itself
+                if (!isWriteAt(toks, k))
+                    continue;
+                if (lockEvidence(toks, sym.bodyBegin, k))
+                    continue;
+                out.push_back(spanFinding(
+                    sym.file, toks[k], "R10",
+                    "write to mutable shared state '" + g->name +
+                        "' on a worker-reachable path (" +
+                        workerChain(prog, wa, id) +
+                        ") without lock evidence in this body; "
+                        "guard it with a mutex or make it "
+                        "std::atomic"));
+            }
+        });
+    }
+    return out;
+}
+
+std::vector<Finding>
+checkWorkerCalls(const Program &prog, const WorkerAnalysis &wa)
+{
+    static const std::set<std::string> kNonReentrant{
+        "strtok", "setenv",  "putenv", "localtime", "gmtime",
+        "ctime",  "asctime", "tmpnam", "system"};
+    std::vector<Finding> out;
+    for (const int id : wa.reachable) {
+        const Symbol &sym =
+            prog.symbols[static_cast<std::size_t>(id)];
+        if (underTests(sym.file))
+            continue;
+        // writeFileAtomic's own implementation must open files.
+        if (sym.file.find("src/common/fsio") != std::string::npos)
+            continue;
+        forOwnBody(prog, id,
+                   [&](const std::vector<FullTok> &toks,
+                       std::size_t k) {
+            if (toks[k].kind != 'i')
+                return;
+            const auto isP = [&](std::size_t i, const char *p) {
+                return i < toks.size() && toks[i].kind == 'p' &&
+                       toks[i].text == p;
+            };
+            const std::string &name = toks[k].text;
+            if (kNonReentrant.count(name) && isP(k + 1, "(")) {
+                out.push_back(spanFinding(
+                    sym.file, toks[k], "R11",
+                    "call to non-reentrant '" + name +
+                        "' on a worker-reachable path (" +
+                        workerChain(prog, wa, id) +
+                        "); use a reentrant alternative or hoist "
+                        "it out of worker context"));
+                return;
+            }
+            const bool streamType =
+                name == "ofstream" || name == "fstream";
+            const bool cFileOpen =
+                (name == "fopen" || name == "freopen") &&
+                isP(k + 1, "(");
+            const bool memberOpen =
+                name == "open" && isP(k + 1, "(") && k >= 1 &&
+                (isP(k - 1, ".") || isP(k - 1, "->"));
+            if (streamType || cFileOpen || memberOpen) {
+                out.push_back(spanFinding(
+                    sym.file, toks[k], "R11",
+                    "direct file write ('" + name +
+                        "') on a worker-reachable path (" +
+                        workerChain(prog, wa, id) +
+                        "); route persistence through "
+                        "common::writeFileAtomic or serialize it "
+                        "behind the owning object's mutex"));
+            }
+        });
+    }
+    return out;
+}
+
+namespace {
+
+/** Require @p v to be a string member of @p obj, else throw. */
+std::string
+wantString(const JsonValue &obj, const char *key, const char *where)
+{
+    const auto it = obj.object.find(key);
+    if (it == obj.object.end() ||
+        it->second.kind != JsonValue::Kind::String)
+        throw std::runtime_error(
+            std::string("schemas manifest: missing string '") + key +
+            "' in " + where);
+    return it->second.string;
+}
+
+} // namespace
+
+SchemaManifest
+parseSchemaManifest(const std::string &json)
+{
+    const JsonValue doc = JsonReader(json, "schemas").parse();
+    if (doc.kind != JsonValue::Kind::Object)
+        throw std::runtime_error(
+            "schemas manifest: top level is not an object");
+    const auto schema = doc.object.find("schema");
+    if (schema == doc.object.end() ||
+        schema->second.string != "rsin.lint_schemas.v1")
+        throw std::runtime_error("schemas manifest: expected schema "
+                                 "tag rsin.lint_schemas.v1");
+    SchemaManifest manifest;
+    const auto entries = doc.object.find("entries");
+    if (entries == doc.object.end() ||
+        entries->second.kind != JsonValue::Kind::Array)
+        throw std::runtime_error(
+            "schemas manifest: missing 'entries' array");
+    for (const JsonValue &e : entries->second.array) {
+        if (e.kind != JsonValue::Kind::Object)
+            throw std::runtime_error(
+                "schemas manifest: entry is not an object");
+        SchemaEntry entry;
+        entry.tag = wantString(e, "tag", "entry");
+        const auto side = [&](const char *key, std::string &file,
+                              std::string &fn) {
+            const auto it = e.object.find(key);
+            if (it == e.object.end() ||
+                it->second.kind != JsonValue::Kind::Object)
+                throw std::runtime_error(
+                    std::string("schemas manifest: entry '") +
+                    entry.tag + "' missing object '" + key + "'");
+            file = wantString(it->second, "file", key);
+            fn = wantString(it->second, "function", key);
+        };
+        side("writer", entry.writerFile, entry.writerFunction);
+        side("parser", entry.parserFile, entry.parserFunction);
+        const auto fields = e.object.find("fields");
+        if (fields != e.object.end()) {
+            if (fields->second.kind != JsonValue::Kind::Array)
+                throw std::runtime_error(
+                    std::string("schemas manifest: entry '") +
+                    entry.tag + "': 'fields' is not an array");
+            for (const JsonValue &f : fields->second.array)
+                entry.fields.push_back(f.string);
+        }
+        const auto words = e.object.find("words");
+        if (words != e.object.end())
+            entry.words = static_cast<long>(words->second.number);
+        manifest.entries.push_back(std::move(entry));
+    }
+    return manifest;
+}
+
+namespace {
+
+/** Versioned tags "<family>.vN" present in any literal of @p toks. */
+std::set<std::string>
+tagsInFile(const std::vector<FullTok> &toks, const std::string &family)
+{
+    std::set<std::string> tags;
+    const std::string probe = family + ".v";
+    for (const FullTok &tok : toks) {
+        if (tok.kind != 's')
+            continue;
+        std::size_t at = 0;
+        while ((at = tok.text.find(probe, at)) != std::string::npos) {
+            std::size_t d = at + probe.size();
+            std::string digits;
+            while (d < tok.text.size() &&
+                   std::isdigit(
+                       static_cast<unsigned char>(tok.text[d]))) {
+                digits.push_back(tok.text[d]);
+                ++d;
+            }
+            if (!digits.empty())
+                tags.insert(probe + digits);
+            at = d;
+        }
+    }
+    return tags;
+}
+
+/**
+ * The field names a function emits or consumes: first string-literal
+ * argument of field()/key()/find()/member() calls, plus `\"name\":`
+ * patterns embedded in any literal of the body (covers printf-style
+ * writers like formatLedgerLine).
+ */
+std::set<std::string>
+extractFields(const Program &prog, const Symbol &sym)
+{
+    static const std::set<std::string> kAccessors{"field", "key",
+                                                  "find", "member"};
+    std::set<std::string> fields;
+    const auto tokIt = prog.tokens.find(sym.file);
+    if (tokIt == prog.tokens.end())
+        return fields;
+    const std::vector<FullTok> &toks = tokIt->second;
+    const auto identLike = [](const std::string &s) {
+        if (s.empty())
+            return false;
+        for (const char c : s)
+            if (!identCharX(c))
+                return false;
+        return true;
+    };
+    for (std::size_t k = sym.bodyBegin;
+         k < sym.bodyEnd && k < toks.size(); ++k) {
+        if (toks[k].kind == 'i' && kAccessors.count(toks[k].text) &&
+            k + 1 < toks.size() && toks[k + 1].kind == 'p' &&
+            toks[k + 1].text == "(") {
+            std::size_t depth = 0;
+            for (std::size_t j = k + 1; j < toks.size(); ++j) {
+                if (toks[j].kind == 'p') {
+                    if (toks[j].text == "(")
+                        ++depth;
+                    else if (toks[j].text == ")" && --depth == 0)
+                        break;
+                } else if (toks[j].kind == 's') {
+                    if (identLike(toks[j].text))
+                        fields.insert(toks[j].text);
+                    break;
+                }
+            }
+        }
+        if (toks[k].kind == 's') {
+            // \"name\": inside the literal's raw (escaped) text.
+            const std::string &s = toks[k].text;
+            for (std::size_t a = 0; a + 1 < s.size(); ++a) {
+                if (s[a] != '\\' || s[a + 1] != '"')
+                    continue;
+                std::size_t b = a + 2;
+                std::string name;
+                while (b < s.size() && identCharX(s[b]))
+                    name.push_back(s[b++]);
+                if (!name.empty() && b + 2 < s.size() &&
+                    s[b] == '\\' && s[b + 1] == '"' &&
+                    s[b + 2] == ':')
+                    fields.insert(name);
+                a = b;
+            }
+        }
+    }
+    return fields;
+}
+
+const Symbol *
+findFunction(const Program &prog, const std::string &file,
+             const std::string &name)
+{
+    const auto it = prog.byName.find(name);
+    if (it == prog.byName.end())
+        return nullptr;
+    for (const int id : it->second) {
+        const Symbol &sym =
+            prog.symbols[static_cast<std::size_t>(id)];
+        if (sym.file == file)
+            return &sym;
+    }
+    return nullptr;
+}
+
+std::string
+joinNames(const std::vector<std::string> &names)
+{
+    std::string out;
+    for (const std::string &n : names)
+        out += (out.empty() ? "" : ", ") + n;
+    return out;
+}
+
+} // namespace
+
+std::vector<Finding>
+checkSchemas(const Program &prog, const SchemaManifest &manifest)
+{
+    std::vector<Finding> out;
+    for (const SchemaEntry &entry : manifest.entries) {
+        // Family = tag minus its trailing ".vN".
+        std::string family = entry.tag;
+        const std::size_t dotV = family.rfind(".v");
+        if (dotV != std::string::npos &&
+            dotV + 2 < family.size() &&
+            std::isdigit(
+                static_cast<unsigned char>(family[dotV + 2])))
+            family.resize(dotV);
+
+        const auto side = [&](const std::string &file,
+                              const std::string &fn,
+                              const char *role) {
+            const auto tokIt = prog.tokens.find(file);
+            if (tokIt == prog.tokens.end()) {
+                out.push_back(
+                    {file, 1, "R12",
+                     "schema '" + entry.tag + "': manifest names " +
+                         std::string(role) + " file '" + file +
+                         "' which is not in the linted tree; fix "
+                         "tools/rsin_lint/schemas.json"});
+                return;
+            }
+            const Symbol *sym = findFunction(prog, file, fn);
+            if (sym == nullptr) {
+                out.push_back(
+                    {file, 1, "R12",
+                     "schema '" + entry.tag + "': manifest names " +
+                         std::string(role) + " function '" + fn +
+                         "' which does not exist in " + file +
+                         "; fix tools/rsin_lint/schemas.json"});
+                return;
+            }
+            // Version-bump exemption: the file carries tags of this
+            // family, but not the manifest's version -- the format
+            // was deliberately re-versioned, so drift is expected
+            // until the manifest entry is updated alongside it.
+            const std::set<std::string> tags =
+                tagsInFile(tokIt->second, family);
+            if (!tags.empty() && !tags.count(entry.tag))
+                return;
+
+            const std::set<std::string> got =
+                extractFields(prog, *sym);
+            std::vector<std::string> missing;
+            std::vector<std::string> extra;
+            const std::set<std::string> want(entry.fields.begin(),
+                                             entry.fields.end());
+            for (const std::string &f : want)
+                if (!got.count(f))
+                    missing.push_back(f);
+            for (const std::string &f : got)
+                if (!want.count(f))
+                    extra.push_back(f);
+            if (!missing.empty() || !extra.empty()) {
+                std::string msg = "schema '" + entry.tag + "': " +
+                                  role + " '" + fn + "'";
+                if (!extra.empty())
+                    msg += " emits fields not in the manifest: " +
+                           joinNames(extra);
+                if (!missing.empty())
+                    msg += std::string(extra.empty() ? "" : ";") +
+                           " never touches manifest fields: " +
+                           joinNames(missing);
+                msg += " -- bump the schema version or update "
+                       "tools/rsin_lint/schemas.json in the same "
+                       "change";
+                out.push_back({file, sym->line, "R12", msg});
+            }
+            // Positional formats: the parser's word-count guard must
+            // match the manifest.
+            if (entry.words >= 0 &&
+                std::string(role) == "parser") {
+                const std::vector<FullTok> &toks = tokIt->second;
+                const auto isP = [&](std::size_t i, const char *p) {
+                    return i < toks.size() && toks[i].kind == 'p' &&
+                           toks[i].text == p;
+                };
+                for (std::size_t k = sym->bodyBegin;
+                     k + 7 < toks.size() && k < sym->bodyEnd; ++k) {
+                    if (toks[k].kind == 'i' && isP(k + 1, ".") &&
+                        toks[k + 2].kind == 'i' &&
+                        toks[k + 2].text == "size" &&
+                        isP(k + 3, "(") && isP(k + 4, ")") &&
+                        isP(k + 5, "!") && isP(k + 6, "=") &&
+                        toks[k + 7].kind == 'n') {
+                        long n = -1;
+                        try {
+                            n = std::stol(toks[k + 7].text);
+                        } catch (const std::exception &) {
+                            continue;
+                        }
+                        if (n != entry.words)
+                            out.push_back(
+                                {file, toks[k].line, "R12",
+                                 "schema '" + entry.tag +
+                                     "': parser '" + fn +
+                                     "' checks for " +
+                                     std::to_string(n) +
+                                     " words but the manifest "
+                                     "pins " +
+                                     std::to_string(entry.words) +
+                                     " -- bump the schema version "
+                                     "or update schemas.json"});
+                    }
+                }
+            }
+        };
+        side(entry.writerFile, entry.writerFunction, "writer");
+        side(entry.parserFile, entry.parserFunction, "parser");
+    }
+    return out;
+}
+
+} // namespace lint
+} // namespace rsin
