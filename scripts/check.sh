@@ -97,9 +97,26 @@ run_lint() {
         echo "check.sh: lint call graph has no resolved edges" >&2
         exit 1
     }
+    # Cold run (cache ignored) with per-phase timings; gate the
+    # whole-tree wall time so the linter never quietly becomes the
+    # slow part of the loop.
+    timings=$("$build/tools/rsin_lint/rsin_lint" --root "$repo" \
+        --ratchet --no-cache --timings \
+        --baseline "$repo/tools/rsin_lint/baseline.json" 2>&1 >&3) ||
+        { echo "$timings" >&2; exit 1; }
+    echo "$timings" >&2
+    total=$(echo "$timings" |
+        sed -n 's/.*total=\([0-9][0-9]*\)ms.*/\1/p')
+    if [ -n "$total" ] && [ "$total" -ge 1000 ]; then
+        echo "check.sh: cold whole-tree lint took ${total}ms" \
+             "(budget < 1000ms)" >&2
+        exit 1
+    fi
+    # Warm the persistent cache the ctest registration shares.
     "$build/tools/rsin_lint/rsin_lint" --root "$repo" --ratchet \
-        --baseline "$repo/tools/rsin_lint/baseline.json"
-}
+        --cache "$build/rsin_lint.cache" \
+        --baseline "$repo/tools/rsin_lint/baseline.json" > /dev/null
+} 3>&1
 
 run_tidy() {
     "$repo/scripts/check_tidy.sh" "$@"

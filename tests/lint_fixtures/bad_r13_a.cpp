@@ -1,0 +1,29 @@
+// Fixture: R13 -- lock-order cycle across translation units.  This
+// TU takes g_a before g_b; its sibling bad_r13_b.cpp takes g_b
+// before g_a, so no global acquire order exists.  doubleLock()
+// additionally self-deadlocks by re-acquiring a non-recursive mutex
+// it already holds.
+#include <mutex>
+
+namespace rsin {
+namespace exec {
+
+extern std::mutex g_a;
+extern std::mutex g_b;
+
+void
+forwardOrder()
+{
+    std::lock_guard<std::mutex> a(g_a);
+    std::lock_guard<std::mutex> b(g_b); // edge g_a -> g_b
+}
+
+void
+doubleLock()
+{
+    std::lock_guard<std::mutex> outer(g_a);
+    std::lock_guard<std::mutex> inner(g_a); // self-deadlock
+}
+
+} // namespace exec
+} // namespace rsin

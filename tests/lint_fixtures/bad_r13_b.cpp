@@ -1,0 +1,20 @@
+// Fixture: R13 -- sibling of bad_r13_a.cpp taking the same two
+// namespace-scope locks in the opposite order, closing the cycle in
+// the global lock-order graph.
+#include <mutex>
+
+namespace rsin {
+namespace exec {
+
+extern std::mutex g_a;
+extern std::mutex g_b;
+
+void
+reverseOrder()
+{
+    std::lock_guard<std::mutex> b(g_b);
+    std::lock_guard<std::mutex> a(g_a); // edge g_b -> g_a: cycle
+}
+
+} // namespace exec
+} // namespace rsin

@@ -1,0 +1,48 @@
+// Fixture: R13 stays silent when every function takes the locks in
+// one global order, when a scope releases its guard before the next
+// lock is taken, and when a recursive mutex is re-acquired.
+#include <mutex>
+
+namespace rsin {
+namespace exec {
+
+namespace {
+std::mutex g_a;
+std::mutex g_b;
+} // namespace
+
+void
+first()
+{
+    std::lock_guard<std::mutex> a(g_a);
+    std::lock_guard<std::mutex> b(g_b);
+}
+
+void
+second()
+{
+    std::lock_guard<std::mutex> a(g_a);
+    std::lock_guard<std::mutex> b(g_b);
+}
+
+void
+sequential()
+{
+    {
+        std::lock_guard<std::mutex> a(g_a);
+    }
+    // g_a was released at scope exit: taking g_b alone orders
+    // nothing, even though g_b -> g_a would close a false cycle.
+    std::lock_guard<std::mutex> b(g_b);
+}
+
+void
+reentrant()
+{
+    std::recursive_mutex again;
+    std::unique_lock<std::recursive_mutex> one(again);
+    std::unique_lock<std::recursive_mutex> two(again);
+}
+
+} // namespace exec
+} // namespace rsin

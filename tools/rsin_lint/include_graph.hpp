@@ -46,16 +46,8 @@
 namespace rsin {
 namespace lint {
 
-/** One quoted #include directive in a source file. */
-struct IncludeRef
-{
-    std::string file;     ///< including file (repo-relative path)
-    std::size_t line = 0; ///< 1-based line of the directive
-    std::string quoted;   ///< the path between the quotes
-    std::string resolved; ///< repo-relative target; empty if unresolved
-};
-
-/** Scan @p content for `#include "..."` directives. */
+/** Scan @p content for `#include "..."` directives (IncludeRef is
+ *  defined in lint.hpp so cached FileArtifacts can carry them). */
 std::vector<IncludeRef> extractIncludes(const std::string &file,
                                         const std::string &content);
 

@@ -1,15 +1,20 @@
 #include "lint.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <cctype>
+#include <chrono>
 #include <filesystem>
 #include <fstream>
 #include <map>
 #include <set>
 #include <sstream>
 #include <stdexcept>
+#include <thread>
 
 #include "include_graph.hpp"
+#include "lint_cache.hpp"
+#include "lockflow.hpp"
 #include "xtu_rules.hpp"
 
 namespace rsin {
@@ -23,19 +28,12 @@ isIdent(char c)
     return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
 }
 
-/** One parsed "rsin-lint: allow(...)" comment. */
-struct Directive
-{
-    std::size_t line = 0;         ///< line the comment starts on
-    std::set<std::string> rules;  ///< rules it waives
-    bool used = false;            ///< did it mask at least one finding?
-};
-
 /**
  * Result of the lexical pre-pass: the source with comments and
  * string/char literals blanked to spaces (newlines preserved, so line
  * numbers and column positions survive), plus the parsed suppression
- * comments and any malformed-suppression findings.
+ * comments and any malformed-suppression findings.  (Directive itself
+ * lives in lint.hpp so cached FileArtifacts can carry them.)
  */
 struct Stripped
 {
@@ -48,8 +46,8 @@ const std::set<std::string> &
 knownRules()
 {
     static const std::set<std::string> rules{
-        "R1", "R2", "R3",  "R4",  "R5", "R6",
-        "R7", "R8", "R9", "R10", "R11", "R12"};
+        "R1", "R2",  "R3",  "R4",  "R5",  "R6", "R7",
+        "R8", "R9", "R10", "R11", "R12", "R13"};
     return rules;
 }
 
@@ -898,45 +896,24 @@ flowPass(const std::vector<Tok> &toks, const Scope &scope,
     }
 }
 
-/** Per-file analysis bundle. */
-struct FileAnalysis
-{
-    std::string path;
-    Stripped stripped;
-    std::vector<Finding> raw; ///< pre-suppression findings
-};
-
-void
-analyzeFile(const SourceFile &file, FileAnalysis &fa)
-{
-    fa.path = file.path;
-    fa.stripped = strip(file.path, file.content);
-    const std::vector<Line> lines = splitLines(fa.stripped.code);
-    const Scope scope = classify(file.path);
-    ruleR1(lines, scope, file.path, fa.raw);
-    ruleR2(lines, scope, file.path, fa.raw);
-    ruleR3(lines, scope, file.path, fa.raw);
-    ruleR4(lines, scope, file.path, fa.raw);
-    flowPass(tokenize(fa.stripped.code), scope, file.path, fa.raw);
-}
-
 /**
  * Drop findings masked by a directive (marking it used); keep the
  * rest.  A directive covers its own line and the next one.
  */
 void
-applySuppressions(std::vector<FileAnalysis> &analyses,
+applySuppressions(const std::vector<SourceFile> &files,
+                  std::vector<FileArtifacts> &artifacts,
                   std::vector<Finding> &findings)
 {
-    std::map<std::string, FileAnalysis *> byPath;
-    for (FileAnalysis &fa : analyses)
-        byPath[fa.path] = &fa;
+    std::map<std::string, FileArtifacts *> byPath;
+    for (std::size_t i = 0; i < files.size(); ++i)
+        byPath[files[i].path] = &artifacts[i];
     std::vector<Finding> kept;
     for (Finding &f : findings) {
         const auto it = byPath.find(f.file);
         bool masked = false;
         if (it != byPath.end()) {
-            for (Directive &d : it->second->stripped.directives) {
+            for (Directive &d : it->second->directives) {
                 if ((f.line == d.line || f.line == d.line + 1) &&
                     d.rules.count(f.rule)) {
                     d.used = true;
@@ -951,82 +928,185 @@ applySuppressions(std::vector<FileAnalysis> &analyses,
     findings = std::move(kept);
 }
 
+/** Milliseconds between two steady-clock points. */
+double
+msBetween(std::chrono::steady_clock::time_point a,
+          std::chrono::steady_clock::time_point b)
+{
+    return std::chrono::duration<double, std::milli>(b - a).count();
+}
+
 } // namespace
+
+FileArtifacts
+analyzeFileArtifacts(const SourceFile &file)
+{
+    FileArtifacts fa;
+    Stripped stripped = strip(file.path, file.content);
+    const std::vector<Line> lines = splitLines(stripped.code);
+    const Scope scope = classify(file.path);
+    ruleR1(lines, scope, file.path, fa.findings);
+    ruleR2(lines, scope, file.path, fa.findings);
+    ruleR3(lines, scope, file.path, fa.findings);
+    ruleR4(lines, scope, file.path, fa.findings);
+    flowPass(tokenize(stripped.code), scope, file.path, fa.findings);
+    fa.directives = std::move(stripped.directives);
+    fa.supErrors = std::move(stripped.errors);
+    fa.includes = extractIncludes(file.path, file.content);
+    return fa;
+}
 
 std::vector<Finding>
 lintFiles(const std::vector<SourceFile> &files,
           const LintOptions &options)
 {
-    std::vector<FileAnalysis> analyses(files.size());
+    using Clock = std::chrono::steady_clock;
+    const auto mark = [&](const char *phase, Clock::time_point since) {
+        if (options.timings != nullptr)
+            options.timings->phases.emplace_back(
+                phase, msBetween(since, Clock::now()));
+    };
+
+    // --- Per-file stage, fanned out over worker threads.  Results
+    // land in per-index slots and merge in file order, so findings
+    // are identical for every thread count.  Cache hits skip the rule
+    // stage; tokenization always runs (the cross-TU stages below are
+    // whole-program and need every file's tokens).
+    Clock::time_point t0 = Clock::now();
+    std::vector<FileArtifacts> artifacts(files.size());
+    std::vector<std::vector<FullTok>> toks(files.size());
+    std::atomic<std::size_t> analyzedCount{0};
+    std::atomic<std::size_t> hitCount{0};
+    const auto workOne = [&](std::size_t i) {
+        bool hit = false;
+        if (options.prebuilt != nullptr) {
+            const auto pre = options.prebuilt->find(files[i].path);
+            if (pre != options.prebuilt->end()) {
+                artifacts[i] = pre->second;
+                hit = true;
+            }
+        }
+        if (hit)
+            hitCount.fetch_add(1, std::memory_order_relaxed);
+        else {
+            artifacts[i] = analyzeFileArtifacts(files[i]);
+            analyzedCount.fetch_add(1, std::memory_order_relaxed);
+        }
+        toks[i] = tokenizeFull(files[i].content);
+    };
+    std::size_t jobs = options.jobs;
+    if (jobs == 0) {
+        jobs = std::thread::hardware_concurrency();
+        if (jobs == 0)
+            jobs = 1;
+    }
+    jobs = std::min(jobs, files.size());
+    if (jobs <= 1) {
+        for (std::size_t i = 0; i < files.size(); ++i)
+            workOne(i);
+    } else {
+        std::atomic<std::size_t> next{0};
+        std::vector<std::thread> pool;
+        pool.reserve(jobs);
+        for (std::size_t w = 0; w < jobs; ++w)
+            pool.emplace_back([&] {
+                while (true) {
+                    const std::size_t i =
+                        next.fetch_add(1, std::memory_order_relaxed);
+                    if (i >= files.size())
+                        return;
+                    workOne(i);
+                }
+            });
+        for (std::thread &worker : pool)
+            worker.join();
+    }
+    if (options.stats != nullptr) {
+        options.stats->files = files.size();
+        options.stats->analyzed = analyzedCount.load();
+        options.stats->cacheHits = hitCount.load();
+    }
+    if (options.artifactsOut != nullptr)
+        for (std::size_t i = 0; i < files.size(); ++i)
+            (*options.artifactsOut)[files[i].path] = artifacts[i];
+    mark("perfile", t0);
+
+    // --- Include-graph rules over the merged per-file artifacts.
+    t0 = Clock::now();
     std::vector<IncludeRef> includes;
     std::set<std::string> fileSet;
     for (std::size_t i = 0; i < files.size(); ++i) {
-        analyzeFile(files[i], analyses[i]);
-        std::vector<IncludeRef> here =
-            extractIncludes(files[i].path, files[i].content);
-        includes.insert(includes.end(), here.begin(), here.end());
+        includes.insert(includes.end(),
+                        artifacts[i].includes.begin(),
+                        artifacts[i].includes.end());
         fileSet.insert(files[i].path);
     }
-
     std::vector<Finding> findings;
-    for (FileAnalysis &fa : analyses)
+    for (std::size_t i = 0; i < files.size(); ++i)
         findings.insert(findings.end(),
-                        std::make_move_iterator(fa.raw.begin()),
-                        std::make_move_iterator(fa.raw.end()));
+                        artifacts[i].findings.begin(),
+                        artifacts[i].findings.end());
     for (std::vector<Finding> graph :
          {checkLayering(includes, fileSet),
           checkCycles(includes, fileSet)})
         findings.insert(findings.end(),
                         std::make_move_iterator(graph.begin()),
                         std::make_move_iterator(graph.end()));
+    mark("graph", t0);
 
-    // Cross-TU pass: one program over the whole file set.  The
+    // --- Cross-TU pass: one program over the whole file set.  The
     // findings join the stream *before* suppression so allow(R10..)
     // directives and the stale check apply to them like any rule.
-    {
-        const Program prog = indexProgram(files);
-        const WorkerAnalysis wa = analyzeWorkers(prog);
-        for (std::vector<Finding> xtu :
-             {checkWorkerState(prog, wa), checkWorkerCalls(prog, wa),
-              options.schemas
-                  ? checkSchemas(prog, *options.schemas)
-                  : std::vector<Finding>{}})
-            findings.insert(findings.end(),
-                            std::make_move_iterator(xtu.begin()),
-                            std::make_move_iterator(xtu.end()));
-    }
+    t0 = Clock::now();
+    std::map<std::string, std::vector<FullTok>> tokenMap;
+    for (std::size_t i = 0; i < files.size(); ++i)
+        tokenMap[files[i].path] = std::move(toks[i]);
+    const Program prog = indexProgram(files, std::move(tokenMap));
+    const WorkerAnalysis wa = analyzeWorkers(prog);
+    const LockFlow lf = analyzeLockFlow(prog, wa);
+    mark("index", t0);
 
-    applySuppressions(analyses, findings);
+    t0 = Clock::now();
+    for (std::vector<Finding> xtu :
+         {checkWorkerState(prog, wa, lf), checkWorkerCalls(prog, wa),
+          checkLockOrder(prog, lf),
+          options.schemas
+              ? checkSchemas(prog, *options.schemas,
+                             options.textDocs)
+              : std::vector<Finding>{}})
+        findings.insert(findings.end(),
+                        std::make_move_iterator(xtu.begin()),
+                        std::make_move_iterator(xtu.end()));
+
+    applySuppressions(files, artifacts, findings);
 
     // R9: directives that masked nothing are dead weight -- and often
     // the footprint of a fixed bug whose waiver should ratchet out.
     std::vector<Finding> stale;
-    for (const FileAnalysis &fa : analyses) {
-        for (const Directive &d : fa.stripped.directives) {
+    for (std::size_t i = 0; i < files.size(); ++i) {
+        for (const Directive &d : artifacts[i].directives) {
             if (d.used)
                 continue;
             std::string rules;
             for (const std::string &r : d.rules)
                 rules += (rules.empty() ? "" : ",") + r;
             stale.push_back(
-                {fa.path, d.line, "R9",
+                {files[i].path, d.line, "R9",
                  "stale suppression: allow(" + rules +
                      ") masks no finding on this or the next line; "
                      "delete it (or re-justify it against a real "
                      "violation)"});
         }
     }
-    applySuppressions(analyses, stale);
+    applySuppressions(files, artifacts, stale);
     findings.insert(findings.end(),
                     std::make_move_iterator(stale.begin()),
                     std::make_move_iterator(stale.end()));
 
     // Malformed directives always survive.
-    for (FileAnalysis &fa : analyses)
-        findings.insert(
-            findings.end(),
-            std::make_move_iterator(fa.stripped.errors.begin()),
-            std::make_move_iterator(fa.stripped.errors.end()));
+    for (const FileArtifacts &fa : artifacts)
+        findings.insert(findings.end(), fa.supErrors.begin(),
+                        fa.supErrors.end());
 
     std::sort(findings.begin(), findings.end(),
               [](const Finding &a, const Finding &b) {
@@ -1036,6 +1116,7 @@ lintFiles(const std::vector<SourceFile> &files,
                       return a.line < b.line;
                   return a.rule < b.rule;
               });
+    mark("rules", t0);
     return findings;
 }
 
@@ -1110,8 +1191,22 @@ collectTree(const std::string &root)
 TreeReport
 lintTree(const std::string &root)
 {
+    return lintTree(root, TreeOptions{});
+}
+
+TreeReport
+lintTree(const std::string &root, const TreeOptions &opts)
+{
     namespace fs = std::filesystem;
+    using Clock = std::chrono::steady_clock;
     TreeReport report;
+    const auto mark = [&](const char *phase, Clock::time_point since) {
+        report.timings.phases.emplace_back(
+            phase, msBetween(since, Clock::now()));
+    };
+
+    Clock::time_point t0 = Clock::now();
+    const Clock::time_point start = t0;
     std::vector<SourceFile> files;
     for (const std::string &path : treePaths(root)) {
         std::ifstream in(fs::path(root) / path, std::ios::binary);
@@ -1126,16 +1221,91 @@ lintTree(const std::string &root)
 
     LintOptions options;
     SchemaManifest manifest;
+    std::string manifestText;
     const fs::path schemasPath =
         fs::path(root) / "tools" / "rsin_lint" / "schemas.json";
     if (fs::is_regular_file(schemasPath)) {
         std::ifstream in(schemasPath, std::ios::binary);
         std::ostringstream text;
         text << in.rdbuf();
-        manifest = parseSchemaManifest(text.str());
+        manifestText = text.str();
+        manifest = parseSchemaManifest(manifestText);
         options.schemas = &manifest;
     }
+    const std::map<std::string, std::string> textDocs =
+        loadTextDocs(root, manifest);
+    options.textDocs = &textDocs;
+    options.jobs = opts.jobs;
+    options.stats = &report.stats;
+    options.timings = &report.timings;
+    mark("collect", t0);
+
+    // --- The incremental layer: tree-level short-circuit, then
+    // per-file artifact reuse.  A corrupt or missing cache is just a
+    // cold run.
+    t0 = Clock::now();
+    std::map<std::string, FileArtifacts> prebuilt;
+    std::map<std::string, FileArtifacts> produced;
+    std::map<std::string, std::string> hashes;
+    std::string treeHash;
+    const bool caching = !opts.cachePath.empty();
+    if (caching) {
+        const LintCache cache = loadLintCache(opts.cachePath);
+        report.stats.cacheLoaded =
+            cache.hasTree || !cache.files.empty();
+        std::string treeKey;
+        for (const SourceFile &f : files) {
+            hashes[f.path] = contentHash64(f.content);
+            treeKey += f.path;
+            treeKey.push_back('\0'); // paths must not concatenate
+            treeKey += hashes[f.path] + "\n";
+        }
+        treeKey += "manifest:" + contentHash64(manifestText) + "\n";
+        for (const auto &doc : textDocs)
+            treeKey += "doc:" + doc.first + ":" +
+                       contentHash64(doc.second) + "\n";
+        treeHash = contentHash64(treeKey);
+        if (report.unreadable.empty() && cache.hasTree &&
+            cache.treeHash == treeHash) {
+            report.findings = cache.treeFindings;
+            report.stats.files = files.size();
+            report.stats.cacheHits = files.size();
+            report.stats.treeHit = true;
+            mark("cache", t0);
+            report.timings.totalMs = msBetween(start, Clock::now());
+            return report;
+        }
+        for (const auto &entry : cache.files) {
+            const auto h = hashes.find(entry.first);
+            if (h != hashes.end() && h->second == entry.second.hash)
+                prebuilt[entry.first] = entry.second.artifacts;
+        }
+        options.prebuilt = &prebuilt;
+        options.artifactsOut = &produced;
+    }
+    mark("cache", t0);
+
     report.findings = lintFiles(files, options);
+
+    if (caching) {
+        t0 = Clock::now();
+        LintCache next;
+        next.hasTree = report.unreadable.empty();
+        next.treeHash = treeHash;
+        next.treeFindings = report.findings;
+        for (const SourceFile &f : files) {
+            LintCacheEntry entry;
+            entry.hash = hashes[f.path];
+            entry.artifacts = produced[f.path];
+            // The used flag is transient run state, never persisted.
+            for (Directive &d : entry.artifacts.directives)
+                d.used = false;
+            next.files[f.path] = std::move(entry);
+        }
+        saveLintCache(opts.cachePath, next);
+        mark("save", t0);
+    }
+    report.timings.totalMs = msBetween(start, Clock::now());
     return report;
 }
 

@@ -1,0 +1,356 @@
+#include "lint_cache.hpp"
+
+#include <array>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include <unistd.h>
+
+#include "json_mini.hpp"
+
+namespace rsin {
+namespace lint {
+
+namespace {
+
+std::string
+jsonEscapeCache(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size() + 8);
+    for (const char c : s) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\t': out += "\\t"; break;
+          case '\r': out += "\\r"; break;
+          default: out.push_back(c);
+        }
+    }
+    return out;
+}
+
+/** crc32 (IEEE, reflected) of @p data -- the same polynomial the
+ *  simulator's ledger uses, reimplemented so the linter stays
+ *  dependency-free. */
+std::uint32_t
+crc32Of(const std::string &data)
+{
+    static const std::array<std::uint32_t, 256> table = [] {
+        std::array<std::uint32_t, 256> t{};
+        for (std::uint32_t i = 0; i < 256; ++i) {
+            std::uint32_t c = i;
+            for (int k = 0; k < 8; ++k)
+                c = (c & 1u) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+            t[i] = c;
+        }
+        return t;
+    }();
+    std::uint32_t crc = 0xFFFFFFFFu;
+    for (const char ch : data)
+        crc = table[(crc ^ static_cast<unsigned char>(ch)) & 0xFFu] ^
+              (crc >> 8);
+    return crc ^ 0xFFFFFFFFu;
+}
+
+std::string
+hex32(std::uint32_t v)
+{
+    static const char *digits = "0123456789abcdef";
+    std::string out(8, '0');
+    for (int i = 7; i >= 0; --i, v >>= 4)
+        out[static_cast<std::size_t>(i)] = digits[v & 0xFu];
+    return out;
+}
+
+void
+appendFindings(std::string &out, const std::vector<Finding> &findings)
+{
+    out += "[";
+    for (std::size_t i = 0; i < findings.size(); ++i) {
+        const Finding &f = findings[i];
+        if (i)
+            out += ",";
+        out += "{\"file\":\"" + jsonEscapeCache(f.file) + "\"";
+        out += ",\"line\":" + std::to_string(f.line);
+        out += ",\"rule\":\"" + jsonEscapeCache(f.rule) + "\"";
+        out += ",\"message\":\"" + jsonEscapeCache(f.message) + "\"";
+        out += ",\"column\":" + std::to_string(f.column);
+        out += ",\"endLine\":" + std::to_string(f.endLine);
+        out += ",\"endColumn\":" + std::to_string(f.endColumn);
+        out += "}";
+    }
+    out += "]";
+}
+
+/**
+ * Serialize one cache record to its line payload.  The key set here
+ * and in parseCacheLine() below is pinned as `rsin.lint_cache.v1` in
+ * schemas.json -- drifting one side without the other is an R12
+ * finding.
+ */
+std::string
+formatCacheLine(const std::string &path, const LintCacheEntry &entry)
+{
+    std::string out = "{\"kind\":\"file\"";
+    out += ",\"path\":\"" + jsonEscapeCache(path) + "\"";
+    out += ",\"hash\":\"" + jsonEscapeCache(entry.hash) + "\"";
+    out += ",\"findings\":";
+    appendFindings(out, entry.artifacts.findings);
+    out += ",\"directives\":[";
+    for (std::size_t i = 0; i < entry.artifacts.directives.size();
+         ++i) {
+        const Directive &d = entry.artifacts.directives[i];
+        if (i)
+            out += ",";
+        out += "{\"line\":" + std::to_string(d.line) + ",\"rules\":[";
+        // Built piecewise: `(a ? "," : "") + ("\"" + s)` trips a
+        // gcc-12 -Wrestrict false positive inside libstdc++.
+        std::size_t n = 0;
+        for (const std::string &rule : d.rules) {
+            if (n++)
+                out += ",";
+            out += "\"";
+            out += jsonEscapeCache(rule);
+            out += "\"";
+        }
+        out += "]}";
+    }
+    out += "],\"errors\":";
+    appendFindings(out, entry.artifacts.supErrors);
+    out += ",\"includes\":[";
+    for (std::size_t i = 0; i < entry.artifacts.includes.size(); ++i) {
+        const IncludeRef &inc = entry.artifacts.includes[i];
+        if (i)
+            out += ",";
+        out += "{\"line\":" + std::to_string(inc.line);
+        out += ",\"quoted\":\"" + jsonEscapeCache(inc.quoted) + "\"";
+        out += ",\"resolved\":\"" + jsonEscapeCache(inc.resolved) +
+               "\"}";
+    }
+    out += "]}";
+    return out;
+}
+
+std::string
+formatTreeLine(const std::string &treeHash,
+               const std::vector<Finding> &findings)
+{
+    std::string out = "{\"kind\":\"tree\"";
+    out += ",\"hash\":\"" + jsonEscapeCache(treeHash) + "\"";
+    out += ",\"findings\":";
+    appendFindings(out, findings);
+    out += "}";
+    return out;
+}
+
+const JsonValue *
+member(const JsonValue &obj, const char *key)
+{
+    const auto it = obj.object.find(key);
+    return it == obj.object.end() ? nullptr : &it->second;
+}
+
+std::string
+memberString(const JsonValue &obj, const char *key)
+{
+    const JsonValue *v = member(obj, key);
+    if (v == nullptr || v->kind != JsonValue::Kind::String)
+        throw std::runtime_error(std::string("missing string '") + key +
+                                 "'");
+    return v->string;
+}
+
+std::size_t
+memberSize(const JsonValue &obj, const char *key)
+{
+    const JsonValue *v = member(obj, key);
+    if (v == nullptr || v->kind != JsonValue::Kind::Number)
+        throw std::runtime_error(std::string("missing number '") + key +
+                                 "'");
+    return static_cast<std::size_t>(v->number);
+}
+
+std::vector<Finding>
+readFindings(const JsonValue &obj, const char *key)
+{
+    const JsonValue *arr = member(obj, key);
+    if (arr == nullptr || arr->kind != JsonValue::Kind::Array)
+        throw std::runtime_error(std::string("missing array '") + key +
+                                 "'");
+    std::vector<Finding> out;
+    for (const JsonValue &v : arr->array) {
+        Finding f;
+        f.file = memberString(v, "file");
+        f.line = memberSize(v, "line");
+        f.rule = memberString(v, "rule");
+        f.message = memberString(v, "message");
+        f.column = memberSize(v, "column");
+        f.endLine = memberSize(v, "endLine");
+        f.endColumn = memberSize(v, "endColumn");
+        out.push_back(std::move(f));
+    }
+    return out;
+}
+
+/**
+ * Parse one payload line into @p cache.  Throws on any structural
+ * defect; the caller treats that as "whole cache corrupt".
+ */
+void
+parseCacheLine(const std::string &payload, LintCache &cache)
+{
+    JsonReader reader(payload, "lint cache");
+    const JsonValue doc = reader.parse();
+    if (doc.kind != JsonValue::Kind::Object)
+        throw std::runtime_error("cache record is not an object");
+    const std::string kind = memberString(doc, "kind");
+    if (kind == "tree") {
+        cache.hasTree = true;
+        cache.treeHash = memberString(doc, "hash");
+        cache.treeFindings = readFindings(doc, "findings");
+        return;
+    }
+    if (kind != "file")
+        throw std::runtime_error("unknown cache record kind");
+    const std::string path = memberString(doc, "path");
+    LintCacheEntry entry;
+    entry.hash = memberString(doc, "hash");
+    entry.artifacts.findings = readFindings(doc, "findings");
+    entry.artifacts.supErrors = readFindings(doc, "errors");
+    const JsonValue *dirs = member(doc, "directives");
+    if (dirs == nullptr || dirs->kind != JsonValue::Kind::Array)
+        throw std::runtime_error("missing array 'directives'");
+    for (const JsonValue &v : dirs->array) {
+        Directive d;
+        d.line = memberSize(v, "line");
+        const JsonValue *rules = member(v, "rules");
+        if (rules == nullptr || rules->kind != JsonValue::Kind::Array)
+            throw std::runtime_error("missing array 'rules'");
+        for (const JsonValue &r : rules->array) {
+            if (r.kind != JsonValue::Kind::String)
+                throw std::runtime_error("rule name is not a string");
+            d.rules.insert(r.string);
+        }
+        entry.artifacts.directives.push_back(std::move(d));
+    }
+    const JsonValue *incs = member(doc, "includes");
+    if (incs == nullptr || incs->kind != JsonValue::Kind::Array)
+        throw std::runtime_error("missing array 'includes'");
+    for (const JsonValue &v : incs->array) {
+        IncludeRef inc;
+        inc.file = path;
+        inc.line = memberSize(v, "line");
+        inc.quoted = memberString(v, "quoted");
+        inc.resolved = memberString(v, "resolved");
+        entry.artifacts.includes.push_back(std::move(inc));
+    }
+    cache.files[path] = std::move(entry);
+}
+
+std::string
+headerLine()
+{
+    return std::string(kLintCacheSchema) + " engine=" +
+           kLintEngineVersion;
+}
+
+} // namespace
+
+std::string
+contentHash64(const std::string &text)
+{
+    std::uint64_t h = 1469598103934665603ull; // FNV offset basis
+    for (const char c : text) {
+        h ^= static_cast<unsigned char>(c);
+        h *= 1099511628211ull; // FNV prime
+    }
+    static const char *digits = "0123456789abcdef";
+    std::string out(16, '0');
+    for (int i = 15; i >= 0; --i, h >>= 4)
+        out[static_cast<std::size_t>(i)] = digits[h & 0xFull];
+    return out;
+}
+
+LintCache
+loadLintCache(const std::string &path)
+{
+    LintCache cache;
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        return cache;
+    try {
+        std::string line;
+        if (!std::getline(in, line) || line != headerLine())
+            return LintCache{};
+        while (std::getline(in, line)) {
+            if (line.empty())
+                continue;
+            const std::size_t cut = line.rfind(' ');
+            if (cut == std::string::npos ||
+                line.size() - cut - 1 != 8)
+                return LintCache{};
+            const std::string payload = line.substr(0, cut);
+            if (hex32(crc32Of(payload)) != line.substr(cut + 1))
+                return LintCache{};
+            parseCacheLine(payload, cache);
+        }
+    } catch (const std::exception &) {
+        return LintCache{};
+    }
+    return cache;
+}
+
+bool
+saveLintCache(const std::string &path, const LintCache &cache)
+{
+    try {
+        const std::filesystem::path target(path);
+        if (target.has_parent_path()) {
+            std::error_code ec;
+            std::filesystem::create_directories(target.parent_path(),
+                                                ec);
+        }
+        const std::string tmp =
+            path + ".tmp." +
+            std::to_string(static_cast<long>(::getpid()));
+        {
+            std::ofstream out(tmp, std::ios::binary |
+                                       std::ios::trunc);
+            if (!out)
+                return false;
+            out << headerLine() << "\n";
+            if (cache.hasTree) {
+                const std::string payload =
+                    formatTreeLine(cache.treeHash,
+                                   cache.treeFindings);
+                out << payload << " " << hex32(crc32Of(payload))
+                    << "\n";
+            }
+            for (const auto &f : cache.files) {
+                const std::string payload =
+                    formatCacheLine(f.first, f.second);
+                out << payload << " " << hex32(crc32Of(payload))
+                    << "\n";
+            }
+            out.flush();
+            if (!out)
+                return false;
+        }
+        std::error_code ec;
+        std::filesystem::rename(tmp, target, ec);
+        if (ec) {
+            std::filesystem::remove(tmp, ec);
+            return false;
+        }
+        return true;
+    } catch (const std::exception &) {
+        return false;
+    }
+}
+
+} // namespace lint
+} // namespace rsin

@@ -1,0 +1,78 @@
+#pragma once
+
+/**
+ * @file
+ * The persistent per-file analysis cache behind the incremental
+ * engine (schema `rsin.lint_cache.v1`, pinned in schemas.json).
+ *
+ * The cache mirrors the crash-consistency discipline of the
+ * simulator's `rsin.analysis_cache.v1`: every record line carries a
+ * crc32 of its payload, the file is written to a pid-suffixed
+ * temporary and renamed into place, and *any* defect -- missing file,
+ * wrong header, bad crc, malformed JSON -- discards the whole cache
+ * and forces a cold run.  A lint cache can always be rebuilt from the
+ * tree, so the failure mode is "slower", never "wrong" or "crash".
+ *
+ * Two levels of reuse:
+ *   - a **tree record** keyed on a hash over the sorted
+ *     (path, content-hash) pairs plus the schema manifest text: when
+ *     it matches, the final findings are served without any analysis;
+ *   - **file records** keyed on each file's content hash: on a
+ *     partial match the per-file rule stage is skipped for unchanged
+ *     files (tokenization still runs -- the cross-TU stages are
+ *     whole-program).
+ * Only the current file set is written back, so records of deleted
+ * files age out on the next save.  The header pins the engine version:
+ * upgrading the linter invalidates every cache.
+ */
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "lint.hpp"
+
+namespace rsin {
+namespace lint {
+
+/** Schema tag written in the cache header and pinned by R12. */
+inline constexpr const char *kLintCacheSchema = "rsin.lint_cache.v1";
+
+/** Engine version stamped in the header; bump on analysis changes. */
+inline constexpr const char *kLintEngineVersion = "4.0.0";
+
+/** Cached artifacts of one file at one content hash. */
+struct LintCacheEntry
+{
+    std::string hash; ///< FNV-1a 64 content hash, 16 hex chars
+    FileArtifacts artifacts;
+};
+
+/** In-memory image of the cache file. */
+struct LintCache
+{
+    bool hasTree = false;
+    std::string treeHash; ///< hash of (paths, hashes, manifest)
+    std::vector<Finding> treeFindings;
+    std::map<std::string, LintCacheEntry> files; ///< by path
+};
+
+/** FNV-1a 64-bit hash of @p text, as 16 lowercase hex chars. */
+std::string contentHash64(const std::string &text);
+
+/**
+ * Load @p path.  Missing, unreadable or corrupt caches (header, crc,
+ * JSON) return an empty cache -- cold run, never a crash.
+ */
+LintCache loadLintCache(const std::string &path);
+
+/**
+ * Persist @p cache to @p path atomically (temp file + rename, parent
+ * directories created).  Failures are reported by return value only;
+ * a run that cannot save its cache still succeeded.
+ */
+bool saveLintCache(const std::string &path, const LintCache &cache);
+
+} // namespace lint
+} // namespace rsin

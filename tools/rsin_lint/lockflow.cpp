@@ -1,0 +1,835 @@
+#include "lockflow.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <sstream>
+
+namespace rsin {
+namespace lint {
+
+namespace {
+
+bool
+underTestsLf(const std::string &path)
+{
+    return path.rfind("tests/", 0) == 0;
+}
+
+/** RAII guard types whose construction acquires (and scopes) locks. */
+const std::set<std::string> &
+guardTypes()
+{
+    static const std::set<std::string> kGuards{
+        "lock_guard", "unique_lock", "scoped_lock", "shared_lock"};
+    return kGuards;
+}
+
+/** Mutex-family type names that declare a lockable object. */
+bool
+mutexType(const std::string &name)
+{
+    return name == "mutex" || name == "shared_mutex" ||
+           name == "timed_mutex" || name == "recursive_mutex" ||
+           name == "recursive_timed_mutex" ||
+           name == "shared_timed_mutex";
+}
+
+bool
+recursiveMutexType(const std::string &name)
+{
+    return name == "recursive_mutex" || name == "recursive_timed_mutex";
+}
+
+/** Direct-child lambda body ranges of @p sym, sorted by start. */
+std::vector<std::pair<std::size_t, std::size_t>>
+childRangesLf(const Program &prog, int sym)
+{
+    std::vector<std::pair<std::size_t, std::size_t>> out;
+    for (const Symbol &s : prog.symbols)
+        if (s.isLambda && s.parent == sym && s.bodyEnd > s.bodyBegin)
+            out.emplace_back(s.bodyBegin, s.bodyEnd);
+    std::sort(out.begin(), out.end());
+    return out;
+}
+
+/**
+ * Qualification prefix for member / namespace-scope lock names used in
+ * @p symId: the outermost enclosing non-lambda function's qualified
+ * name minus its last component ("rsin::AnalysisCache::lookup" ->
+ * "rsin::AnalysisCache"), so the same member mutex unifies across
+ * every method (and nested lambda) of one class.
+ */
+std::string
+classPrefix(const Program &prog, int symId)
+{
+    int s = symId;
+    while (s >= 0 &&
+           prog.symbols[static_cast<std::size_t>(s)].isLambda)
+        s = prog.symbols[static_cast<std::size_t>(s)].parent;
+    if (s < 0)
+        return std::string();
+    const std::string &q =
+        prog.symbols[static_cast<std::size_t>(s)].qualified;
+    const std::size_t cut = q.rfind("::");
+    return cut == std::string::npos ? std::string() : q.substr(0, cut);
+}
+
+/** Per-program lock-name context shared by the extraction walk. */
+struct NameContext
+{
+    /** symbol id -> names of sync objects declared in its own body. */
+    std::map<int, std::set<std::string>> localSync;
+    /** symbol id -> locally declared recursive-mutex names. */
+    std::map<int, std::set<std::string>> localRecursive;
+};
+
+/**
+ * Canonical name of the lock expression @p pieces (token texts of an
+ * ident/::/./-> chain) as used inside @p symId.  Function-local
+ * mutexes are qualified by their declaring function, everything else
+ * by the enclosing class/namespace.
+ */
+std::string
+canonicalLock(const Program &prog, const NameContext &names, int symId,
+              const std::vector<const FullTok *> &pieces)
+{
+    std::size_t b = 0;
+    // Strip "this ->" / "this ." -- `this->mu` and `mu` are one lock.
+    if (b + 1 < pieces.size() && pieces[b]->kind == 'i' &&
+        pieces[b]->text == "this" && pieces[b + 1]->kind == 'p')
+        b += 2;
+    std::string expr;
+    std::string lead;
+    for (std::size_t k = b; k < pieces.size(); ++k) {
+        const FullTok &p = *pieces[k];
+        if (p.kind == 'i') {
+            if (lead.empty())
+                lead = p.text;
+            expr += p.text;
+        } else if (p.text == "::") {
+            expr += "::";
+        } else {
+            expr += "."; // '.' and '->' collapse: one object path
+        }
+    }
+    if (expr.empty())
+        return expr;
+    // A name declared as a sync object in this body or a lexically
+    // enclosing one is function-local: qualify by that function so
+    // unrelated functions' local mutexes never unify.
+    for (int s = symId; s >= 0;
+         s = prog.symbols[static_cast<std::size_t>(s)].parent) {
+        const auto it = names.localSync.find(s);
+        if (it != names.localSync.end() && it->second.count(lead))
+            return prog.symbols[static_cast<std::size_t>(s)].qualified +
+                   "::" + expr;
+    }
+    const std::string prefix = classPrefix(prog, symId);
+    return prefix.empty() ? expr : prefix + "::" + expr;
+}
+
+/** One registered RAII guard variable. */
+struct GuardVar
+{
+    std::vector<std::string> locks;
+    bool engaged = false;
+};
+
+/**
+ * Extract the ordered lock events of @p symId's own body (child
+ * lambdas excluded; they are separate symbols).
+ */
+std::vector<LockEvent>
+extractEvents(const Program &prog, const NameContext &names, int symId)
+{
+    std::vector<LockEvent> events;
+    const Symbol &sym = prog.symbols[static_cast<std::size_t>(symId)];
+    const auto tokIt = prog.tokens.find(sym.file);
+    if (tokIt == prog.tokens.end())
+        return events;
+    const std::vector<FullTok> &t = tokIt->second;
+    const auto isP = [&](std::size_t i, const char *p) {
+        return i < t.size() && t[i].kind == 'p' && t[i].text == p;
+    };
+    const auto isI = [&](std::size_t i) {
+        return i < t.size() && t[i].kind == 'i';
+    };
+    const auto emit = [&](std::size_t at, bool acquire,
+                          const std::string &lock) {
+        if (!lock.empty())
+            events.push_back(
+                {at, acquire, lock, t[at].line, t[at].col});
+    };
+
+    // Scope stack: the guards declared per brace frame.
+    std::vector<std::map<std::string, GuardVar>> frames(1);
+    const auto findGuard =
+        [&](const std::string &name) -> GuardVar * {
+        for (auto f = frames.rbegin(); f != frames.rend(); ++f) {
+            const auto g = f->find(name);
+            if (g != f->end())
+                return &g->second;
+        }
+        return nullptr;
+    };
+
+    // Receiver chain of a member call, walking backwards from @p at
+    // (the token before the '.'/'->'): this/ident chains joined by
+    // '.', '->' or '::'.
+    const auto receiver = [&](std::size_t at) {
+        std::vector<const FullTok *> pieces;
+        std::size_t j = at;
+        while (true) {
+            if (!isI(j))
+                break;
+            pieces.push_back(&t[j]);
+            if (j >= 2 &&
+                (isP(j - 1, ".") || isP(j - 1, "->") ||
+                 isP(j - 1, "::")) &&
+                isI(j - 2)) {
+                pieces.push_back(&t[j - 1]);
+                j -= 2;
+                continue;
+            }
+            break;
+        }
+        std::reverse(pieces.begin(), pieces.end());
+        return pieces;
+    };
+
+    const auto children = childRangesLf(prog, symId);
+    std::size_t child = 0;
+    for (std::size_t k = sym.bodyBegin;
+         k < sym.bodyEnd && k < t.size(); ++k) {
+        while (child < children.size() && children[child].second <= k)
+            ++child;
+        if (child < children.size() && k >= children[child].first) {
+            k = children[child].second - 1;
+            continue;
+        }
+        if (isP(k, "{")) {
+            frames.emplace_back();
+            continue;
+        }
+        if (isP(k, "}")) {
+            // Guard destructors run here: engaged guards release.
+            for (const auto &g : frames.back())
+                if (g.second.engaged)
+                    for (const std::string &lock : g.second.locks)
+                        emit(k, false, lock);
+            if (frames.size() > 1)
+                frames.pop_back();
+            continue;
+        }
+        if (t[k].kind != 'i')
+            continue;
+
+        // RAII guard declaration:
+        //   lock_guard<..> name(mu [, mu2...]);   scoped_lock l{a, b};
+        //   unique_lock<..> name(mu, std::defer_lock);
+        if (guardTypes().count(t[k].text)) {
+            std::size_t j = k + 1;
+            if (isP(j, "<")) {
+                std::size_t depth = 0;
+                for (; j < t.size(); ++j) {
+                    if (isP(j, "<"))
+                        ++depth;
+                    else if (isP(j, ">") && --depth == 0) {
+                        ++j;
+                        break;
+                    }
+                }
+            }
+            if (!isI(j))
+                continue; // a type mention, not a declaration
+            const std::string guardName = t[j].text;
+            const std::size_t open = j + 1;
+            if (!isP(open, "(") && !isP(open, "{")) {
+                if (isP(open, ";"))
+                    // Default-constructed unique_lock: owns nothing.
+                    frames.back()[guardName] = GuardVar{{}, false};
+                continue;
+            }
+            const char *closeTxt = isP(open, "(") ? ")" : "}";
+            // Top-level comma split of the constructor arguments.
+            std::size_t depth = 0;
+            std::size_t segStart = open + 1;
+            std::vector<std::vector<const FullTok *>> segs(1);
+            std::size_t close = open;
+            for (std::size_t a = open; a < t.size(); ++a) {
+                if (t[a].kind != 'p') {
+                    if (a > open)
+                        segs.back().push_back(&t[a]);
+                    continue;
+                }
+                const std::string &p = t[a].text;
+                if (p == "(" || p == "[" || p == "{") {
+                    if (++depth == 1)
+                        continue;
+                } else if (p == ")" || p == "]" || p == "}") {
+                    if (--depth == 0) {
+                        close = a;
+                        break;
+                    }
+                } else if (p == "," && depth == 1) {
+                    segs.emplace_back();
+                    continue;
+                }
+                segs.back().push_back(&t[a]);
+            }
+            (void)segStart;
+            (void)closeTxt;
+            GuardVar guard;
+            bool deferred = false;
+            bool adopted = false;
+            for (const auto &seg : segs) {
+                if (seg.empty())
+                    continue;
+                const FullTok &last = *seg.back();
+                if (last.kind == 'i' &&
+                    (last.text == "defer_lock" ||
+                     last.text == "try_to_lock" ||
+                     last.text == "adopt_lock")) {
+                    deferred = deferred || last.text == "defer_lock";
+                    adopted = adopted || last.text == "adopt_lock";
+                    continue;
+                }
+                std::vector<const FullTok *> pieces(seg);
+                if (!pieces.empty() && pieces.front()->kind == 'p' &&
+                    pieces.front()->text == "&")
+                    pieces.erase(pieces.begin());
+                const std::string lock =
+                    canonicalLock(prog, names, symId, pieces);
+                if (!lock.empty())
+                    guard.locks.push_back(lock);
+            }
+            guard.engaged = !deferred;
+            if (!deferred && !adopted)
+                for (const std::string &lock : guard.locks)
+                    emit(j, true, lock);
+            frames.back()[guardName] = std::move(guard);
+            k = close;
+            continue;
+        }
+
+        // Manual lock()/unlock() member calls, on a guard variable or
+        // directly on a mutex expression.
+        const bool isLockCall =
+            (t[k].text == "lock" || t[k].text == "try_lock" ||
+             t[k].text == "lock_shared") &&
+            isP(k + 1, "(");
+        const bool isUnlockCall =
+            (t[k].text == "unlock" || t[k].text == "unlock_shared") &&
+            isP(k + 1, "(");
+        if ((isLockCall || isUnlockCall) && k >= 2 &&
+            (isP(k - 1, ".") || isP(k - 1, "->"))) {
+            const std::vector<const FullTok *> pieces = receiver(k - 2);
+            if (pieces.empty())
+                continue;
+            if (pieces.size() == 1) {
+                GuardVar *guard = findGuard(pieces[0]->text);
+                if (guard != nullptr) {
+                    if (isLockCall && !guard->engaged) {
+                        for (const std::string &lock : guard->locks)
+                            emit(k, true, lock);
+                        guard->engaged = true;
+                    } else if (isUnlockCall && guard->engaged) {
+                        for (const std::string &lock : guard->locks)
+                            emit(k, false, lock);
+                        guard->engaged = false;
+                    }
+                    continue;
+                }
+            }
+            const std::string lock =
+                canonicalLock(prog, names, symId, pieces);
+            emit(k, isLockCall, lock);
+            continue;
+        }
+    }
+    return events;
+}
+
+/** Set of locks with positive count. */
+std::set<std::string>
+heldFromCounts(const std::map<std::string, int> &cnt)
+{
+    std::set<std::string> held;
+    for (const auto &c : cnt)
+        if (c.second > 0)
+            held.insert(c.first);
+    return held;
+}
+
+// --------------------------------------------------------------------
+// Tarjan SCC over string-named lock nodes.
+// --------------------------------------------------------------------
+
+struct SccResult
+{
+    /** SCCs with >= 2 nodes, each sorted; deterministic order. */
+    std::vector<std::vector<std::string>> cycles;
+};
+
+SccResult
+sccOf(const std::vector<LockOrderEdge> &edges)
+{
+    std::vector<std::string> nodes;
+    std::map<std::string, int> id;
+    const auto intern = [&](const std::string &n) {
+        const auto it = id.find(n);
+        if (it != id.end())
+            return it->second;
+        const int at = static_cast<int>(nodes.size());
+        id[n] = at;
+        nodes.push_back(n);
+        return at;
+    };
+    std::map<int, std::vector<int>> adj;
+    for (const LockOrderEdge &e : edges)
+        adj[intern(e.from)].push_back(intern(e.to));
+
+    const int n = static_cast<int>(nodes.size());
+    std::vector<int> index(static_cast<std::size_t>(n), -1);
+    std::vector<int> low(static_cast<std::size_t>(n), 0);
+    std::vector<bool> onStack(static_cast<std::size_t>(n), false);
+    std::vector<int> stack;
+    int counter = 0;
+    SccResult out;
+
+    // Iterative Tarjan (explicit frame stack keeps it stack-safe).
+    struct Frame
+    {
+        int v;
+        std::size_t next;
+    };
+    for (int start = 0; start < n; ++start) {
+        if (index[static_cast<std::size_t>(start)] != -1)
+            continue;
+        std::vector<Frame> work{{start, 0}};
+        while (!work.empty()) {
+            Frame &f = work.back();
+            const std::size_t v = static_cast<std::size_t>(f.v);
+            if (f.next == 0) {
+                index[v] = low[v] = counter++;
+                stack.push_back(f.v);
+                onStack[v] = true;
+            }
+            bool descended = false;
+            const auto it = adj.find(f.v);
+            if (it != adj.end()) {
+                while (f.next < it->second.size()) {
+                    const int w = it->second[f.next++];
+                    const std::size_t wu = static_cast<std::size_t>(w);
+                    if (index[wu] == -1) {
+                        work.push_back({w, 0});
+                        descended = true;
+                        break;
+                    }
+                    if (onStack[wu])
+                        low[v] = std::min(low[v], index[wu]);
+                }
+            }
+            if (descended)
+                continue;
+            if (low[v] == index[v]) {
+                std::vector<std::string> scc;
+                while (true) {
+                    const int w = stack.back();
+                    stack.pop_back();
+                    onStack[static_cast<std::size_t>(w)] = false;
+                    scc.push_back(nodes[static_cast<std::size_t>(w)]);
+                    if (w == f.v)
+                        break;
+                }
+                if (scc.size() >= 2) {
+                    std::sort(scc.begin(), scc.end());
+                    out.cycles.push_back(std::move(scc));
+                }
+            }
+            const int done = f.v;
+            work.pop_back();
+            if (!work.empty()) {
+                const std::size_t p =
+                    static_cast<std::size_t>(work.back().v);
+                low[p] = std::min(low[p],
+                                  low[static_cast<std::size_t>(done)]);
+            }
+        }
+    }
+    std::sort(out.cycles.begin(), out.cycles.end());
+    return out;
+}
+
+/**
+ * A concrete edge cycle inside @p scc: the lexicographically smallest
+ * node, one of its in-SCC successors, and the shortest edge path back.
+ */
+std::vector<const LockOrderEdge *>
+concreteCycle(const std::vector<LockOrderEdge> &edges,
+              const std::vector<std::string> &scc)
+{
+    const std::set<std::string> in(scc.begin(), scc.end());
+    std::map<std::string, std::vector<const LockOrderEdge *>> adj;
+    // Self-edges are reported as their own self-deadlock finding; a
+    // multi-lock cycle's concrete chain must thread through distinct
+    // locks or the "shortest path" degenerates to the self-loop.
+    for (const LockOrderEdge &e : edges)
+        if (e.from != e.to && in.count(e.from) && in.count(e.to))
+            adj[e.from].push_back(&e);
+    const std::string &start = scc.front(); // sorted: smallest
+    // BFS for the shortest edge path start -> ... -> start.
+    std::map<std::string, const LockOrderEdge *> via;
+    std::deque<std::string> queue{start};
+    bool closed = false;
+    while (!queue.empty() && !closed) {
+        const std::string at = queue.front();
+        queue.pop_front();
+        for (const LockOrderEdge *e : adj[at]) {
+            if (e->to == start) {
+                via[start + "\n"] = e; // sentinel key closes the loop
+                closed = true;
+                break;
+            }
+            if (!via.count(e->to)) {
+                via[e->to] = e;
+                queue.push_back(e->to);
+            }
+        }
+    }
+    std::vector<const LockOrderEdge *> chain;
+    if (!closed)
+        return chain;
+    // Walk backwards from the closing edge to the start.
+    const LockOrderEdge *e = via[start + "\n"];
+    while (true) {
+        chain.push_back(e);
+        if (e->from == start)
+            break;
+        e = via[e->from];
+    }
+    std::reverse(chain.begin(), chain.end());
+    return chain;
+}
+
+std::string
+shortLock(const std::string &canonical)
+{
+    return canonical;
+}
+
+} // namespace
+
+std::set<std::string>
+LockFlow::heldLocal(int sym, std::size_t tok) const
+{
+    std::set<std::string> held;
+    const auto it = events.find(sym);
+    if (it == events.end())
+        return held;
+    std::map<std::string, int> cnt;
+    for (const LockEvent &ev : it->second) {
+        if (ev.tok >= tok)
+            break;
+        int &c = cnt[ev.lock];
+        c += ev.acquire ? 1 : (c > 0 ? -1 : 0);
+    }
+    return heldFromCounts(cnt);
+}
+
+std::set<std::string>
+LockFlow::heldAt(int sym, std::size_t tok) const
+{
+    std::set<std::string> held = heldLocal(sym, tok);
+    const auto it = entry.find(sym);
+    if (it != entry.end())
+        held.insert(it->second.begin(), it->second.end());
+    return held;
+}
+
+LockFlow
+analyzeLockFlow(const Program &prog, const WorkerAnalysis &wa)
+{
+    LockFlow lf;
+
+    // Pass 1: local sync-object declarations, for canonical naming.
+    NameContext names;
+    for (std::size_t s = 0; s < prog.symbols.size(); ++s) {
+        const Symbol &sym = prog.symbols[s];
+        const auto tokIt = prog.tokens.find(sym.file);
+        if (tokIt == prog.tokens.end())
+            continue;
+        const std::vector<FullTok> &t = tokIt->second;
+        for (std::size_t k = sym.bodyBegin;
+             k + 1 < t.size() && k < sym.bodyEnd; ++k) {
+            if (t[k].kind != 'i' || !mutexType(t[k].text) ||
+                t[k + 1].kind != 'i')
+                continue;
+            const bool decl =
+                k + 2 >= t.size() ||
+                (t[k + 2].kind == 'p' &&
+                 (t[k + 2].text == ";" || t[k + 2].text == "," ||
+                  t[k + 2].text == "{" || t[k + 2].text == "="));
+            if (!decl)
+                continue;
+            names.localSync[static_cast<int>(s)].insert(t[k + 1].text);
+            if (recursiveMutexType(t[k].text))
+                names.localRecursive[static_cast<int>(s)].insert(
+                    t[k + 1].text);
+        }
+    }
+
+    // Pass 2: per-symbol lock events.
+    for (std::size_t s = 0; s < prog.symbols.size(); ++s) {
+        std::vector<LockEvent> ev =
+            extractEvents(prog, names, static_cast<int>(s));
+        if (!ev.empty())
+            lf.events[static_cast<int>(s)] = std::move(ev);
+    }
+    // Canonical recursive-mutex names.
+    for (const auto &rec : names.localRecursive)
+        for (const std::string &name : rec.second) {
+            std::vector<const FullTok *> pieces;
+            FullTok tok;
+            tok.kind = 'i';
+            tok.text = name;
+            pieces.push_back(&tok);
+            lf.recursive.insert(
+                canonicalLock(prog, names, rec.first, pieces));
+        }
+
+    // Pass 3: worker entry-lock contexts by decreasing fixpoint.
+    const std::set<int> rootSet(wa.roots.begin(), wa.roots.end());
+    for (const int r : wa.roots)
+        lf.entry[r] = {};
+    const auto mergeEntry = [&](int callee,
+                                const std::set<std::string> &held,
+                                bool &changed) {
+        if (rootSet.count(callee) || !wa.reachable.count(callee))
+            return;
+        const auto it = lf.entry.find(callee);
+        if (it == lf.entry.end()) {
+            lf.entry[callee] = held;
+            changed = true;
+            return;
+        }
+        std::set<std::string> meet;
+        std::set_intersection(it->second.begin(), it->second.end(),
+                              held.begin(), held.end(),
+                              std::inserter(meet, meet.begin()));
+        if (meet != it->second) {
+            it->second = std::move(meet);
+            changed = true;
+        }
+    };
+    for (int pass = 0; pass < 20; ++pass) {
+        bool changed = false;
+        for (const CallSite &call : prog.calls) {
+            if (!wa.reachable.count(call.caller))
+                continue;
+            const auto eIt = lf.entry.find(call.caller);
+            if (eIt == lf.entry.end())
+                continue; // context not yet known; next pass
+            std::set<std::string> held =
+                lf.heldLocal(call.caller, call.tok);
+            held.insert(eIt->second.begin(), eIt->second.end());
+            for (const int callee : resolveCall(prog, call))
+                mergeEntry(callee, held, changed);
+        }
+        // Nested lambdas inherit what is held where they are defined.
+        for (std::size_t s = 0; s < prog.symbols.size(); ++s) {
+            const Symbol &sym = prog.symbols[s];
+            if (!sym.isLambda || sym.parent < 0 ||
+                !wa.reachable.count(static_cast<int>(s)))
+                continue;
+            const auto eIt = lf.entry.find(sym.parent);
+            if (eIt == lf.entry.end())
+                continue;
+            std::set<std::string> held =
+                lf.heldLocal(sym.parent, sym.bodyBegin);
+            held.insert(eIt->second.begin(), eIt->second.end());
+            mergeEntry(static_cast<int>(s), held, changed);
+        }
+        if (!changed)
+            break;
+    }
+
+    // Pass 4: the lock-order graph.  Tests are excluded like R10/R11
+    // (single-threaded by construction).
+    std::map<std::pair<std::string, std::string>, std::size_t> seen;
+    for (const auto &se : lf.events) {
+        const Symbol &sym =
+            prog.symbols[static_cast<std::size_t>(se.first)];
+        if (underTestsLf(sym.file))
+            continue;
+        std::set<std::string> ctx;
+        const auto eIt = lf.entry.find(se.first);
+        if (eIt != lf.entry.end())
+            ctx = eIt->second;
+        std::map<std::string, int> cnt;
+        const auto addEdge = [&](const std::string &from,
+                                 const LockEvent &ev, bool fromEntry) {
+            const auto key = std::make_pair(from, ev.lock);
+            if (seen.count(key))
+                return;
+            seen[key] = lf.edges.size();
+            lf.edges.push_back({from, ev.lock, sym.file, ev.line,
+                                ev.col, sym.qualified, fromEntry});
+        };
+        for (const LockEvent &ev : se.second) {
+            if (!ev.acquire) {
+                int &c = cnt[ev.lock];
+                if (c > 0)
+                    --c;
+                continue;
+            }
+            const bool reAcquire =
+                cnt[ev.lock] > 0 ||
+                (ctx.count(ev.lock) && cnt[ev.lock] == 0);
+            if (reAcquire && !lf.recursive.count(ev.lock))
+                addEdge(ev.lock, ev, cnt[ev.lock] == 0);
+            for (const auto &c : cnt)
+                if (c.second > 0 && c.first != ev.lock)
+                    addEdge(c.first, ev, false);
+            for (const std::string &h : ctx)
+                if (h != ev.lock && cnt[h] == 0)
+                    addEdge(h, ev, true);
+            ++cnt[ev.lock];
+        }
+    }
+    return lf;
+}
+
+std::vector<Finding>
+checkLockOrder(const Program &prog, const LockFlow &lf)
+{
+    (void)prog;
+    std::vector<Finding> out;
+
+    // Self-loops: a non-recursive mutex acquired while already held.
+    for (const LockOrderEdge &e : lf.edges) {
+        if (e.from != e.to)
+            continue;
+        Finding f;
+        f.file = e.file;
+        f.line = e.line;
+        f.rule = "R13";
+        f.column = e.col;
+        f.endLine = e.line;
+        f.endColumn = e.col;
+        f.message =
+            "lock '" + shortLock(e.to) + "' acquired in " + e.function +
+            " while already held" +
+            (e.fromEntry ? " by a caller on the worker path"
+                         : " in this body") +
+            " -- a non-recursive mutex self-deadlocks here; restructure "
+            "so each lock is taken once, or make the inner section a "
+            "locked-precondition helper";
+        out.push_back(std::move(f));
+    }
+
+    // Cycles: every SCC of >= 2 locks, rendered as one concrete chain.
+    const SccResult sccs = sccOf(lf.edges);
+    for (const std::vector<std::string> &scc : sccs.cycles) {
+        const std::vector<const LockOrderEdge *> chain =
+            concreteCycle(lf.edges, scc);
+        if (chain.empty())
+            continue;
+        // Anchor deterministically at the smallest (file, line) edge.
+        std::size_t anchor = 0;
+        for (std::size_t i = 1; i < chain.size(); ++i)
+            if (std::make_pair(chain[i]->file, chain[i]->line) <
+                std::make_pair(chain[anchor]->file,
+                               chain[anchor]->line))
+                anchor = i;
+        std::string locks;
+        for (std::size_t i = 0; i < scc.size(); ++i)
+            locks += (i ? ", " : "") + shortLock(scc[i]);
+        std::string chainTxt;
+        for (std::size_t i = 0; i < chain.size(); ++i) {
+            const LockOrderEdge &e = *chain[(anchor + i) %
+                                            chain.size()];
+            chainTxt += shortLock(e.from) + " -> " + shortLock(e.to) +
+                        " (" + e.to + " acquired while " + e.from +
+                        " held" +
+                        (e.fromEntry ? " by a worker-path caller"
+                                     : "") +
+                        " at " + e.file + ":" +
+                        std::to_string(e.line) + " in " + e.function +
+                        ")" + (i + 1 < chain.size() ? "; " : "");
+        }
+        const LockOrderEdge &at = *chain[anchor];
+        Finding f;
+        f.file = at.file;
+        f.line = at.line;
+        f.rule = "R13";
+        f.column = at.col;
+        f.endLine = at.line;
+        f.endColumn = at.col;
+        f.message = "lock-order cycle over {" + locks + "}: " +
+                    chainTxt +
+                    " -- two threads interleaving these chains can "
+                    "deadlock; pick one global acquisition order (or "
+                    "std::scoped_lock both together) and bring every "
+                    "site in line";
+        out.push_back(std::move(f));
+    }
+    std::sort(out.begin(), out.end(),
+              [](const Finding &a, const Finding &b) {
+                  if (a.file != b.file)
+                      return a.file < b.file;
+                  if (a.line != b.line)
+                      return a.line < b.line;
+                  return a.message < b.message;
+              });
+    return out;
+}
+
+std::string
+dumpLockGraph(const Program &prog, const LockFlow &lf)
+{
+    std::ostringstream out;
+    std::set<std::string> locks;
+    for (const LockOrderEdge &e : lf.edges) {
+        locks.insert(e.from);
+        locks.insert(e.to);
+    }
+    for (const auto &se : lf.events)
+        for (const LockEvent &ev : se.second)
+            locks.insert(ev.lock);
+    const SccResult sccs = sccOf(lf.edges);
+    std::size_t contexts = 0;
+    for (const auto &e : lf.entry)
+        if (!e.second.empty())
+            ++contexts;
+    out << "lockgraph: " << locks.size() << " locks, "
+        << lf.edges.size() << " order edges, " << sccs.cycles.size()
+        << " cycles, " << contexts
+        << " non-empty worker entry contexts\n";
+    for (const std::string &lock : locks)
+        out << "  lock: " << lock << "\n";
+    for (const LockOrderEdge &e : lf.edges)
+        out << "  edge: " << e.from << " -> " << e.to << "  ("
+            << e.file << ":" << e.line << " in " << e.function
+            << (e.fromEntry ? "; held on entry" : "") << ")\n";
+    for (const std::vector<std::string> &scc : sccs.cycles) {
+        out << "  cycle:";
+        for (const std::string &n : scc)
+            out << " " << n;
+        out << "\n";
+    }
+    for (const auto &e : lf.entry) {
+        if (e.second.empty())
+            continue;
+        out << "  entry: "
+            << prog.symbols[static_cast<std::size_t>(e.first)].qualified
+            << " holds";
+        for (const std::string &lock : e.second)
+            out << " " << lock;
+        out << "\n";
+    }
+    return out.str();
+}
+
+} // namespace lint
+} // namespace rsin

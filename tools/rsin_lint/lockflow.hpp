@@ -1,0 +1,135 @@
+#pragma once
+
+/**
+ * @file
+ * Lock-set dataflow over the cross-TU call graph (symbols.hpp): the
+ * analysis layer behind the precise R10 and the lock-order rule R13.
+ *
+ * The PR 8 version of R10 accepted "lock evidence anywhere earlier in
+ * the body" -- a guard in one branch excused a write in a sibling
+ * branch, a guard released by a closing brace excused writes after it,
+ * and a helper that only ever runs under its caller's lock was flagged
+ * anyway because the evidence lived one frame up the stack.  This
+ * module replaces that heuristic with real (still lexical) dataflow:
+ *
+ *  1. **Local lock events.**  Each function body is walked once with a
+ *     brace-scope stack, producing an ordered acquire/release event
+ *     list: RAII guards (lock_guard / unique_lock / scoped_lock /
+ *     shared_lock, paren or brace init, multi-mutex scoped_lock,
+ *     std::defer_lock / adopt_lock tags) release at their scope's
+ *     closing brace; manual expr.lock()/expr.unlock() toggle without a
+ *     scope; guard.lock()/guard.unlock() re-engage or release the
+ *     guard's mutexes.  Replaying the events answers heldLocal(f, k):
+ *     the lock set held at token k of f.
+ *
+ *  2. **Canonical lock names.**  A mutex expression is normalized
+ *     (leading '&' dropped, "this->" stripped, '->' folded to '.') and
+ *     qualified: function-local mutexes by the owning function, member
+ *     and namespace-scope mutexes by the enclosing class/namespace --
+ *     so `impl_->mutex` in two AnalysisCache methods in two TUs is one
+ *     lock node, and a local `std::mutex m` in two unrelated functions
+ *     is two.
+ *
+ *  3. **Entry-lock contexts** (interprocedural, worker paths).  A
+ *     worker root starts with no locks (spawners' locks are not
+ *     inherited across the submit boundary).  Every other
+ *     worker-reachable function's entry set is the *intersection* over
+ *     its reachable call sites of (caller's entry set ∪ caller's local
+ *     held set at the call token); nested lambdas take the set held at
+ *     their definition site.  The fixpoint is monotone-decreasing
+ *     after first initialization, so it terminates.  R10 then flags a
+ *     shared write at token k of f only when entry(f) ∪ heldLocal(f,k)
+ *     is empty -- i.e. when there is *some* worker-reachable path on
+ *     which no lock protects the write.
+ *
+ *  4. **Lock-order graph** (R13).  Over every function (entry context
+ *     included), each acquire of B while A is held adds the edge
+ *     A -> B with its concrete site.  Tarjan SCC over the merged graph
+ *     finds cycles; each non-trivial SCC is one finding carrying a
+ *     concrete acquire chain (every edge's function and file:line), and
+ *     a re-acquire of a lock already held (self-loop) is reported as a
+ *     self-deadlock unless the mutex is locally declared recursive.
+ *     This is the static sibling of the wait-for-graph instrumentation
+ *     the ROADMAP plans for the simulator itself: the cycle in the
+ *     acquire-order relation is exactly the certificate that a
+ *     deadlocking schedule exists (cf. the partial-order argument in
+ *     Barbosa's resource-sharing analysis, PAPERS.md).
+ *
+ * Like the rest of rsin-lint this trades soundness for dependency-free
+ * speed: aliasing is name-based, conditionals are ignored (an acquire
+ * under `if` counts), and try_lock is treated as a successful lock.
+ */
+
+#include <cstddef>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "lint.hpp"
+#include "symbols.hpp"
+
+namespace rsin {
+namespace lint {
+
+/** One acquire or release of a canonical lock inside a function. */
+struct LockEvent
+{
+    std::size_t tok = 0;  ///< token index in the file's stream
+    bool acquire = true;
+    std::string lock;     ///< canonical lock name
+    std::size_t line = 0; ///< 1-based source line of the event
+    std::size_t col = 0;
+};
+
+/** One lock-order edge: @c to acquired while @c from was held. */
+struct LockOrderEdge
+{
+    std::string from;
+    std::string to;
+    std::string file;       ///< site of the @c to acquire
+    std::size_t line = 0;
+    std::size_t col = 0;
+    std::string function;   ///< qualified name of the acquiring fn
+    /** @c from came from the worker-entry context rather than a local
+     *  acquire in the same body. */
+    bool fromEntry = false;
+};
+
+/** The computed lock-flow facts for one program. */
+struct LockFlow
+{
+    /** Per-symbol ordered acquire/release events. */
+    std::map<int, std::vector<LockEvent>> events;
+    /** Worker-entry lock context: locks held on *every*
+     *  worker-reachable path into the symbol.  Roots map to {}. */
+    std::map<int, std::set<std::string>> entry;
+    /** Deduplicated lock-order edges, in deterministic order. */
+    std::vector<LockOrderEdge> edges;
+    /** Locks locally declared as recursive_mutex (self-loop exempt). */
+    std::set<std::string> recursive;
+
+    /** Locks held at token @p tok of symbol @p sym by local replay. */
+    std::set<std::string> heldLocal(int sym, std::size_t tok) const;
+    /** entry(sym) ∪ heldLocal(sym, tok): the R10 query. */
+    std::set<std::string> heldAt(int sym, std::size_t tok) const;
+};
+
+/** Run the lock-set dataflow over @p prog / @p wa. */
+LockFlow analyzeLockFlow(const Program &prog, const WorkerAnalysis &wa);
+
+/**
+ * R13: cycles in the lock-order graph.  One finding per non-trivial
+ * SCC with the concrete acquire chain, anchored at the cycle's
+ * lexicographically first edge site; self-loops report as double
+ * acquisition.  Symbols under tests/ contribute no edges (tests are
+ * single-threaded by construction, like R10/R11).
+ */
+std::vector<Finding> checkLockOrder(const Program &prog,
+                                    const LockFlow &lf);
+
+/** Human-readable dump of the lock graph (--dump-lockgraph). */
+std::string dumpLockGraph(const Program &prog, const LockFlow &lf);
+
+} // namespace lint
+} // namespace rsin

@@ -30,6 +30,18 @@
  *                                      and exit 0
  *   rsin_lint --dump-callgraph         print resolved call edges and
  *                                      worker roots and exit 0
+ *   rsin_lint --dump-lockgraph         print the lock-order graph
+ *                                      (locks, edges, cycles, worker
+ *                                      entry contexts) and exit 0
+ *   rsin_lint --jobs N                 per-file stage threads (0 =
+ *                                      hardware concurrency; findings
+ *                                      are identical for any N)
+ *   rsin_lint --cache FILE             persist per-file artifacts so
+ *                                      warm runs only re-analyze
+ *                                      edited files (tree mode only)
+ *   rsin_lint --no-cache               ignore --cache for this run
+ *   rsin_lint --timings                print per-phase timings to
+ *                                      stderr
  *
  * Exit status: 0 clean (after the baseline, if any), 1 findings
  * reported, 2 usage or I/O error.  Unreadable files under the tree are
@@ -38,6 +50,7 @@
  * whenever the tree violates a determinism/correctness rule.
  */
 
+#include <cmath>
 #include <exception>
 #include <fstream>
 #include <iostream>
@@ -46,6 +59,7 @@
 #include <vector>
 
 #include "lint.hpp"
+#include "lockflow.hpp"
 #include "output.hpp"
 #include "symbols.hpp"
 #include "xtu_rules.hpp"
@@ -75,6 +89,20 @@ readFileOr(const std::string &path, bool &ok)
     return text.str();
 }
 
+void
+printTimings(const rsin::lint::LintTimings &timings)
+{
+    std::cerr << "rsin-lint timings:";
+    for (const auto &phase : timings.phases)
+        std::cerr << " " << phase.first << "="
+                  << static_cast<long long>(std::llround(phase.second))
+                  << "ms";
+    std::cerr << " total="
+              << static_cast<long long>(
+                     std::llround(timings.totalMs))
+              << "ms\n";
+}
+
 } // namespace
 
 int
@@ -88,6 +116,11 @@ main(int argc, char **argv)
     bool ratchet = false;
     bool dumpSymbolsMode = false;
     bool dumpCallGraphMode = false;
+    bool dumpLockGraphMode = false;
+    bool noCache = false;
+    bool timingsMode = false;
+    std::string cachePath;
+    std::size_t jobs = 0;
     std::vector<std::string> files;
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
@@ -125,6 +158,30 @@ main(int argc, char **argv)
             dumpSymbolsMode = true;
         } else if (arg == "--dump-callgraph") {
             dumpCallGraphMode = true;
+        } else if (arg == "--dump-lockgraph") {
+            dumpLockGraphMode = true;
+        } else if (arg == "--cache") {
+            if (i + 1 >= argc) {
+                std::cerr << "rsin-lint: --cache needs a file\n";
+                return 2;
+            }
+            cachePath = argv[++i];
+        } else if (arg == "--no-cache") {
+            noCache = true;
+        } else if (arg == "--timings") {
+            timingsMode = true;
+        } else if (arg == "--jobs") {
+            if (i + 1 >= argc) {
+                std::cerr << "rsin-lint: --jobs needs a count\n";
+                return 2;
+            }
+            try {
+                jobs = static_cast<std::size_t>(
+                    std::stoul(argv[++i]));
+            } catch (const std::exception &) {
+                std::cerr << "rsin-lint: --jobs wants a number\n";
+                return 2;
+            }
         } else if (arg == "--list-rules") {
             printRules(std::cout);
             return 0;
@@ -132,9 +189,10 @@ main(int argc, char **argv)
             std::cout << "usage: rsin_lint [--root DIR] "
                          "[--format=text|json|sarif] [--baseline FILE] "
                          "[--emit-baseline] [--ratchet] "
-                         "[--schemas FILE] [--dump-symbols] "
-                         "[--dump-callgraph] [--list-rules] "
-                         "[file...]\n";
+                         "[--schemas FILE] [--jobs N] [--cache FILE] "
+                         "[--no-cache] [--timings] [--dump-symbols] "
+                         "[--dump-callgraph] [--dump-lockgraph] "
+                         "[--list-rules] [file...]\n";
             printRules(std::cout);
             return 0;
         } else if (!arg.empty() && arg[0] == '-') {
@@ -146,7 +204,8 @@ main(int argc, char **argv)
     }
 
     try {
-        if (dumpSymbolsMode || dumpCallGraphMode) {
+        if (dumpSymbolsMode || dumpCallGraphMode ||
+            dumpLockGraphMode) {
             // Debug views of the cross-TU layer over the same file
             // set a lint run would see.
             std::vector<rsin::lint::SourceFile> sources;
@@ -172,14 +231,27 @@ main(int argc, char **argv)
             if (dumpCallGraphMode)
                 std::cout << rsin::lint::dumpCallGraph(
                     prog, rsin::lint::analyzeWorkers(prog));
+            if (dumpLockGraphMode) {
+                const rsin::lint::WorkerAnalysis wa =
+                    rsin::lint::analyzeWorkers(prog);
+                std::cout << rsin::lint::dumpLockGraph(
+                    prog, rsin::lint::analyzeLockFlow(prog, wa));
+            }
             return 0;
         }
 
         std::vector<rsin::lint::Finding> findings;
         bool ioError = false;
         if (files.empty()) {
-            rsin::lint::TreeReport report = rsin::lint::lintTree(root);
+            rsin::lint::TreeOptions treeOpts;
+            if (!noCache)
+                treeOpts.cachePath = cachePath;
+            treeOpts.jobs = jobs;
+            rsin::lint::TreeReport report =
+                rsin::lint::lintTree(root, treeOpts);
             findings = std::move(report.findings);
+            if (timingsMode)
+                printTimings(report.timings);
             for (const std::string &path : report.unreadable) {
                 std::cerr << "rsin-lint: cannot read " << path
                           << " under " << root << " (skipped)\n";
@@ -212,7 +284,16 @@ main(int argc, char **argv)
                 manifest = rsin::lint::parseSchemaManifest(text);
                 options.schemas = &manifest;
             }
+            options.jobs = jobs;
+            rsin::lint::LintTimings timings;
+            if (timingsMode)
+                options.timings = &timings;
             findings = rsin::lint::lintFiles(sources, options);
+            if (timingsMode) {
+                for (const auto &phase : timings.phases)
+                    timings.totalMs += phase.second;
+                printTimings(timings);
+            }
         }
 
         if (emitBaselineMode) {

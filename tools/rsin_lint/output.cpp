@@ -77,6 +77,10 @@ ruleCatalog()
         {"R12", "serialized writer/parser field sets must match "
                 "tools/rsin_lint/schemas.json; changing emitted "
                 "fields requires a schema-version bump"},
+        {"R13", "no cycles or self-loops in the interprocedural "
+                "lock-order graph (lock B acquired while A held); "
+                "every pair of locks must be taken in one global "
+                "order on all worker-reachable paths"},
         {"SUP", "suppression comments must name known rules and carry "
                 "a reason"},
     };
@@ -114,7 +118,7 @@ formatSarif(const std::vector<Finding> &findings)
         << "      \"tool\": {\n"
         << "        \"driver\": {\n"
         << "          \"name\": \"rsin-lint\",\n"
-        << "          \"version\": \"3.0.0\",\n"
+        << "          \"version\": \"4.0.0\",\n"
         << "          \"rules\": [\n";
     const auto &catalog = ruleCatalog();
     for (std::size_t i = 0; i < catalog.size(); ++i) {

@@ -489,6 +489,7 @@ struct FileParse
         call.file = file;
         call.line = t[i].line;
         call.col = t[i].col;
+        call.tok = i;
         // Walk the qualifier chain backwards: (ident ::)* name.
         std::size_t head = i;
         std::vector<std::string> quals;
@@ -501,6 +502,8 @@ struct FileParse
             call.qualifier += (q ? "::" : "") + quals[q];
         call.memberCall =
             head >= 1 && (isP(head - 1, ".") || isP(head - 1, "->"));
+        if (call.memberCall && head >= 2 && isI(head - 2))
+            call.receiver = t[head - 2].text;
         // Arguments: top-level comma split between the parens.
         const std::size_t open = i + 1;
         const std::size_t close = matchBalanced(open) - 1;
@@ -845,9 +848,18 @@ struct FileParse
 Program
 indexProgram(const std::vector<SourceFile> &files)
 {
-    Program prog;
+    std::map<std::string, std::vector<FullTok>> tokens;
     for (const SourceFile &file : files)
-        prog.tokens[file.path] = tokenizeFull(file.content);
+        tokens[file.path] = tokenizeFull(file.content);
+    return indexProgram(files, std::move(tokens));
+}
+
+Program
+indexProgram(const std::vector<SourceFile> &files,
+             std::map<std::string, std::vector<FullTok>> tokens)
+{
+    Program prog;
+    prog.tokens = std::move(tokens);
     for (const SourceFile &file : files) {
         FileParse parse(prog.tokens[file.path], file.path, prog);
         parse.run();
@@ -873,9 +885,6 @@ indexProgram(const std::vector<SourceFile> &files)
     return prog;
 }
 
-namespace {
-
-/** Resolve @p call to candidate symbol ids. */
 std::vector<int>
 resolveCall(const Program &prog, const CallSite &call)
 {
@@ -907,6 +916,39 @@ resolveCall(const Program &prog, const CallSite &call)
         }
         return out;
     }
+    // Member syntax on an explicit receiver other than `this` cannot
+    // be a self-call: `out_.close()` inside LedgerWriter targets the
+    // ofstream, not LedgerWriter::close.  Drop candidates scoped to
+    // the caller's own class so shared method names on std members do
+    // not fabricate call edges (which would poison worker
+    // reachability and the lock-order graph with false self-cycles).
+    if (call.memberCall && !call.receiver.empty() &&
+        call.receiver != "this") {
+        int outer = call.caller;
+        while (outer >= 0 &&
+               prog.symbols[static_cast<std::size_t>(outer)].isLambda)
+            outer = prog.symbols[static_cast<std::size_t>(outer)].parent;
+        std::string scope;
+        if (outer >= 0) {
+            const std::string &q =
+                prog.symbols[static_cast<std::size_t>(outer)].qualified;
+            const std::size_t cut = q.rfind("::");
+            if (cut != std::string::npos)
+                scope = q.substr(0, cut);
+        }
+        if (!scope.empty()) {
+            std::vector<int> kept;
+            for (const int id : candidates) {
+                const Symbol &cand =
+                    prog.symbols[static_cast<std::size_t>(id)];
+                if (cand.qualified != scope + "::" + cand.name)
+                    kept.push_back(id);
+            }
+            candidates = std::move(kept);
+            if (candidates.empty())
+                return {};
+        }
+    }
     // Unqualified: prefer candidates in the same file (headers define
     // inline methods next to their callers), else take the whole
     // overload set -- conservative, but names in this tree are
@@ -920,6 +962,8 @@ resolveCall(const Program &prog, const CallSite &call)
         return sameFile;
     return candidates;
 }
+
+namespace {
 
 /** Parameter indices of @p call that run on a worker thread. */
 std::set<std::size_t>

@@ -96,9 +96,21 @@ struct CallSite
     std::string name;      ///< callee identifier
     std::string qualifier; ///< "std", "obs::LedgerWriter", ... or ""
     bool memberCall = false; ///< preceded by '.' or '->'
+    /** For member calls: the identifier immediately before the '.' /
+     *  '->' ("this", "out_", ...), empty when the receiver is a
+     *  compound expression.  resolveCall() uses it to reject
+     *  `obj.f()` resolving to the *enclosing* class's f -- member
+     *  syntax on an explicit non-this receiver targets a different
+     *  object (often a std type that merely shares the method name,
+     *  e.g. ofstream::close vs LedgerWriter::close). */
+    std::string receiver;
     std::string file;
     std::size_t line = 0;
     std::size_t col = 0;
+    /** Index of the name token in the file's token stream, so
+     *  flow-sensitive passes (lockflow) can ask what program state
+     *  holds *at* this call. */
+    std::size_t tok = 0;
     std::vector<CallArg> args;
 };
 
@@ -129,6 +141,21 @@ struct Program
 
 /** Build the whole-program index over @p files. */
 Program indexProgram(const std::vector<SourceFile> &files);
+
+/**
+ * indexProgram() over token streams the caller already produced (the
+ * parallel engine tokenizes per file on worker threads and hands the
+ * merged map here).  @p tokens must hold one entry per file.
+ */
+Program indexProgram(const std::vector<SourceFile> &files,
+                     std::map<std::string, std::vector<FullTok>> tokens);
+
+/**
+ * Resolve @p call to candidate symbol ids: lambda-variable bindings
+ * first, then qualified-suffix matches, then same-file preference,
+ * then the whole overload set.
+ */
+std::vector<int> resolveCall(const Program &prog, const CallSite &call);
 
 /** Worker-context analysis: roots, reachability, forwarders. */
 struct WorkerAnalysis

@@ -2,7 +2,10 @@
 
 #include <algorithm>
 #include <cctype>
+#include <filesystem>
+#include <fstream>
 #include <set>
+#include <sstream>
 
 #include "json_mini.hpp"
 
@@ -100,25 +103,6 @@ isWriteAt(const std::vector<FullTok> &t, std::size_t k)
     return false;
 }
 
-/** Lock evidence anywhere in [from, to) of the same token stream. */
-bool
-lockEvidence(const std::vector<FullTok> &t, std::size_t from,
-             std::size_t to)
-{
-    static const std::set<std::string> kGuards{
-        "lock_guard", "unique_lock", "scoped_lock", "shared_lock"};
-    for (std::size_t k = from; k < to && k < t.size(); ++k) {
-        if (t[k].kind != 'i')
-            continue;
-        if (kGuards.count(t[k].text))
-            return true;
-        if (t[k].text == "lock" && k >= 1 && t[k - 1].kind == 'p' &&
-            (t[k - 1].text == "." || t[k - 1].text == "->"))
-            return true;
-    }
-    return false;
-}
-
 /** @p owner is @p sym or one of its lexical ancestors. */
 bool
 ownsOrEncloses(const Program &prog, int owner, int sym)
@@ -148,7 +132,8 @@ spanFinding(const std::string &file, const FullTok &tok,
 } // namespace
 
 std::vector<Finding>
-checkWorkerState(const Program &prog, const WorkerAnalysis &wa)
+checkWorkerState(const Program &prog, const WorkerAnalysis &wa,
+                 const LockFlow &lf)
 {
     std::vector<Finding> out;
     // Mutable, unsynchronized shared state by name.
@@ -207,16 +192,21 @@ checkWorkerState(const Program &prog, const WorkerAnalysis &wa)
                     continue; // the declaration itself
                 if (!isWriteAt(toks, k))
                     continue;
-                if (lockEvidence(toks, sym.bodyBegin, k))
+                // The lock-set dataflow: a non-empty held set at the
+                // write token (locally held or inherited from every
+                // worker-reachable caller) means the write is
+                // serialized on every path.
+                if (!lf.heldAt(id, k).empty())
                     continue;
                 out.push_back(spanFinding(
                     sym.file, toks[k], "R10",
                     "write to mutable shared state '" + g->name +
                         "' on a worker-reachable path (" +
                         workerChain(prog, wa, id) +
-                        ") without lock evidence in this body; "
-                        "guard it with a mutex or make it "
-                        "std::atomic"));
+                        ") with an empty lock set at the write "
+                        "(no guard in scope here and no lock held "
+                        "by every worker-path caller); guard it "
+                        "with a mutex or make it std::atomic"));
             }
         });
     }
@@ -322,8 +312,33 @@ parseSchemaManifest(const std::string &json)
                 "schemas manifest: entry is not an object");
         SchemaEntry entry;
         entry.tag = wantString(e, "tag", "entry");
+        const auto mode = e.object.find("mode");
+        if (mode != e.object.end()) {
+            if (mode->second.kind != JsonValue::Kind::String ||
+                (mode->second.string != "text" &&
+                 mode->second.string != "tokens"))
+                throw std::runtime_error(
+                    std::string("schemas manifest: entry '") +
+                    entry.tag + "': 'mode' must be \"text\" or "
+                    "\"tokens\"");
+            entry.textMode = mode->second.string == "text";
+        }
+        const auto readFields = [&](const JsonValue &obj,
+                                    const char *key,
+                                    std::vector<std::string> &into) {
+            const auto it = obj.object.find(key);
+            if (it == obj.object.end())
+                return;
+            if (it->second.kind != JsonValue::Kind::Array)
+                throw std::runtime_error(
+                    std::string("schemas manifest: entry '") +
+                    entry.tag + "': '" + key + "' is not an array");
+            for (const JsonValue &f : it->second.array)
+                into.push_back(f.string);
+        };
         const auto side = [&](const char *key, std::string &file,
-                              std::string &fn) {
+                              std::string &fn,
+                              std::vector<std::string> &sideFields) {
             const auto it = e.object.find(key);
             if (it == e.object.end() ||
                 it->second.kind != JsonValue::Kind::Object)
@@ -331,19 +346,21 @@ parseSchemaManifest(const std::string &json)
                     std::string("schemas manifest: entry '") +
                     entry.tag + "' missing object '" + key + "'");
             file = wantString(it->second, "file", key);
-            fn = wantString(it->second, "function", key);
+            // Text-mode sides are whole scripts; "function" is
+            // optional there and "-" by convention.
+            if (entry.textMode &&
+                it->second.object.find("function") ==
+                    it->second.object.end())
+                fn = "-";
+            else
+                fn = wantString(it->second, "function", key);
+            readFields(it->second, "fields", sideFields);
         };
-        side("writer", entry.writerFile, entry.writerFunction);
-        side("parser", entry.parserFile, entry.parserFunction);
-        const auto fields = e.object.find("fields");
-        if (fields != e.object.end()) {
-            if (fields->second.kind != JsonValue::Kind::Array)
-                throw std::runtime_error(
-                    std::string("schemas manifest: entry '") +
-                    entry.tag + "': 'fields' is not an array");
-            for (const JsonValue &f : fields->second.array)
-                entry.fields.push_back(f.string);
-        }
+        side("writer", entry.writerFile, entry.writerFunction,
+             entry.writerFields);
+        side("parser", entry.parserFile, entry.parserFunction,
+             entry.parserFields);
+        readFields(e, "fields", entry.fields);
         const auto words = e.object.find("words");
         if (words != e.object.end())
             entry.words = static_cast<long>(words->second.number);
@@ -354,31 +371,80 @@ parseSchemaManifest(const std::string &json)
 
 namespace {
 
+/** Versioned tags "<family>.vN" present anywhere in @p text. */
+void
+tagsInText(const std::string &text, const std::string &family,
+           std::set<std::string> &tags)
+{
+    const std::string probe = family + ".v";
+    std::size_t at = 0;
+    while ((at = text.find(probe, at)) != std::string::npos) {
+        std::size_t d = at + probe.size();
+        std::string digits;
+        while (d < text.size() &&
+               std::isdigit(static_cast<unsigned char>(text[d]))) {
+            digits.push_back(text[d]);
+            ++d;
+        }
+        if (!digits.empty())
+            tags.insert(probe + digits);
+        at = d;
+    }
+}
+
 /** Versioned tags "<family>.vN" present in any literal of @p toks. */
 std::set<std::string>
 tagsInFile(const std::vector<FullTok> &toks, const std::string &family)
 {
     std::set<std::string> tags;
-    const std::string probe = family + ".v";
-    for (const FullTok &tok : toks) {
-        if (tok.kind != 's')
-            continue;
-        std::size_t at = 0;
-        while ((at = tok.text.find(probe, at)) != std::string::npos) {
-            std::size_t d = at + probe.size();
-            std::string digits;
-            while (d < tok.text.size() &&
-                   std::isdigit(
-                       static_cast<unsigned char>(tok.text[d]))) {
-                digits.push_back(tok.text[d]);
-                ++d;
-            }
-            if (!digits.empty())
-                tags.insert(probe + digits);
-            at = d;
+    for (const FullTok &tok : toks)
+        if (tok.kind == 's')
+            tagsInText(tok.text, family, tags);
+    return tags;
+}
+
+/**
+ * Field names a script emits or consumes, by raw-text patterns:
+ * `"name":` (JSON keys a shell writer greps or assembles),
+ * `["name"]` and `.get("name"` (python dict access).
+ */
+std::set<std::string>
+extractTextFields(const std::string &text)
+{
+    std::set<std::string> fields;
+    const auto identAt = [&](std::size_t at, std::string &name,
+                             std::size_t &end) {
+        name.clear();
+        while (at < text.size() && identCharX(text[at]))
+            name.push_back(text[at++]);
+        end = at;
+        return !name.empty();
+    };
+    for (std::size_t i = 0; i + 1 < text.size(); ++i) {
+        std::string name;
+        std::size_t end = 0;
+        if (text[i] == '"') {
+            if (!identAt(i + 1, name, end) || end >= text.size() ||
+                text[end] != '"')
+                continue;
+            std::size_t after = end + 1;
+            while (after < text.size() && text[after] == ' ')
+                ++after;
+            // `"name":` -- a JSON key; `"name"]` -- a dict subscript
+            // whose '[' sits before the opening quote.
+            const bool jsonKey =
+                after < text.size() && text[after] == ':';
+            const bool subscript = end + 1 < text.size() &&
+                                   text[end + 1] == ']' && i > 0 &&
+                                   text[i - 1] == '[';
+            const bool getCall =
+                i >= 5 && text.compare(i - 5, 5, ".get(") == 0;
+            if (jsonKey || subscript || getCall)
+                fields.insert(name);
+            i = end;
         }
     }
-    return tags;
+    return fields;
 }
 
 /**
@@ -473,9 +539,41 @@ joinNames(const std::vector<std::string> &names)
 } // namespace
 
 std::vector<Finding>
-checkSchemas(const Program &prog, const SchemaManifest &manifest)
+checkSchemas(const Program &prog, const SchemaManifest &manifest,
+             const std::map<std::string, std::string> *textDocs)
 {
     std::vector<Finding> out;
+    const auto compareFields = [&out](const SchemaEntry &entry,
+                                      const std::set<std::string> &got,
+                                      const std::set<std::string> &want,
+                                      const std::string &file,
+                                      std::size_t line,
+                                      const char *role,
+                                      const std::string &fn) {
+        std::vector<std::string> missing;
+        std::vector<std::string> extra;
+        for (const std::string &f : want)
+            if (!got.count(f))
+                missing.push_back(f);
+        for (const std::string &f : got)
+            if (!want.count(f))
+                extra.push_back(f);
+        if (missing.empty() && extra.empty())
+            return;
+        std::string msg =
+            "schema '" + entry.tag + "': " + role + " '" + fn + "'";
+        if (!extra.empty())
+            msg += " emits fields not in the manifest: " +
+                   joinNames(extra);
+        if (!missing.empty())
+            msg += std::string(extra.empty() ? "" : ";") +
+                   " never touches manifest fields: " +
+                   joinNames(missing);
+        msg += " -- bump the schema version or update "
+               "tools/rsin_lint/schemas.json in the same change";
+        out.push_back({file, line, "R12", msg});
+    };
+
     for (const SchemaEntry &entry : manifest.entries) {
         // Family = tag minus its trailing ".vN".
         std::string family = entry.tag;
@@ -486,8 +584,45 @@ checkSchemas(const Program &prog, const SchemaManifest &manifest)
                 static_cast<unsigned char>(family[dotV + 2])))
             family.resize(dotV);
 
+        if (entry.textMode) {
+            // Text-mode sides are scripts outside the linted C++
+            // tree; their raw text comes through textDocs.
+            const auto textSide =
+                [&](const std::string &file,
+                    const std::vector<std::string> &sideFields,
+                    const char *role) {
+                if (textDocs == nullptr)
+                    return;
+                const auto it = textDocs->find(file);
+                if (it == textDocs->end()) {
+                    out.push_back(
+                        {file, 1, "R12",
+                         "schema '" + entry.tag +
+                             "': manifest names text-mode " +
+                             std::string(role) + " file '" + file +
+                             "' which could not be read; fix "
+                             "tools/rsin_lint/schemas.json"});
+                    return;
+                }
+                std::set<std::string> tags;
+                tagsInText(it->second, family, tags);
+                if (!tags.empty() && !tags.count(entry.tag))
+                    return; // deliberate re-version in flight
+                const std::vector<std::string> &fieldList =
+                    sideFields.empty() ? entry.fields : sideFields;
+                compareFields(entry, extractTextFields(it->second),
+                              std::set<std::string>(fieldList.begin(),
+                                                    fieldList.end()),
+                              file, 1, role, file);
+            };
+            textSide(entry.writerFile, entry.writerFields, "writer");
+            textSide(entry.parserFile, entry.parserFields, "parser");
+            continue;
+        }
+
         const auto side = [&](const std::string &file,
                               const std::string &fn,
+                              const std::vector<std::string> &sideFields,
                               const char *role) {
             const auto tokIt = prog.tokens.find(file);
             if (tokIt == prog.tokens.end()) {
@@ -518,33 +653,12 @@ checkSchemas(const Program &prog, const SchemaManifest &manifest)
             if (!tags.empty() && !tags.count(entry.tag))
                 return;
 
-            const std::set<std::string> got =
-                extractFields(prog, *sym);
-            std::vector<std::string> missing;
-            std::vector<std::string> extra;
-            const std::set<std::string> want(entry.fields.begin(),
-                                             entry.fields.end());
-            for (const std::string &f : want)
-                if (!got.count(f))
-                    missing.push_back(f);
-            for (const std::string &f : got)
-                if (!want.count(f))
-                    extra.push_back(f);
-            if (!missing.empty() || !extra.empty()) {
-                std::string msg = "schema '" + entry.tag + "': " +
-                                  role + " '" + fn + "'";
-                if (!extra.empty())
-                    msg += " emits fields not in the manifest: " +
-                           joinNames(extra);
-                if (!missing.empty())
-                    msg += std::string(extra.empty() ? "" : ";") +
-                           " never touches manifest fields: " +
-                           joinNames(missing);
-                msg += " -- bump the schema version or update "
-                       "tools/rsin_lint/schemas.json in the same "
-                       "change";
-                out.push_back({file, sym->line, "R12", msg});
-            }
+            const std::vector<std::string> &fieldList =
+                sideFields.empty() ? entry.fields : sideFields;
+            compareFields(entry, extractFields(prog, *sym),
+                          std::set<std::string>(fieldList.begin(),
+                                                fieldList.end()),
+                          file, sym->line, role, fn);
             // Positional formats: the parser's word-count guard must
             // match the manifest.
             if (entry.words >= 0 &&
@@ -584,10 +698,41 @@ checkSchemas(const Program &prog, const SchemaManifest &manifest)
                 }
             }
         };
-        side(entry.writerFile, entry.writerFunction, "writer");
-        side(entry.parserFile, entry.parserFunction, "parser");
+        side(entry.writerFile, entry.writerFunction,
+             entry.writerFields, "writer");
+        side(entry.parserFile, entry.parserFunction,
+             entry.parserFields, "parser");
     }
     return out;
+}
+
+std::vector<Finding>
+checkSchemas(const Program &prog, const SchemaManifest &manifest)
+{
+    return checkSchemas(prog, manifest, nullptr);
+}
+
+std::map<std::string, std::string>
+loadTextDocs(const std::string &root, const SchemaManifest &manifest)
+{
+    namespace fs = std::filesystem;
+    std::map<std::string, std::string> docs;
+    for (const SchemaEntry &entry : manifest.entries) {
+        if (!entry.textMode)
+            continue;
+        for (const std::string &rel :
+             {entry.writerFile, entry.parserFile}) {
+            if (docs.count(rel))
+                continue;
+            std::ifstream in(fs::path(root) / rel, std::ios::binary);
+            if (!in)
+                continue; // absent: checkSchemas reports it
+            std::ostringstream text;
+            text << in.rdbuf();
+            docs[rel] = text.str();
+        }
+    }
+    return docs;
 }
 
 } // namespace lint

@@ -22,10 +22,12 @@
  * R12 only checks writer/parser pairs the manifest names.
  */
 
+#include <map>
 #include <string>
 #include <vector>
 
 #include "lint.hpp"
+#include "lockflow.hpp"
 #include "symbols.hpp"
 
 namespace rsin {
@@ -43,6 +45,15 @@ struct SchemaEntry
     std::vector<std::string> fields;
     /** Expected word count for positional formats; -1 when n/a. */
     long words = -1;
+    /** Text mode: the sides are scripts (shell/python), matched by
+     *  raw-text field extraction instead of the token-level scan;
+     *  "function" is ignored ("-" by convention). */
+    bool textMode = false;
+    /** Per-side field overrides for asymmetric pairs (a writer that
+     *  emits a subset of what the parser reads); empty means use the
+     *  shared `fields` list. */
+    std::vector<std::string> writerFields;
+    std::vector<std::string> parserFields;
 };
 
 /** The parsed schemas.json manifest (schema rsin.lint_schemas.v1). */
@@ -58,17 +69,42 @@ struct SchemaManifest
  */
 SchemaManifest parseSchemaManifest(const std::string &json);
 
-/** R10: unsynchronized writes to shared state in worker context. */
+/**
+ * R10: unsynchronized writes to shared state in worker context.  A
+ * write is flagged only when the lock-set analysis @p lf proves the
+ * held set empty at the write on some worker-reachable path --
+ * entry-context locks from callers count, "a guard somewhere earlier
+ * in the body" does not.
+ */
 std::vector<Finding> checkWorkerState(const Program &prog,
-                                      const WorkerAnalysis &wa);
+                                      const WorkerAnalysis &wa,
+                                      const LockFlow &lf);
 
 /** R11: non-reentrant / unrouted-filesystem calls in worker context. */
 std::vector<Finding> checkWorkerCalls(const Program &prog,
                                       const WorkerAnalysis &wa);
 
-/** R12: writer/parser field sets vs the committed schema manifest. */
+/**
+ * R12: writer/parser field sets vs the committed schema manifest.
+ * Text-mode entries are matched against @p textDocs (repo-relative
+ * path -> raw file text, see loadTextDocs()); a text-mode side
+ * missing from @p textDocs is itself a finding (manifest rot).
+ */
+std::vector<Finding>
+checkSchemas(const Program &prog, const SchemaManifest &manifest,
+             const std::map<std::string, std::string> *textDocs);
+
+/** checkSchemas() with no text docs (token-mode entries only). */
 std::vector<Finding> checkSchemas(const Program &prog,
                                   const SchemaManifest &manifest);
+
+/**
+ * Read the side files named by @p manifest's text-mode entries from
+ * @p root (repo-relative paths).  Unreadable files are simply absent
+ * from the map; checkSchemas() reports them.
+ */
+std::map<std::string, std::string>
+loadTextDocs(const std::string &root, const SchemaManifest &manifest);
 
 } // namespace lint
 } // namespace rsin
