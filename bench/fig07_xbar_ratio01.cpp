@@ -43,5 +43,14 @@ main(int argc, char **argv)
         });
     printCurves("Fig. 7 -- Section IV analytic approximations",
                 {light, heavy});
+
+    // Exact LD-QBD chains for the configurations in solver range
+    // (16/1x16x16 XBAR/2 is not: 4845 lumped phases).  Each point
+    // carries a certified truncation bound.
+    std::vector<Curve> exact;
+    for (const char *text :
+         {"16/1x16x32 XBAR/1", "16/2x8x8 XBAR/2", "16/4x4x4 XBAR/2"})
+        appendExactChainCurve(exact, text, mu_n, mu_s);
+    printCurves("Fig. 7 -- exact LD-QBD chains", exact);
     return finishBench();
 }

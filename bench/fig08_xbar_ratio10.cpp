@@ -33,5 +33,11 @@ main(int argc, char **argv)
         });
     printCurves("Fig. 8 -- Section IV light-load approximation",
                 {light});
+
+    std::vector<Curve> exact;
+    for (const char *text :
+         {"16/1x16x32 XBAR/1", "16/2x8x8 XBAR/2", "16/4x4x4 XBAR/2"})
+        appendExactChainCurve(exact, text, mu_n, mu_s);
+    printCurves("Fig. 8 -- exact LD-QBD chains", exact);
     return finishBench();
 }

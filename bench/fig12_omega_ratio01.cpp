@@ -38,5 +38,14 @@ main(int argc, char **argv)
     }
     printCurves("Fig. 12 -- OMEGA normalized delay, mu_s/mu_n = 0.1",
                 curves);
+
+    // Exact LD-QBD chains (reject/reroute protocol) for the square
+    // power-of-two partitions in solver range; the 16x16 network's
+    // 4845 lumped phases put it out of range.
+    std::vector<Curve> exact;
+    for (const char *text :
+         {"16/2x8x8 OMEGA/2", "16/4x4x4 OMEGA/2", "16/8x2x2 OMEGA/2"})
+        appendExactChainCurve(exact, text, mu_n, mu_s);
+    printCurves("Fig. 12 -- exact LD-QBD chains", exact);
     return finishBench();
 }

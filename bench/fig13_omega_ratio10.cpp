@@ -29,5 +29,11 @@ main(int argc, char **argv)
     // The indirect binary n-cube wiring as an extension data point.
     printCurves("Fig. 13 extension -- indirect binary n-cube wiring",
                 {simulatedCurve("16/1x16x16 CUBE/2", mu_n, mu_s)});
+
+    std::vector<Curve> exact;
+    for (const char *text :
+         {"16/2x8x8 OMEGA/2", "16/4x4x4 OMEGA/2", "16/8x2x2 OMEGA/2"})
+        appendExactChainCurve(exact, text, mu_n, mu_s);
+    printCurves("Fig. 13 -- exact LD-QBD chains", exact);
     return finishBench();
 }

@@ -289,6 +289,39 @@ sbusAnalyticCurve(const std::string &config_text, double mu_n, double mu_s)
                          });
 }
 
+/**
+ * Exact LD-QBD chain curve for a crossbar or Omega configuration,
+ * appended to @p curves when the configuration is in range of the
+ * exact solvers (rsin::xbarExactInRange / omegaExactInRange); returns
+ * whether a curve was added.  Every point carries a certified relative
+ * truncation bound (markov::SbusSolution::truncationBound), making
+ * these curves analytic references for the simulated ones.
+ */
+inline bool
+appendExactChainCurve(std::vector<Curve> &curves,
+                      const std::string &config_text, double mu_n,
+                      double mu_s)
+{
+    const auto cfg = SystemConfig::parse(config_text);
+    if (xbarExactInRange(cfg)) {
+        curves.push_back(analyticCurve(
+            config_text + " (exact chain)", config_text, mu_n, mu_s,
+            [&](double lambda) {
+                return xbarExact(cfg, lambda, mu_n, mu_s);
+            }));
+        return true;
+    }
+    if (omegaExactInRange(cfg)) {
+        curves.push_back(analyticCurve(
+            config_text + " (exact chain)", config_text, mu_n, mu_s,
+            [&](double lambda) {
+                return omegaExact(cfg, lambda, mu_n, mu_s);
+            }));
+        return true;
+    }
+    return false;
+}
+
 /** M/M/1 curve for a private bus with unlimited resources. */
 inline Curve
 privateBusInfinityCurve(double mu_n, double mu_s)

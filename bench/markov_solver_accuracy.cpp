@@ -9,11 +9,26 @@
 
 #include <cmath>
 #include <iostream>
+#include <string>
 
 #include "common/table.hpp"
 #include "common/text.hpp"
+#include "markov/omega_model.hpp"
 #include "markov/sbus_solvers.hpp"
 #include "queueing/mm_queues.hpp"
+#include "rsin/analysis.hpp"
+#include "rsin/factory.hpp"
+
+namespace {
+
+/** Relative delay error of @p value against the reference @p ref. */
+double
+relErr(double value, double ref)
+{
+    return std::fabs(value - ref) / std::max(ref, 1e-300);
+}
+
+} // namespace
 
 int
 main()
@@ -87,6 +102,114 @@ main()
         "\ndouble-precision cancellation wall (digits column -> 0,"
         "\nestimate biased low) and even the truncating direct solve"
         "\nstrains, while the matrix-geometric solution remains exact."
+        "\n";
+
+    // ------------------------------------------------------------
+    // Sections IV/V: the exact network LD-QBD chains against the
+    // reductions and simulation, on a shared rho grid.  The chains
+    // are solved with both the dense censored backend and the sparse
+    // Krylov backend; the simulated delay is the common reference.
+    // ------------------------------------------------------------
+    const double mu_n = 1.0, mu_s = 0.1;
+    TextTable net(
+        "Sections IV/V -- exact network chains vs reductions vs "
+        "simulation (queueing delay d)");
+    net.header({"config", "rho", "exact dense", "exact sparse", "bound",
+                "light", "heavy", "sim"});
+    double max_dense = 0.0, max_sparse = 0.0, max_light = 0.0,
+           max_heavy = 0.0;
+    for (const char *text :
+         {"16/4x4x4 XBAR/2", "16/2x8x8 XBAR/2", "16/4x4x4 OMEGA/2"}) {
+        const auto cfg = SystemConfig::parse(text);
+        const bool is_xbar = cfg.network == NetworkClass::Crossbar;
+        NetChainParams prm;
+        prm.processors = cfg.inputsPerNet;
+        prm.buses = cfg.outputsPerNet;
+        prm.resources = cfg.resourcesPerPort;
+        prm.muN = mu_n;
+        prm.muS = mu_s;
+        if (!is_xbar)
+            prm.linkConflict = omegaLinkConflict(cfg.inputsPerNet);
+        for (double rho : {0.2, 0.4, 0.6, 0.8}) {
+            prm.lambda = lambdaForRho(cfg, rho, mu_n, mu_s);
+
+            LdQbdOptions dense_opts;
+            dense_opts.backend = LdQbdBackend::DenseCensored;
+            LdQbdOptions sparse_opts;
+            sparse_opts.backend = LdQbdBackend::SparseKrylov;
+            const auto solve_chain = [&](const LdQbdOptions &o) {
+                return is_xbar ? solveXbarChain(prm, o)
+                               : solveOmegaChain(prm, o);
+            };
+            const auto dense = solve_chain(dense_opts);
+            const auto sparse = solve_chain(sparse_opts);
+
+            const auto light =
+                is_xbar ? xbarLightLoad(cfg, prm.lambda, mu_n, mu_s)
+                        : multistageLightLoad(cfg, prm.lambda, mu_n,
+                                              mu_s);
+            const bool heavy_ok =
+                is_xbar && cfg.inputsPerNet % cfg.outputsPerNet == 0;
+            SbusSolution heavy;
+            if (heavy_ok)
+                heavy = xbarHeavyLoad(cfg, prm.lambda, mu_n, mu_s);
+
+            workload::WorkloadParams wp;
+            wp.muN = mu_n;
+            wp.muS = mu_s;
+            wp.lambda = prm.lambda;
+            SimOptions opts;
+            opts.seed = 404;
+            opts.warmupTasks = 3000;
+            opts.measureTasks = 30000;
+            const auto sim = simulate(cfg, wp, opts);
+
+            if (!sim.saturated && dense.stable) {
+                max_dense = std::max(
+                    max_dense,
+                    relErr(dense.queueingDelay, sim.meanDelay));
+                max_sparse = std::max(
+                    max_sparse,
+                    relErr(sparse.queueingDelay, sim.meanDelay));
+                if (light.stable)
+                    max_light = std::max(
+                        max_light,
+                        relErr(light.queueingDelay, sim.meanDelay));
+                if (heavy_ok && heavy.stable)
+                    max_heavy = std::max(
+                        max_heavy,
+                        relErr(heavy.queueingDelay, sim.meanDelay));
+            }
+            net.row({text, formatf("%.1f", rho),
+                     formatf("%.6g", dense.queueingDelay),
+                     formatf("%.6g", sparse.queueingDelay),
+                     formatf("%.2g", dense.truncationBound),
+                     light.stable ? formatf("%.6g", light.queueingDelay)
+                                  : std::string("unstable"),
+                     heavy_ok ? (heavy.stable
+                                     ? formatf("%.6g",
+                                               heavy.queueingDelay)
+                                     : std::string("unstable"))
+                              : std::string("-"),
+                     sim.saturated ? std::string("saturated")
+                                   : formatf("%.6g", sim.meanDelay)});
+        }
+    }
+    net.print(std::cout);
+    std::cout
+        << "\nMax relative delay error vs simulation:"
+        << "\n  exact chain (dense censored): "
+        << formatf("%.3g", max_dense)
+        << "\n  exact chain (sparse Krylov):  "
+        << formatf("%.3g", max_sparse)
+        << "\n  light-load reduction:         "
+        << formatf("%.3g", max_light)
+        << "\n  heavy-load reduction:         "
+        << formatf("%.3g", max_heavy)
+        << "\nThe exact chains track simulation to within sampling"
+        "\nnoise at every load, while the Section IV reductions drift"
+        "\nat mid loads; each chain point also carries its certified"
+        "\nrelative truncation bound (column 'bound')."
         "\n";
     return 0;
 }

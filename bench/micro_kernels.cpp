@@ -12,7 +12,9 @@
 #include "exec/sweep_runner.hpp"
 #include "exec/thread_pool.hpp"
 #include "la/kernels.hpp"
+#include "la/sparse.hpp"
 #include "logic/crossbar_cell.hpp"
+#include "markov/omega_model.hpp"
 #include "markov/sbus_solvers.hpp"
 #include "rsin/analysis.hpp"
 #include "rsin/analysis_cache.hpp"
@@ -238,6 +240,75 @@ BM_SbusStagedSolver(benchmark::State &state)
     }
 }
 BENCHMARK(BM_SbusStagedSolver)->Arg(4)->Arg(16)->Arg(32);
+
+void
+BM_SparseSpmv(benchmark::State &state)
+{
+    // CSR y = A x on a banded random matrix with ~9 nonzeros per row,
+    // the access pattern of the truncated LD-QBD generator.
+    const std::size_t n = static_cast<std::size_t>(state.range(0));
+    Rng rng(13);
+    la::Triplets trips;
+    for (std::size_t i = 0; i < n; ++i)
+        for (std::size_t d = 0; d < 9; ++d) {
+            const std::size_t col =
+                (i + n + d) % n; // banded wrap, 9 diagonals
+            trips.push_back({i, col, rng.uniform01()});
+        }
+    const la::CsrMatrix mat = la::CsrMatrix::fromTriplets(n, n, trips);
+    la::Vector x(n, 1.0), y(n, 0.0);
+    for (auto _ : state) {
+        mat.multiply(x.data(), y.data());
+        benchmark::DoNotOptimize(y.data());
+        benchmark::ClobberMemory();
+    }
+    state.SetItemsProcessed(
+        state.iterations() *
+        static_cast<std::int64_t>(2 * mat.values().size()));
+}
+BENCHMARK(BM_SparseSpmv)->Arg(4096)->Arg(65536);
+
+void
+BM_XbarLdQbd(benchmark::State &state)
+{
+    // Exact crossbar chain for a paper sweep cell (arg = buses k of a
+    // square j = k network, r = 2): build + adaptive solve, the cost a
+    // figure point pays instead of a simulation run.
+    const auto k = static_cast<std::size_t>(state.range(0));
+    markov::NetChainParams prm;
+    prm.processors = k;
+    prm.buses = k;
+    prm.resources = 2;
+    prm.muN = 1.0;
+    prm.muS = 0.1;
+    prm.lambda = 0.5 * static_cast<double>(prm.resources) * prm.muS;
+    for (auto _ : state) {
+        auto sol = markov::solveXbarChain(prm);
+        benchmark::DoNotOptimize(sol.queueingDelay);
+    }
+}
+BENCHMARK(BM_XbarLdQbd)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMillisecond);
+
+void
+BM_OmegaLdQbd(benchmark::State &state)
+{
+    const auto k = static_cast<std::size_t>(state.range(0));
+    markov::NetChainParams prm;
+    prm.processors = k;
+    prm.buses = k;
+    prm.resources = 2;
+    prm.muN = 1.0;
+    prm.muS = 0.1;
+    prm.lambda = 0.5 * static_cast<double>(prm.resources) * prm.muS;
+    prm.linkConflict = omegaLinkConflict(k);
+    for (auto _ : state) {
+        auto sol = markov::solveOmegaChain(prm);
+        benchmark::DoNotOptimize(sol.queueingDelay);
+    }
+}
+BENCHMARK(BM_OmegaLdQbd)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMillisecond);
 
 void
 BM_PartitionedDes(benchmark::State &state)

@@ -317,9 +317,14 @@ main(int argc, char **argv)
                 sim_cells.push_back(cell);
                 continue;
             }
-            const auto sol = analyzeSbus(
-                spec.configs[cell->configIndex], cell->lambda,
-                spec.muN, spec.muN * cell->ratio);
+            const auto &cfg = spec.configs[cell->configIndex];
+            const double mu_s = spec.muN * cell->ratio;
+            const auto sol =
+                cfg.network == NetworkClass::SingleBus
+                    ? analyzeSbus(cfg, cell->lambda, spec.muN, mu_s)
+                : xbarExactInRange(cfg)
+                    ? xbarExact(cfg, cell->lambda, spec.muN, mu_s)
+                    : omegaExact(cfg, cell->lambda, spec.muN, mu_s);
             kill.maybeKill(
                 writer.append(cell->key,
                               analyticRecord(spec, *cell, sol)));

@@ -10,7 +10,11 @@
 #
 # Only the compute-bound families gate the build: names matching
 #   BM_Sbus* BM_BlockedGemm* BM_Event* BM_Simulator* BM_Partitioned*
-# (solver kernels, the DES calendar, and the partitioned engine).  The
+#   BM_XbarLdQbd* BM_OmegaLdQbd* BM_SparseSpmv*
+# (solver kernels, the LD-QBD chains, sparse SpMV, the DES calendar,
+# and the partitioned engine).  The Omega *router* benches
+# (BM_OmegaAvailabilityPass / BM_OmegaRouteAndRelease) stay ungated:
+# they are short and load-sensitive on shared runners.  The
 # pool / end-to-end benches are load-sensitive on shared CI runners
 # and are reported but never fail the check.  Refresh the baseline on
 # a quiet machine with
@@ -53,7 +57,8 @@ import json
 import sys
 
 GATED_PREFIXES = ("BM_Sbus", "BM_BlockedGemm", "BM_Event",
-                  "BM_Simulator", "BM_Partitioned")
+                  "BM_Simulator", "BM_Partitioned", "BM_XbarLdQbd",
+                  "BM_OmegaLdQbd", "BM_SparseSpmv")
 
 baseline_path, current_path, threshold = sys.argv[1:4]
 threshold = float(threshold)

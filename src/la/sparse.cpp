@@ -1,0 +1,374 @@
+#include "sparse.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+
+#include "common/error.hpp"
+
+namespace rsin {
+namespace la {
+
+CsrMatrix
+CsrMatrix::fromTriplets(std::size_t rows, std::size_t cols,
+                        const Triplets &entries)
+{
+    CsrMatrix out;
+    out.rows_ = rows;
+    out.cols_ = cols;
+
+    // Sort a copy by (row, col); stable order makes duplicate summing
+    // deterministic regardless of emission order.
+    Triplets sorted = entries;
+    std::sort(sorted.begin(), sorted.end(),
+              [](const Triplet &a, const Triplet &b) {
+                  return a.row != b.row ? a.row < b.row : a.col < b.col;
+              });
+
+    out.rowPtr_.assign(rows + 1, 0);
+    out.colIdx_.reserve(sorted.size());
+    out.values_.reserve(sorted.size());
+    for (std::size_t i = 0; i < sorted.size();) {
+        const Triplet &head = sorted[i];
+        RSIN_REQUIRE(head.row < rows && head.col < cols,
+                     "CsrMatrix::fromTriplets: entry out of range");
+        double sum = 0.0;
+        std::size_t j = i;
+        for (; j < sorted.size() && sorted[j].row == head.row &&
+               sorted[j].col == head.col;
+             ++j)
+            sum += sorted[j].value;
+        out.colIdx_.push_back(head.col);
+        out.values_.push_back(sum);
+        out.rowPtr_[head.row + 1] = out.colIdx_.size();
+        i = j;
+    }
+    // Rows with no entries inherit the previous offset.
+    for (std::size_t r = 1; r <= rows; ++r)
+        out.rowPtr_[r] = std::max(out.rowPtr_[r], out.rowPtr_[r - 1]);
+    return out;
+}
+
+void
+CsrMatrix::multiply(const double *x, double *y) const
+{
+    for (std::size_t r = 0; r < rows_; ++r) {
+        double acc = 0.0;
+        for (std::size_t k = rowPtr_[r]; k < rowPtr_[r + 1]; ++k)
+            acc += values_[k] * x[colIdx_[k]];
+        y[r] = acc;
+    }
+}
+
+Vector
+CsrMatrix::operator*(const Vector &x) const
+{
+    RSIN_REQUIRE(x.size() == cols_, "CsrMatrix: size mismatch in A*x");
+    Vector y(rows_, 0.0);
+    multiply(x.data(), y.data());
+    return y;
+}
+
+void
+CsrMatrix::multiplyTransposed(const double *x, double *y) const
+{
+    for (std::size_t c = 0; c < cols_; ++c)
+        y[c] = 0.0;
+    for (std::size_t r = 0; r < rows_; ++r) {
+        const double xr = x[r];
+        if (xr == 0.0)
+            continue;
+        for (std::size_t k = rowPtr_[r]; k < rowPtr_[r + 1]; ++k)
+            y[colIdx_[k]] += values_[k] * xr;
+    }
+}
+
+CsrMatrix
+CsrMatrix::transpose() const
+{
+    Triplets entries;
+    entries.reserve(nnz());
+    for (std::size_t r = 0; r < rows_; ++r)
+        for (std::size_t k = rowPtr_[r]; k < rowPtr_[r + 1]; ++k)
+            entries.push_back({colIdx_[k], r, values_[k]});
+    return fromTriplets(cols_, rows_, entries);
+}
+
+Matrix
+CsrMatrix::dense() const
+{
+    Matrix out(rows_, cols_, 0.0);
+    for (std::size_t r = 0; r < rows_; ++r)
+        for (std::size_t k = rowPtr_[r]; k < rowPtr_[r + 1]; ++k)
+            out(r, colIdx_[k]) += values_[k];
+    return out;
+}
+
+Vector
+CsrMatrix::diagonal() const
+{
+    RSIN_REQUIRE(rows_ == cols_, "CsrMatrix::diagonal: not square");
+    Vector d(rows_, 0.0);
+    for (std::size_t r = 0; r < rows_; ++r)
+        for (std::size_t k = rowPtr_[r]; k < rowPtr_[r + 1]; ++k)
+            if (colIdx_[k] == r)
+                d[r] += values_[k];
+    return d;
+}
+
+LinearOperator
+asOperator(const CsrMatrix &a)
+{
+    RSIN_REQUIRE(a.rows() == a.cols(), "asOperator: matrix not square");
+    LinearOperator op;
+    op.n = a.rows();
+    op.apply = [&a](const double *x, double *y) { a.multiply(x, y); };
+    return op;
+}
+
+LinearOperator
+jacobiPreconditioner(const CsrMatrix &a)
+{
+    auto inv = std::make_shared<Vector>(a.diagonal());
+    for (auto &d : *inv)
+        d = d != 0.0 ? 1.0 / d : 1.0;
+    LinearOperator op;
+    op.n = a.rows();
+    op.apply = [inv](const double *x, double *y) {
+        const Vector &scale = *inv;
+        for (std::size_t i = 0; i < scale.size(); ++i)
+            y[i] = x[i] * scale[i];
+    };
+    return op;
+}
+
+LinearOperator
+blockDiagonalPreconditioner(std::vector<LuFactors> factors,
+                            std::vector<std::size_t> starts,
+                            std::vector<std::size_t> blockOf,
+                            std::size_t n)
+{
+    RSIN_REQUIRE(starts.size() == blockOf.size(),
+                 "blockDiagonalPreconditioner: starts/blockOf mismatch");
+    struct State
+    {
+        std::vector<LuFactors> factors;
+        std::vector<std::size_t> starts;
+        std::vector<std::size_t> blockOf;
+    };
+    auto state = std::make_shared<State>(
+        State{std::move(factors), std::move(starts), std::move(blockOf)});
+    for (std::size_t b = 0; b < state->starts.size(); ++b) {
+        RSIN_REQUIRE(state->blockOf[b] < state->factors.size(),
+                     "blockDiagonalPreconditioner: factor index range");
+        const std::size_t end =
+            state->starts[b] + state->factors[state->blockOf[b]].size();
+        RSIN_REQUIRE(end <= n,
+                     "blockDiagonalPreconditioner: block exceeds n");
+    }
+    LinearOperator op;
+    op.n = n;
+    op.apply = [state, n](const double *x, double *y) {
+        // Rows not covered by any block pass through unchanged.
+        for (std::size_t i = 0; i < n; ++i)
+            y[i] = x[i];
+        for (std::size_t b = 0; b < state->starts.size(); ++b) {
+            const LuFactors &lu = state->factors[state->blockOf[b]];
+            const std::size_t lo = state->starts[b];
+            Vector rhs(lu.size());
+            for (std::size_t i = 0; i < rhs.size(); ++i)
+                rhs[i] = x[lo + i];
+            const Vector sol = lu.solve(rhs);
+            for (std::size_t i = 0; i < sol.size(); ++i)
+                y[lo + i] = sol[i];
+        }
+    };
+    return op;
+}
+
+GmresResult
+gmres(const LinearOperator &a, const Vector &b, Vector &x,
+      const GmresOptions &opts, const LinearOperator *right_precond)
+{
+    const std::size_t n = a.n;
+    RSIN_REQUIRE(b.size() == n, "gmres: rhs size mismatch");
+    if (x.size() != n)
+        x.assign(n, 0.0);
+    const std::size_t m = std::max<std::size_t>(opts.restart, 1);
+
+    const double bnorm = std::max(norm2(b), 1e-300);
+    GmresResult result;
+
+    // Workspace reused across restart cycles.
+    std::vector<Vector> basis(m + 1, Vector(n, 0.0));
+    Matrix hess(m + 1, m, 0.0);
+    Vector cs(m, 0.0), sn(m, 0.0), g(m + 1, 0.0);
+    Vector scratch(n, 0.0), precond_out(n, 0.0);
+
+    const auto applyA = [&](const Vector &in, Vector &out) {
+        if (right_precond != nullptr) {
+            right_precond->apply(in.data(), precond_out.data());
+            a.apply(precond_out.data(), out.data());
+        } else {
+            a.apply(in.data(), out.data());
+        }
+    };
+
+    while (result.iterations < opts.maxIterations) {
+        // Residual of the current iterate (true residual: the right
+        // preconditioner does not distort it).
+        a.apply(x.data(), scratch.data());
+        for (std::size_t i = 0; i < n; ++i)
+            basis[0][i] = b[i] - scratch[i];
+        double beta = norm2(basis[0]);
+        result.residual = beta / bnorm;
+        if (result.residual <= opts.tolerance) {
+            result.converged = true;
+            return result;
+        }
+        for (std::size_t i = 0; i < n; ++i)
+            basis[0][i] /= beta;
+        std::fill(g.begin(), g.end(), 0.0);
+        g[0] = beta;
+
+        std::size_t k = 0;
+        for (; k < m && result.iterations < opts.maxIterations; ++k) {
+            ++result.iterations;
+            applyA(basis[k], basis[k + 1]);
+            // Modified Gram-Schmidt.
+            for (std::size_t i = 0; i <= k; ++i) {
+                const double h = dot(basis[k + 1], basis[i]);
+                hess(i, k) = h;
+                for (std::size_t j = 0; j < n; ++j)
+                    basis[k + 1][j] -= h * basis[i][j];
+            }
+            const double h_next = norm2(basis[k + 1]);
+            hess(k + 1, k) = h_next;
+            if (h_next > 0.0)
+                for (std::size_t j = 0; j < n; ++j)
+                    basis[k + 1][j] /= h_next;
+            // Apply accumulated Givens rotations to the new column.
+            for (std::size_t i = 0; i < k; ++i) {
+                const double t = cs[i] * hess(i, k) + sn[i] * hess(i + 1, k);
+                hess(i + 1, k) =
+                    -sn[i] * hess(i, k) + cs[i] * hess(i + 1, k);
+                hess(i, k) = t;
+            }
+            const double denom = std::hypot(hess(k, k), hess(k + 1, k));
+            if (denom == 0.0) {
+                cs[k] = 1.0;
+                sn[k] = 0.0;
+            } else {
+                cs[k] = hess(k, k) / denom;
+                sn[k] = hess(k + 1, k) / denom;
+            }
+            hess(k, k) = cs[k] * hess(k, k) + sn[k] * hess(k + 1, k);
+            hess(k + 1, k) = 0.0;
+            g[k + 1] = -sn[k] * g[k];
+            g[k] = cs[k] * g[k];
+            if (std::fabs(g[k + 1]) / bnorm <= opts.tolerance) {
+                ++k;
+                break;
+            }
+            if (h_next == 0.0) {
+                ++k;
+                break; // exact breakdown: solution lies in the basis
+            }
+        }
+
+        // Back-substitute y from the triangular Hessenberg system and
+        // update x (through the preconditioner when present).
+        Vector y(k, 0.0);
+        for (std::size_t ii = k; ii-- > 0;) {
+            double acc = g[ii];
+            for (std::size_t jj = ii + 1; jj < k; ++jj)
+                acc -= hess(ii, jj) * y[jj];
+            // A zero pivot means the basis stagnated; keep y at 0 for
+            // this direction instead of dividing by it.
+            y[ii] = hess(ii, ii) != 0.0 ? acc / hess(ii, ii) : 0.0;
+        }
+        std::fill(scratch.begin(), scratch.end(), 0.0);
+        for (std::size_t jj = 0; jj < k; ++jj)
+            for (std::size_t i = 0; i < n; ++i)
+                scratch[i] += y[jj] * basis[jj][i];
+        if (right_precond != nullptr) {
+            right_precond->apply(scratch.data(), precond_out.data());
+            for (std::size_t i = 0; i < n; ++i)
+                x[i] += precond_out[i];
+        } else {
+            for (std::size_t i = 0; i < n; ++i)
+                x[i] += scratch[i];
+        }
+        if (k == 0)
+            break; // no progress possible
+    }
+
+    a.apply(x.data(), scratch.data());
+    double res = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+        const double d = b[i] - scratch[i];
+        res += d * d;
+    }
+    result.residual = std::sqrt(res) / bnorm;
+    result.converged = result.residual <= opts.tolerance;
+    return result;
+}
+
+PowerResult
+powerStationary(const CsrMatrix &q_transposed, Vector &pi,
+                const PowerOptions &opts)
+{
+    const std::size_t n = q_transposed.rows();
+    RSIN_REQUIRE(q_transposed.cols() == n,
+                 "powerStationary: generator not square");
+    // Uniformization rate: just above the largest exit rate, so the
+    // kernel stays substochastic-safe and aperiodic.
+    double max_exit = 0.0;
+    const Vector diag = q_transposed.diagonal();
+    for (double d : diag)
+        max_exit = std::max(max_exit, -d);
+    const double uni = max_exit > 0.0 ? 1.05 * max_exit : 1.0;
+
+    if (pi.size() != n)
+        pi.assign(n, 0.0);
+    double mass = 0.0;
+    for (double v : pi)
+        mass += v;
+    if (mass <= 0.0)
+        pi.assign(n, 1.0 / static_cast<double>(n));
+    else
+        for (auto &v : pi)
+            v /= mass;
+
+    PowerResult result;
+    Vector next(n, 0.0);
+    for (; result.iterations < opts.maxIterations; ++result.iterations) {
+        // next = pi + (Q^T pi) / uni  (row-vector pi P as columns).
+        q_transposed.multiply(pi.data(), next.data());
+        double total = 0.0;
+        for (std::size_t i = 0; i < n; ++i) {
+            next[i] = pi[i] + next[i] / uni;
+            // Uniformized kernels keep probabilities nonnegative up to
+            // roundoff; clamp the dust so the renormalization is safe.
+            if (next[i] < 0.0)
+                next[i] = 0.0;
+            total += next[i];
+        }
+        for (auto &v : next)
+            v /= total;
+        double change = 0.0;
+        for (std::size_t i = 0; i < n; ++i)
+            change = std::max(change, std::fabs(next[i] - pi[i]));
+        pi.swap(next);
+        result.residual = change;
+        if (change <= opts.tolerance) {
+            ++result.iterations;
+            result.converged = true;
+            break;
+        }
+    }
+    return result;
+}
+
+} // namespace la
+} // namespace rsin

@@ -1,0 +1,32 @@
+#include "omega_model.hpp"
+
+#include <cmath>
+
+namespace rsin {
+namespace markov {
+
+double
+OmegaChainModel::linkFactor(std::size_t transmitting,
+                            std::size_t eligible) const
+{
+    const double c1 = params().linkConflict;
+    if (c1 <= 0.0 || transmitting == 0)
+        return 1.0;
+    // One attempted circuit survives t independent pairwise conflicts
+    // with probability alpha; the task retries over the e eligible
+    // target buses.
+    const double alpha =
+        std::pow(1.0 - c1, static_cast<double>(transmitting));
+    return 1.0 -
+           std::pow(1.0 - alpha, static_cast<double>(eligible));
+}
+
+SbusSolution
+solveOmegaChain(const NetChainParams &params, const LdQbdOptions &opts)
+{
+    const OmegaChainModel model(params);
+    return chainSolution(model, solveStationary(model, opts));
+}
+
+} // namespace markov
+} // namespace rsin

@@ -1,0 +1,50 @@
+#pragma once
+
+/**
+ * @file
+ * Exact level-dependent QBD chain for the Omega-network RSIN under the
+ * paper's reject/reroute protocol (Section V).
+ *
+ * The chain shares the crossbar's phase space and dynamics
+ * (xbar_model.hpp); the only difference is that a dispatch attempt can
+ * be blocked *inside* the network: with t circuits already up, an
+ * attempted circuit to one specific eligible bus survives all pairwise
+ * internal-link conflicts with probability alpha(t) = (1 - c1)^t,
+ * where c1 is the probability that two distinct source/destination
+ * circuits share an internal boundary link (computed exactly from the
+ * topology by rsin::analysis::omegaLinkConflict).  The task retries
+ * across the e eligible buses, so the dispatch clears the network with
+ * probability
+ *
+ *     psi(t, e) = 1 - (1 - alpha(t))^e,
+ *
+ * which is the linkFactor() this model overrides.  With c1 = 0 (for
+ * example a 2x2 network, which has no internal boundary) the chain is
+ * identical to the crossbar chain -- the oracle tests exploit that.
+ */
+
+#include "markov/xbar_model.hpp"
+
+namespace rsin {
+namespace markov {
+
+/** The exact Omega-network LD-QBD chain (see file comment). */
+class OmegaChainModel : public XbarChainModel
+{
+  public:
+    explicit OmegaChainModel(const NetChainParams &params)
+        : XbarChainModel(params)
+    {
+    }
+
+  protected:
+    double linkFactor(std::size_t transmitting,
+                      std::size_t eligible) const override;
+};
+
+/** Solve the exact Omega chain end to end. */
+SbusSolution solveOmegaChain(const NetChainParams &params,
+                             const LdQbdOptions &opts = {});
+
+} // namespace markov
+} // namespace rsin

@@ -50,6 +50,9 @@ struct SbusSolution
      *  stationary probability of an idle bus with a free resource. */
     double probNoWait = 0;
     std::size_t levelsUsed = 0;  ///< truncation / stage depth reached
+    /** Certified relative truncation bound on the delay (0 for the
+     *  exact-tail SBUS solvers; nonzero for the LD-QBD chains). */
+    double truncationBound = 0;
 };
 
 /** Tuning knobs shared by the truncating solvers. */

@@ -34,6 +34,46 @@ markov::SbusSolution analyzeSbus(const SystemConfig &config, double lambda,
                                  double mu_n, double mu_s);
 
 /**
+ * True if the exact crossbar LD-QBD chain (markov/xbar_model.hpp) can
+ * solve this configuration: a crossbar whose lumped phase space is
+ * small enough for the chain solvers.
+ */
+bool xbarExactInRange(const SystemConfig &config);
+
+/**
+ * True if the exact Omega LD-QBD chain can solve this configuration:
+ * a square power-of-two Omega network within the same phase limit.
+ */
+bool omegaExactInRange(const SystemConfig &config);
+
+/**
+ * Exact pairwise path-conflict probability c1 of an n x n Omega
+ * network: the probability that the unique paths of two uniformly
+ * random circuits (x, y) and (x', y') with x != x', y != y' share at
+ * least one internal boundary link.  Enumerated exhaustively over the
+ * topology (O(n^4) path comparisons); 0 for the 2x2 network, which
+ * has no internal boundary.
+ */
+double omegaLinkConflict(std::size_t size);
+
+/**
+ * Exact analysis of a crossbar configuration via the level-dependent
+ * QBD chain: every returned solution carries a certified relative
+ * truncation bound on its delay (SbusSolution::truncationBound).
+ * Requires xbarExactInRange().
+ */
+markov::SbusSolution xbarExact(const SystemConfig &config, double lambda,
+                               double mu_n, double mu_s);
+
+/**
+ * Exact analysis of an Omega configuration under the reject/reroute
+ * protocol, via the crossbar chain with the internal-blocking factor
+ * derived from omegaLinkConflict().  Requires omegaExactInRange().
+ */
+markov::SbusSolution omegaExact(const SystemConfig &config, double lambda,
+                                double mu_n, double mu_s);
+
+/**
  * Light-load approximation for a crossbar (Section IV): each processor
  * behaves as if alone, seeing a private bus to all k*r resources of its
  * network.  Accurate while mu_s * d <= 1.

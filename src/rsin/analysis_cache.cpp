@@ -13,6 +13,7 @@
 #include "common/error.hpp"
 #include "common/fsio.hpp"
 #include "common/text.hpp"
+#include "markov/omega_model.hpp"
 
 namespace rsin {
 
@@ -22,8 +23,18 @@ namespace {
  * Canonical key: every field of (params, solver, options) verbatim,
  * doubles bit-cast so the mapping is exact.  std::map keeps lookups
  * deterministic (R2: no unordered containers in model layers).
+ *
+ * Word layout: [0] p/j, [1] r, [2] solver kind, [3..5] rates,
+ * [6..10] truncating-solver options (zero when canonicalized away),
+ * [11] buses k, [12] link-conflict probability, [13] solver-backend
+ * version.  The backend version is bumped whenever an LD-QBD backend
+ * changes numerically, so a persisted cache from an older backend era
+ * can never serve a cell the current chain owns.
  */
-using Key = std::array<std::uint64_t, 11>;
+using Key = std::array<std::uint64_t, 14>;
+
+/** Backend version stamped into LD-QBD keys (word 13). */
+constexpr std::uint64_t kLdQbdBackendVersion = 2;
 
 Key
 makeKey(const markov::SbusParams &prm, SbusSolverKind solver,
@@ -49,6 +60,23 @@ makeKey(const markov::SbusParams &prm, SbusSolverKind solver,
     return key;
 }
 
+Key
+makeNetworkKey(const markov::NetChainParams &prm, SbusSolverKind solver)
+{
+    const auto dbits = [](double v) { return std::bit_cast<std::uint64_t>(v); };
+    Key key{};
+    key[0] = prm.processors;
+    key[1] = prm.resources;
+    key[2] = static_cast<std::uint64_t>(solver);
+    key[3] = dbits(prm.lambda);
+    key[4] = dbits(prm.muN);
+    key[5] = dbits(prm.muS);
+    key[11] = prm.buses;
+    key[12] = dbits(prm.linkConflict);
+    key[13] = kLdQbdBackendVersion;
+    return key;
+}
+
 markov::SbusSolution
 computeSolution(const markov::SbusParams &prm, SbusSolverKind solver,
                 const markov::SbusSolveOptions &opts)
@@ -61,17 +89,36 @@ computeSolution(const markov::SbusParams &prm, SbusSolverKind solver,
         return markov::solveStaged(chain, opts);
       case SbusSolverKind::Direct:
         return markov::solveDirect(chain, opts);
+      case SbusSolverKind::XbarLdQbd:
+      case SbusSolverKind::OmegaLdQbd:
+        break; // network chains go through computeNetworkSolution
     }
     RSIN_PANIC("AnalysisCache: unknown solver kind");
 }
 
+markov::SbusSolution
+computeNetworkSolution(const markov::NetChainParams &prm,
+                       SbusSolverKind solver)
+{
+    switch (solver) {
+      case SbusSolverKind::XbarLdQbd:
+        return markov::solveXbarChain(prm);
+      case SbusSolverKind::OmegaLdQbd:
+        return markov::solveOmegaChain(prm);
+      default:
+        break;
+    }
+    RSIN_PANIC("AnalysisCache: not a network solver kind");
+}
+
 /** Persisted-format header line (version-bumps invalidate old files). */
-constexpr const char *kCacheHeader = "rsin.analysis_cache.v1";
+constexpr const char *kCacheHeader = "rsin.analysis_cache.v2";
 
 /**
- * One persisted entry: 11 key words + stable flag + 7 bit-cast
- * solution doubles + levelsUsed, all hex, in field order.  The crc
- * appended by save() covers exactly these bytes.
+ * One persisted entry: 14 key words + stable flag + 7 bit-cast
+ * solution doubles + levelsUsed + the bit-cast truncation bound, all
+ * hex, in field order.  The crc appended by save() covers exactly
+ * these bytes.
  */
 std::string
 formatEntry(const Key &key, const markov::SbusSolution &sol)
@@ -93,6 +140,7 @@ formatEntry(const Key &key, const markov::SbusSolution &sol)
         dbits(sol.probEmptySystem),
         dbits(sol.probNoWait),
         std::uint64_t{sol.levelsUsed},
+        dbits(sol.truncationBound),
     };
     for (const std::uint64_t word : fields)
         line += formatf("%016llx ",
@@ -115,22 +163,23 @@ parseEntry(const std::string &line, Key &key,
         if (end != tok.c_str() + tok.size())
             return false;
     }
-    if (words.size() != 20)
+    if (words.size() != 24)
         return false;
     const auto bitsd = [](std::uint64_t v) {
         return std::bit_cast<double>(v);
     };
     for (std::size_t i = 0; i < key.size(); ++i)
         key[i] = words[i];
-    sol.stable = words[11] != 0;
-    sol.meanQueueLength = bitsd(words[12]);
-    sol.queueingDelay = bitsd(words[13]);
-    sol.normalizedDelay = bitsd(words[14]);
-    sol.busUtilization = bitsd(words[15]);
-    sol.resourceUtilization = bitsd(words[16]);
-    sol.probEmptySystem = bitsd(words[17]);
-    sol.probNoWait = bitsd(words[18]);
-    sol.levelsUsed = static_cast<std::size_t>(words[19]);
+    sol.stable = words[14] != 0;
+    sol.meanQueueLength = bitsd(words[15]);
+    sol.queueingDelay = bitsd(words[16]);
+    sol.normalizedDelay = bitsd(words[17]);
+    sol.busUtilization = bitsd(words[18]);
+    sol.resourceUtilization = bitsd(words[19]);
+    sol.probEmptySystem = bitsd(words[20]);
+    sol.probNoWait = bitsd(words[21]);
+    sol.levelsUsed = static_cast<std::size_t>(words[22]);
+    sol.truncationBound = bitsd(words[23]);
     return true;
 }
 
@@ -167,7 +216,25 @@ markov::SbusSolution
 AnalysisCache::solve(const markov::SbusParams &prm, SbusSolverKind solver,
                      const markov::SbusSolveOptions &opts)
 {
-    const Key key = makeKey(prm, solver, opts);
+    return solveKeyed(makeKey(prm, solver, opts), [&] {
+        return computeSolution(prm, solver, opts);
+    });
+}
+
+markov::SbusSolution
+AnalysisCache::solveNetwork(const markov::NetChainParams &prm,
+                            SbusSolverKind solver)
+{
+    return solveKeyed(makeNetworkKey(prm, solver), [&] {
+        return computeNetworkSolution(prm, solver);
+    });
+}
+
+markov::SbusSolution
+AnalysisCache::solveKeyed(
+    const Key &key,
+    const std::function<markov::SbusSolution()> &compute)
+{
     std::unique_lock<std::mutex> lock(impl_->mutex);
     for (;;) {
         const auto it = impl_->entries.find(key);
@@ -189,7 +256,7 @@ AnalysisCache::solve(const markov::SbusParams &prm, SbusSolverKind solver,
 
     markov::SbusSolution sol;
     try {
-        sol = computeSolution(prm, solver, opts);
+        sol = compute();
     } catch (...) {
         // A failed solve must not leave a poisoned in-flight marker.
         lock.lock();

@@ -28,20 +28,25 @@
  *    on next use.
  */
 
+#include <array>
 #include <cstddef>
 #include <cstdint>
+#include <functional>
 #include <string>
 
 #include "markov/sbus_solvers.hpp"
+#include "markov/xbar_model.hpp"
 
 namespace rsin {
 
-/** Which SBUS solver a cached solution came from. */
+/** Which analytic solver a cached solution came from. */
 enum class SbusSolverKind
 {
     MatrixGeometric, ///< markov::solveMatrixGeometric
     Staged,          ///< markov::solveStaged
     Direct,          ///< markov::solveDirect
+    XbarLdQbd,       ///< markov::solveXbarChain (exact LD-QBD)
+    OmegaLdQbd,      ///< markov::solveOmegaChain (exact LD-QBD)
 };
 
 /** Memo of SBUS solves; safe for concurrent use. */
@@ -65,6 +70,16 @@ class AnalysisCache
                                SbusSolverKind solver,
                                const markov::SbusSolveOptions &opts = {});
 
+    /**
+     * Solve the exact crossbar/Omega LD-QBD chain for @p prm with the
+     * default solver options (which are therefore not part of the
+     * key), under the same caching guarantees as solve().  The key
+     * carries the solver-backend version, so persisted entries from an
+     * older backend can never serve a cell the current chain owns.
+     */
+    markov::SbusSolution solveNetwork(const markov::NetChainParams &prm,
+                                      SbusSolverKind solver);
+
     /** Counters since construction (or the last clear()). */
     struct Stats
     {
@@ -80,8 +95,8 @@ class AnalysisCache
 
     /**
      * Persist every completed entry to @p path (atomic tmp + rename).
-     * Text format "rsin.analysis_cache.v1": one line per entry -- the
-     * 11 key words and the bit-cast solution doubles in hex, crc32
+     * Text format "rsin.analysis_cache.v2": one line per entry -- the
+     * 14 key words and the bit-cast solution doubles in hex, crc32
      * stamped -- so a load returns bit-identical solutions.  Returns
      * the number of entries written.
      */
@@ -91,8 +106,11 @@ class AnalysisCache
      * Merge entries from a file written by save() into the cache
      * (existing keys keep their value).  Tolerant: a missing file
      * loads nothing, and malformed or crc-mismatched lines -- e.g. a
-     * torn tail from a crashed writer -- are skipped, not fatal.
-     * Returns the number of entries added.
+     * torn tail from a crashed writer -- are skipped, not fatal.  A
+     * file from an older format version (e.g. the pre-LD-QBD
+     * "rsin.analysis_cache.v1") loads zero entries: its solutions may
+     * have come from reduction-era solvers, so it is discarded rather
+     * than migrated.  Returns the number of entries added.
      */
     std::size_t load(const std::string &path);
 
@@ -101,6 +119,14 @@ class AnalysisCache
 
   private:
     struct Impl;
+
+    /** Canonical cache key (see makeKey in the implementation). */
+    using Key = std::array<std::uint64_t, 14>;
+
+    markov::SbusSolution
+    solveKeyed(const Key &key,
+               const std::function<markov::SbusSolution()> &compute);
+
     Impl *impl_;
 };
 

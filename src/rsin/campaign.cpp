@@ -158,7 +158,10 @@ planCampaign(const CampaignSpec &spec)
     if (spec.analytic) {
         for (std::size_t c = 0; c < spec.configs.size(); ++c) {
             const auto &cfg = spec.configs[c];
-            if (cfg.network != NetworkClass::SingleBus)
+            const bool exact = cfg.network == NetworkClass::SingleBus ||
+                               xbarExactInRange(cfg) ||
+                               omegaExactInRange(cfg);
+            if (!exact)
                 continue;
             for (std::size_t t = 0; t < spec.ratios.size(); ++t)
                 for (std::size_t g = 0; g < spec.rhoSteps; ++g) {

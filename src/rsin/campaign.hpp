@@ -59,7 +59,9 @@ struct CampaignSpec
     std::size_t replications = 1;  ///< independent runs per point
     std::uint64_t seed = 1;        ///< campaign base seed
     double muN = 1.0;              ///< transmission rate
-    /** Also solve SBUS configurations with the exact Markov model. */
+    /** Also solve configurations with an exact Markov model: every
+     *  SBUS cell, plus XBAR/OMEGA cells whose LD-QBD chain is in
+     *  range (xbarExactInRange / omegaExactInRange). */
     bool analytic = true;
 
     /** Throw FatalError when the matrix is malformed or empty. */
@@ -102,8 +104,8 @@ std::string canonicalSpec(const CampaignSpec &spec);
 
 /**
  * Expand the matrix into cells, deterministically ordered (simulation
- * cells first, then the SBUS analytic cells).  Keys are unique;
- * validates the spec first.
+ * cells first, then the analytic cells).  Keys are unique; validates
+ * the spec first.
  */
 std::vector<CampaignCell> planCampaign(const CampaignSpec &spec);
 

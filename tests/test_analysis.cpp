@@ -131,6 +131,131 @@ TEST(AnalysisTest, MultistageLightLoadAnchorsSimulation)
                  FatalError);
 }
 
+TEST(AnalysisTest, ExactInRangePredicatesFollowPhaseLimitAndShape)
+{
+    // In range: lumped phase space small enough for the chain solvers.
+    EXPECT_TRUE(xbarExactInRange(SystemConfig::parse("16/2x8x8 XBAR/2")));
+    EXPECT_TRUE(xbarExactInRange(SystemConfig::parse("16/4x4x4 XBAR/2")));
+    EXPECT_TRUE(
+        xbarExactInRange(SystemConfig::parse("16/1x16x32 XBAR/1")));
+    // Out of range: 16x16 with r=2 has 4845 phases.
+    EXPECT_FALSE(
+        xbarExactInRange(SystemConfig::parse("16/1x16x16 XBAR/2")));
+    // Wrong class.
+    EXPECT_FALSE(
+        xbarExactInRange(SystemConfig::parse("16/16x1x1 SBUS/2")));
+    EXPECT_FALSE(
+        xbarExactInRange(SystemConfig::parse("16/4x4x4 OMEGA/2")));
+
+    EXPECT_TRUE(
+        omegaExactInRange(SystemConfig::parse("16/4x4x4 OMEGA/2")));
+    EXPECT_TRUE(
+        omegaExactInRange(SystemConfig::parse("16/2x8x8 OMEGA/2")));
+    EXPECT_FALSE(
+        omegaExactInRange(SystemConfig::parse("16/1x16x16 OMEGA/2")));
+    EXPECT_FALSE(
+        omegaExactInRange(SystemConfig::parse("16/4x4x4 XBAR/2")));
+
+    // Out-of-range calls must refuse rather than silently approximate.
+    EXPECT_THROW(xbarExact(SystemConfig::parse("16/1x16x16 XBAR/2"),
+                           0.05, 1.0, 0.1),
+                 FatalError);
+    EXPECT_THROW(omegaExact(SystemConfig::parse("16/1x16x16 OMEGA/2"),
+                            0.05, 1.0, 0.1),
+                 FatalError);
+}
+
+TEST(AnalysisTest, OmegaLinkConflictMatchesHandEnumeration)
+{
+    // 2x2: one stage, no internal boundary, no internal blocking.
+    EXPECT_DOUBLE_EQ(omegaLinkConflict(2), 0.0);
+    // 4x4: boundary-1 link of path (x, y) is (2x + y1) mod 4, so two
+    // paths with x != x', y != y' collide iff x' = x + 2 (mod 4) and
+    // y, y' share their top bit: 16 of the 144 pairs -> 1/9.
+    EXPECT_NEAR(omegaLinkConflict(4), 1.0 / 9.0, 1e-12);
+    // 8x8: inclusion-exclusion over the two internal boundaries gives
+    // (192 + 192 - 64) / 3136 = 5/49.
+    EXPECT_NEAR(omegaLinkConflict(8), 5.0 / 49.0, 1e-12);
+}
+
+TEST(AnalysisTest, XbarExactSitsBetweenReductionsAndNearSimulation)
+{
+    const auto cfg = SystemConfig::parse("16/4x4x4 XBAR/2");
+    const double mu_n = 1.0, mu_s = 0.1;
+    for (double rho : {0.2, 0.5}) {
+        const double lambda = lambdaForRho(cfg, rho, mu_n, mu_s);
+        const auto exact = xbarExact(cfg, lambda, mu_n, mu_s);
+        ASSERT_TRUE(exact.stable) << "rho " << rho;
+        EXPECT_GT(exact.truncationBound, 0.0);
+        EXPECT_LT(exact.truncationBound, 1e-4);
+
+        // Section IV: the light-load reduction approximates the exact
+        // chain at light load, and the heavy-load partition (which
+        // removes sharing flexibility) upper-bounds it.
+        if (rho <= 0.25) {
+            const auto lo = xbarLightLoad(cfg, lambda, mu_n, mu_s);
+            EXPECT_NEAR(lo.queueingDelay, exact.queueingDelay,
+                        0.20 * exact.queueingDelay);
+        }
+        const auto hi = xbarHeavyLoad(cfg, lambda, mu_n, mu_s);
+        if (hi.stable) {
+            EXPECT_GE(hi.queueingDelay,
+                      exact.queueingDelay * (1.0 - 1e-9));
+        }
+
+        workload::WorkloadParams params;
+        params.muN = mu_n;
+        params.muS = mu_s;
+        params.lambda = lambda;
+        SimOptions opts;
+        opts.seed = 19;
+        opts.measureTasks = 30000;
+        const auto sim = simulate(cfg, params, opts);
+        ASSERT_FALSE(sim.saturated);
+        EXPECT_NEAR(sim.meanDelay, exact.queueingDelay,
+                    0.10 * exact.queueingDelay +
+                        exact.truncationBound * exact.queueingDelay +
+                        0.005)
+            << "rho " << rho;
+    }
+}
+
+TEST(AnalysisTest, OmegaExactTracksSimulationAndExceedsCrossbar)
+{
+    const auto cfg = SystemConfig::parse("16/4x4x4 OMEGA/2");
+    const double mu_n = 1.0, mu_s = 0.1;
+    for (double rho : {0.2, 0.5}) {
+        const double lambda = lambdaForRho(cfg, rho, mu_n, mu_s);
+        const auto exact = omegaExact(cfg, lambda, mu_n, mu_s);
+        ASSERT_TRUE(exact.stable) << "rho " << rho;
+        EXPECT_GT(exact.truncationBound, 0.0);
+
+        // Internal blocking can only hurt relative to a crossbar of
+        // the same shape.
+        auto xcfg = cfg;
+        xcfg.network = NetworkClass::Crossbar;
+        const auto xbar = xbarExact(xcfg, lambda, mu_n, mu_s);
+        EXPECT_GE(exact.queueingDelay,
+                  xbar.queueingDelay * (1.0 - 1e-9));
+
+        workload::WorkloadParams params;
+        params.muN = mu_n;
+        params.muS = mu_s;
+        params.lambda = lambda;
+        SimOptions opts;
+        opts.seed = 23;
+        opts.measureTasks = 30000;
+        const auto sim = simulate(cfg, params, opts);
+        ASSERT_FALSE(sim.saturated);
+        // The chain is exact in its lumped state space but models
+        // internal blocking through the pairwise conflict factor, so
+        // the band is wider than for the crossbar.
+        EXPECT_NEAR(sim.meanDelay, exact.queueingDelay,
+                    0.15 * exact.queueingDelay + 0.01)
+            << "rho " << rho;
+    }
+}
+
 TEST(AnalysisTest, PrivateBusUnlimitedMatchesMm1)
 {
     const auto cfg = SystemConfig::parse("16/16x1x1 SBUS/1");

@@ -55,6 +55,7 @@ expectBitIdentical(const markov::SbusSolution &a,
     EXPECT_EQ(bits(a.probEmptySystem), bits(b.probEmptySystem));
     EXPECT_EQ(bits(a.probNoWait), bits(b.probNoWait));
     EXPECT_EQ(a.levelsUsed, b.levelsUsed);
+    EXPECT_EQ(bits(a.truncationBound), bits(b.truncationBound));
 }
 
 TEST(AnalysisCacheTest, HitIsBitIdenticalToFreshSolve)
@@ -210,6 +211,82 @@ TEST(AnalysisCachePersistTest, SaveLoadRoundTripsBitExact)
     // not recomputed.
     EXPECT_EQ(restored.stats().misses, 0u);
     EXPECT_EQ(restored.stats().hits, prms.size());
+    std::remove(path.c_str());
+}
+
+TEST(AnalysisCacheTest, NetworkSolvesAreKeyedAndSingleEntry)
+{
+    AnalysisCache cache;
+    markov::NetChainParams prm;
+    prm.processors = 4;
+    prm.buses = 2;
+    prm.resources = 2;
+    prm.lambda = 0.05;
+    prm.muN = 1.0;
+    prm.muS = 0.1;
+    const auto first =
+        cache.solveNetwork(prm, SbusSolverKind::XbarLdQbd);
+    const auto second =
+        cache.solveNetwork(prm, SbusSolverKind::XbarLdQbd);
+    expectBitIdentical(first, second);
+    EXPECT_GT(first.truncationBound, 0.0);
+    EXPECT_EQ(cache.stats().misses, 1u);
+    EXPECT_EQ(cache.stats().hits, 1u);
+    // The same parameters under the Omega kind are a different chain
+    // (the kind is in the key), so they must not collide.
+    cache.solveNetwork(prm, SbusSolverKind::OmegaLdQbd);
+    EXPECT_EQ(cache.stats().misses, 2u);
+}
+
+TEST(AnalysisCachePersistTest, NetworkEntriesRoundTripWithBound)
+{
+    const std::string path =
+        ::testing::TempDir() + "rsin_analysis_cache_network.txt";
+    std::remove(path.c_str());
+
+    AnalysisCache source;
+    markov::NetChainParams prm;
+    prm.processors = 4;
+    prm.buses = 2;
+    prm.resources = 1;
+    prm.lambda = 0.04;
+    prm.muN = 1.0;
+    prm.muS = 0.1;
+    const auto solved =
+        source.solveNetwork(prm, SbusSolverKind::XbarLdQbd);
+    ASSERT_GT(solved.truncationBound, 0.0);
+    EXPECT_EQ(source.save(path), 1u);
+
+    AnalysisCache restored;
+    EXPECT_EQ(restored.load(path), 1u);
+    const auto sol =
+        restored.solveNetwork(prm, SbusSolverKind::XbarLdQbd);
+    expectBitIdentical(sol, solved);
+    EXPECT_EQ(restored.stats().misses, 0u);
+    EXPECT_EQ(restored.stats().hits, 1u);
+    std::remove(path.c_str());
+}
+
+TEST(AnalysisCachePersistTest, PreLdQbdV1FilesAreDiscarded)
+{
+    // A v1-era file predates the LD-QBD backends and the 24-word entry
+    // schema; migration policy is to discard it wholesale rather than
+    // guess at its solver provenance.
+    const std::string path =
+        ::testing::TempDir() + "rsin_analysis_cache_v1.txt";
+    {
+        std::ofstream os(path, std::ios::trunc);
+        os << "rsin.analysis_cache.v1\n";
+        // A plausible v1 line (22 words + crc); must not be imported.
+        std::string body;
+        for (int i = 0; i < 22; ++i)
+            body += "0000000000000001 ";
+        body.pop_back();
+        os << body << " deadbeef\n";
+    }
+    AnalysisCache cache;
+    EXPECT_EQ(cache.load(path), 0u);
+    EXPECT_EQ(cache.stats().entries, 0u);
     std::remove(path.c_str());
 }
 

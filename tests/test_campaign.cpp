@@ -88,10 +88,11 @@ TEST(CampaignPlanTest, ExpandsMatrixAndCollapsesUnusedDimensions)
     const auto cells = planCampaign(spec);
     // OMEGA multiplies schedulers x workloads x ratios = 2*2*2 = 8
     // combos; SBUS has no scheduler choice, so 1*2*2 = 4.  Each combo
-    // spans 3 rho steps x 2 replications; SBUS adds 2*3 analytic
-    // cells.
+    // spans 3 rho steps x 2 replications.  Both configs have an exact
+    // chain (SBUS always; 8/1x8x8 OMEGA/2 is in LD-QBD range), so
+    // each adds 2*3 analytic cells.
     const std::size_t sim = (8 + 4) * 3 * 2;
-    const std::size_t analytic = 2 * 3;
+    const std::size_t analytic = 2 * (2 * 3);
     ASSERT_EQ(cells.size(), sim + analytic);
 
     std::set<std::string> keys;
@@ -350,7 +351,8 @@ TEST(CampaignResumeTest, KillAndResumeIsBitIdenticalToOneShot)
 
     ASSERT_EQ(runCampaign(oneshot, ""), 0);
 
-    // Kill roughly half way: 3 analytic cells + a few simulations.
+    // Kill roughly half way: 6 analytic cells (3 SBUS + 3 OMEGA
+    // exact-chain) + one simulation.
     const int status = runCampaign(crashed, "--kill-after-cells 7");
     ASSERT_TRUE(WIFEXITED(status) || WIFSIGNALED(status));
     ASSERT_NE(status, 0);
@@ -376,7 +378,7 @@ TEST(CampaignResumeTest, KillAndResumeIsBitIdenticalToOneShot)
 
     const auto a = ledgerLines(oneshot);
     const auto b = ledgerLines(crashed);
-    EXPECT_EQ(a.size(), 15u);
+    EXPECT_EQ(a.size(), 18u);
     // Bit-identity of the merged record sets: every surviving
     // pre-crash record byte-equals its uninterrupted twin, and the
     // re-run cells reproduced the lost bytes exactly.

@@ -1,0 +1,328 @@
+/**
+ * @file
+ * Tests for the exact crossbar/Omega LD-QBD chains and the
+ * solveStationary dispatch: oracle agreement with the single-bus
+ * matrix-geometric solver (a crossbar with one bus *is* the SBUS
+ * chain), dense-vs-sparse backend agreement, and the certified
+ * truncation bound covering the observed truncation error across a
+ * parameter sweep.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstddef>
+
+#include "markov/ldqbd.hpp"
+#include "markov/omega_model.hpp"
+#include "markov/sbus_model.hpp"
+#include "markov/sbus_solvers.hpp"
+#include "markov/xbar_model.hpp"
+
+namespace rsin {
+namespace markov {
+namespace {
+
+double
+relDiff(double a, double b)
+{
+    return std::fabs(a - b) / std::max(std::fabs(b), 1e-12);
+}
+
+TEST(NetChainTest, PhaseCountsMatchTheClosedForm)
+{
+    // C(k + 2r, 2r) when the processor constraint never binds.
+    EXPECT_EQ(netChainPhaseCount(16, 16, 2), 4845u);
+    EXPECT_EQ(netChainPhaseCount(16, 8, 2), 495u);
+    EXPECT_EQ(netChainPhaseCount(16, 4, 2), 70u);
+    EXPECT_EQ(netChainPhaseCount(16, 2, 2), 15u);
+    // j = 16 < k = 32 makes the transmitting cap bite.
+    EXPECT_EQ(netChainPhaseCount(16, 32, 1), 425u);
+    // The enumeration agrees with the formula.
+    NetChainParams prm;
+    prm.processors = 3;
+    prm.buses = 5;
+    prm.resources = 2;
+    const XbarChainModel model(prm);
+    EXPECT_EQ(model.phases(), netChainPhaseCount(3, 5, 2));
+}
+
+TEST(NetChainTest, HomogeneityGapDecaysGeometrically)
+{
+    NetChainParams prm;
+    prm.processors = 8;
+    prm.buses = 2;
+    const XbarChainModel model(prm);
+    EXPECT_DOUBLE_EQ(model.homogeneityGap(0), 1.0);
+    EXPECT_GT(model.homogeneityGap(4), model.homogeneityGap(8));
+    EXPECT_NEAR(model.homogeneityGap(16), std::pow(7.0 / 8.0, 16.0),
+                1e-15);
+    prm.processors = 1;
+    const XbarChainModel lone(prm);
+    EXPECT_DOUBLE_EQ(lone.homogeneityGap(3), 0.0);
+}
+
+TEST(NetChainTest, GeneratorRowsSumToZeroAcrossLevels)
+{
+    NetChainParams prm;
+    prm.processors = 6;
+    prm.buses = 3;
+    prm.resources = 2;
+    prm.lambda = 0.02;
+    prm.muN = 1.0;
+    prm.muS = 0.1;
+    const OmegaChainModel model({.processors = 6,
+                                 .buses = 3,
+                                 .resources = 2,
+                                 .lambda = 0.02,
+                                 .muN = 1.0,
+                                 .muS = 0.1,
+                                 .linkConflict = 0.25});
+    const XbarChainModel xbar(prm);
+    const LdQbdModel *models[] = {&model, &xbar};
+    for (const LdQbdModel *m : models) {
+        const std::size_t n = m->phases();
+        for (const std::size_t level : {0u, 1u, 2u, 7u, 40u}) {
+            la::Triplets a0, a1, a2;
+            m->levelBlocks(level, a0, a1, a2);
+            if (level == 0) {
+                EXPECT_TRUE(a2.empty());
+            }
+            la::Vector row(n, 0.0);
+            for (const auto *block : {&a0, &a1, &a2})
+                for (const auto &e : *block)
+                    row[e.row] += e.value;
+            for (std::size_t i = 0; i < n; ++i)
+                EXPECT_NEAR(row[i], 0.0, 1e-10)
+                    << "level " << level << " phase " << i;
+        }
+        la::Triplets a0, a1, a2;
+        m->limitBlocks(a0, a1, a2);
+        la::Vector row(n, 0.0);
+        for (const auto *block : {&a0, &a1, &a2})
+            for (const auto &e : *block)
+                row[e.row] += e.value;
+        for (std::size_t i = 0; i < n; ++i)
+            EXPECT_NEAR(row[i], 0.0, 1e-10) << "limit phase " << i;
+    }
+}
+
+/**
+ * A crossbar with a single bus is exactly the single-shared-bus chain,
+ * so solveXbarChain must reproduce the matrix-geometric SBUS solver.
+ */
+TEST(NetChainTest, SingleBusCrossbarMatchesSbusOracle)
+{
+    for (const std::size_t r : {1u, 2u, 4u})
+        for (const std::size_t j : {1u, 4u, 16u})
+            for (const double ratio : {0.1, 10.0})
+                for (const double load : {0.3, 0.8}) {
+                    SbusParams sp;
+                    sp.p = j;
+                    sp.r = r;
+                    sp.muN = 1.0;
+                    sp.muS = 1.0 / ratio;
+                    const SbusChain chain(sp);
+                    const double sat = chain.saturationThroughput();
+                    sp.lambda =
+                        load * sat / static_cast<double>(j);
+                    const SbusChain loaded(sp);
+                    const SbusSolution oracle =
+                        solveMatrixGeometric(loaded);
+                    ASSERT_TRUE(oracle.stable);
+
+                    NetChainParams prm;
+                    prm.processors = j;
+                    prm.buses = 1;
+                    prm.resources = r;
+                    prm.lambda = sp.lambda;
+                    prm.muN = sp.muN;
+                    prm.muS = sp.muS;
+                    const SbusSolution sol = solveXbarChain(prm);
+                    ASSERT_TRUE(sol.stable);
+                    const char *label = "r/j/ratio/load";
+                    EXPECT_LT(relDiff(sol.normalizedDelay,
+                                      oracle.normalizedDelay),
+                              1e-6)
+                        << label << " " << r << "/" << j << "/"
+                        << ratio << "/" << load;
+                    EXPECT_LT(relDiff(sol.meanQueueLength,
+                                      oracle.meanQueueLength),
+                              1e-6);
+                    EXPECT_NEAR(sol.busUtilization,
+                                oracle.busUtilization, 1e-7);
+                    EXPECT_NEAR(sol.resourceUtilization,
+                                oracle.resourceUtilization, 1e-7);
+                    EXPECT_NEAR(sol.probEmptySystem,
+                                oracle.probEmptySystem, 1e-7);
+                    EXPECT_NEAR(sol.probNoWait, oracle.probNoWait,
+                                1e-7);
+                }
+}
+
+/** A 2x2 Omega network has no internal boundary, so c1 = 0 and the
+ *  Omega chain must coincide with the crossbar chain. */
+TEST(NetChainTest, ConflictFreeOmegaMatchesCrossbar)
+{
+    NetChainParams prm;
+    prm.processors = 2;
+    prm.buses = 2;
+    prm.resources = 2;
+    prm.lambda = 0.05;
+    prm.muN = 1.0;
+    prm.muS = 0.1;
+    prm.linkConflict = 0.0;
+    const SbusSolution omega = solveOmegaChain(prm);
+    const SbusSolution xbar = solveXbarChain(prm);
+    EXPECT_DOUBLE_EQ(omega.normalizedDelay, xbar.normalizedDelay);
+    EXPECT_DOUBLE_EQ(omega.busUtilization, xbar.busUtilization);
+
+    // A genuine conflict probability must hurt, never help.
+    prm.linkConflict = 0.3;
+    const SbusSolution blocked = solveOmegaChain(prm);
+    ASSERT_TRUE(blocked.stable);
+    EXPECT_GT(blocked.normalizedDelay, xbar.normalizedDelay);
+    EXPECT_LT(blocked.probNoWait, xbar.probNoWait);
+}
+
+TEST(SolveStationaryTest, AutoDispatchesOnBlockSize)
+{
+    NetChainParams small;
+    small.processors = 16;
+    small.buses = 4;
+    small.resources = 2; // 70 phases -> dense
+    small.lambda = 0.02;
+    small.muS = 0.1;
+    const XbarChainModel small_model(small);
+    const LdQbdResult dense = solveStationary(small_model);
+    EXPECT_EQ(dense.backend, LdQbdBackend::DenseCensored);
+    EXPECT_TRUE(dense.converged);
+
+    NetChainParams large = small;
+    large.buses = 8; // 495 phases -> sparse
+    const XbarChainModel large_model(large);
+    const LdQbdResult sparse = solveStationary(large_model);
+    EXPECT_EQ(sparse.backend, LdQbdBackend::SparseKrylov);
+    EXPECT_TRUE(sparse.converged);
+
+    // Explicit backend requests are honored.
+    LdQbdOptions opts;
+    opts.backend = LdQbdBackend::SparsePower;
+    EXPECT_EQ(solveStationary(small_model, opts).backend,
+              LdQbdBackend::SparsePower);
+    opts.backend = LdQbdBackend::SparseKrylov;
+    EXPECT_EQ(solveStationary(small_model, opts).backend,
+              LdQbdBackend::SparseKrylov);
+}
+
+TEST(SolveStationaryTest, BackendsAgreeOnTheSameChain)
+{
+    NetChainParams prm;
+    prm.processors = 8;
+    prm.buses = 4;
+    prm.resources = 2;
+    prm.muN = 1.0;
+    prm.muS = 0.1;
+    for (const double load : {0.3, 0.7}) {
+        // Capacity is resource-bound at k*r*muS; stay below it.
+        prm.lambda = load * 4.0 * 2.0 * 0.1 / 8.0;
+        const XbarChainModel model(prm);
+        LdQbdOptions opts;
+        opts.backend = LdQbdBackend::DenseCensored;
+        const LdQbdResult dense = solveStationary(model, opts);
+        opts.backend = LdQbdBackend::SparseKrylov;
+        const LdQbdResult krylov = solveStationary(model, opts);
+        opts.backend = LdQbdBackend::SparsePower;
+        const LdQbdResult power = solveStationary(model, opts);
+        ASSERT_TRUE(dense.stable && krylov.stable && power.stable);
+        EXPECT_LT(relDiff(krylov.meanLevel, dense.meanLevel), 1e-5)
+            << "load " << load;
+        EXPECT_LT(relDiff(power.meanLevel, dense.meanLevel), 1e-4)
+            << "load " << load;
+        for (std::size_t p = 0; p < model.phases(); ++p)
+            EXPECT_NEAR(krylov.phaseMarginal[p],
+                        dense.phaseMarginal[p], 1e-6);
+    }
+}
+
+TEST(SolveStationaryTest, InstabilityDetectedByEveryBackend)
+{
+    NetChainParams prm;
+    prm.processors = 4;
+    prm.buses = 2;
+    prm.resources = 1;
+    prm.lambda = 10.0; // far beyond capacity
+    prm.muS = 0.1;
+    const XbarChainModel model(prm);
+    for (const LdQbdBackend backend :
+         {LdQbdBackend::DenseCensored, LdQbdBackend::SparseKrylov,
+          LdQbdBackend::SparsePower}) {
+        LdQbdOptions opts;
+        opts.backend = backend;
+        const LdQbdResult res = solveStationary(model, opts);
+        EXPECT_FALSE(res.stable);
+    }
+    const SbusSolution sol = solveXbarChain(prm);
+    EXPECT_FALSE(sol.stable);
+    EXPECT_TRUE(std::isinf(sol.normalizedDelay));
+}
+
+/**
+ * The certificate property: the reported truncation bound dominates
+ * the observed truncation error, measured against a much deeper
+ * reference solve, across a parameter sweep and both backends.
+ */
+TEST(SolveStationaryTest, TruncationBoundCoversObservedError)
+{
+    std::size_t cells = 0;
+    for (const std::size_t k : {1u, 2u, 4u})
+        for (const std::size_t r : {1u, 2u})
+            for (const double ratio : {0.1, 10.0})
+                for (const double load : {0.5, 0.85}) {
+                    NetChainParams prm;
+                    prm.processors = 8;
+                    prm.buses = k;
+                    prm.resources = r;
+                    prm.muN = 1.0;
+                    prm.muS = 1.0 / ratio;
+                    // Rough resource-bound capacity k*r*muS; the bus
+                    // bound k*muN matters at ratio 10.
+                    const double capacity =
+                        std::min(static_cast<double>(k) * prm.muN,
+                                 static_cast<double>(k * r) * prm.muS);
+                    prm.lambda = load * capacity / 8.0;
+                    const XbarChainModel model(prm);
+
+                    LdQbdOptions coarse;
+                    coarse.relTolerance = 1e-5;
+                    coarse.backend = LdQbdBackend::DenseCensored;
+                    LdQbdOptions fine;
+                    fine.relTolerance = 1e-11;
+                    fine.backend = LdQbdBackend::DenseCensored;
+                    const LdQbdResult ref =
+                        solveStationary(model, fine);
+                    if (!ref.stable)
+                        continue;
+                    for (const LdQbdBackend backend :
+                         {LdQbdBackend::DenseCensored,
+                          LdQbdBackend::SparseKrylov}) {
+                        coarse.backend = backend;
+                        const LdQbdResult res =
+                            solveStationary(model, coarse);
+                        ASSERT_TRUE(res.stable);
+                        const double observed =
+                            relDiff(res.meanLevel, ref.meanLevel);
+                        EXPECT_LE(observed, res.truncationBound)
+                            << "k=" << k << " r=" << r
+                            << " ratio=" << ratio << " load=" << load
+                            << " backend="
+                            << static_cast<int>(backend);
+                        ++cells;
+                    }
+                }
+    EXPECT_GE(cells, 30u); // the sweep must actually run
+}
+
+} // namespace
+} // namespace markov
+} // namespace rsin

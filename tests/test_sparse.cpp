@@ -1,0 +1,258 @@
+/**
+ * @file
+ * Unit tests for the sparse engine: CSR assembly and kernels against
+ * the dense oracles, GMRES against dense LU, and the uniformized power
+ * iteration against stationaryFromGenerator.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstddef>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "la/matrix.hpp"
+#include "la/sparse.hpp"
+
+namespace rsin {
+namespace la {
+namespace {
+
+/** Random sparse matrix with ~density fill, plus its dense twin. */
+CsrMatrix
+randomSparse(Rng &rng, std::size_t rows, std::size_t cols,
+             double density, Matrix &dense_out)
+{
+    Triplets entries;
+    dense_out = Matrix(rows, cols, 0.0);
+    for (std::size_t r = 0; r < rows; ++r)
+        for (std::size_t c = 0; c < cols; ++c)
+            if (rng.uniform01() < density) {
+                const double v = rng.uniform(-2.0, 2.0);
+                entries.push_back({r, c, v});
+                dense_out(r, c) += v;
+            }
+    return CsrMatrix::fromTriplets(rows, cols, entries);
+}
+
+TEST(CsrTest, AssemblySumsDuplicatesAndSortsColumns)
+{
+    const Triplets entries{
+        {1, 2, 3.0}, {0, 1, 1.0}, {1, 2, -1.0}, {1, 0, 4.0},
+        {2, 2, 5.0},
+    };
+    const CsrMatrix m = CsrMatrix::fromTriplets(3, 3, entries);
+    EXPECT_EQ(m.nnz(), 4u); // the (1,2) pair collapsed
+    const Matrix d = m.dense();
+    EXPECT_DOUBLE_EQ(d(1, 2), 2.0);
+    EXPECT_DOUBLE_EQ(d(1, 0), 4.0);
+    EXPECT_DOUBLE_EQ(d(0, 1), 1.0);
+    EXPECT_DOUBLE_EQ(d(2, 2), 5.0);
+    // Columns sorted within each row.
+    for (std::size_t r = 0; r < m.rows(); ++r)
+        for (std::size_t i = m.rowPtr()[r] + 1; i < m.rowPtr()[r + 1];
+             ++i)
+            EXPECT_LT(m.colIdx()[i - 1], m.colIdx()[i]);
+}
+
+TEST(CsrTest, EmptyRowsAndMatrix)
+{
+    const CsrMatrix empty = CsrMatrix::fromTriplets(3, 2, {});
+    EXPECT_EQ(empty.nnz(), 0u);
+    const Vector y = empty * Vector{1.0, 1.0};
+    EXPECT_EQ(y, Vector(3, 0.0));
+}
+
+TEST(CsrTest, SpmvMatchesDenseOnPropertyGrid)
+{
+    Rng rng(42);
+    for (const std::size_t rows : {1u, 5u, 17u, 40u})
+        for (const std::size_t cols : {1u, 7u, 33u})
+            for (const double density : {0.05, 0.3, 0.9}) {
+                Matrix dense;
+                const CsrMatrix m =
+                    randomSparse(rng, rows, cols, density, dense);
+                Vector x(cols);
+                for (auto &v : x)
+                    v = rng.uniform(-1.0, 1.0);
+                const Vector y_sparse = m * x;
+                const Vector y_dense = dense * x;
+                ASSERT_EQ(y_sparse.size(), y_dense.size());
+                for (std::size_t i = 0; i < rows; ++i)
+                    EXPECT_NEAR(y_sparse[i], y_dense[i], 1e-13)
+                        << rows << "x" << cols << " @" << density;
+            }
+}
+
+TEST(CsrTest, TransposedKernelAndExplicitTransposeAgree)
+{
+    Rng rng(7);
+    Matrix dense;
+    const CsrMatrix m = randomSparse(rng, 23, 15, 0.2, dense);
+    Vector x(23);
+    for (auto &v : x)
+        v = rng.uniform(-1.0, 1.0);
+    Vector y_kernel(15, 0.0);
+    m.multiplyTransposed(x.data(), y_kernel.data());
+    const Vector y_explicit = m.transpose() * x;
+    const Vector y_dense = dense.transpose() * x;
+    for (std::size_t i = 0; i < 15; ++i) {
+        EXPECT_NEAR(y_kernel[i], y_dense[i], 1e-13);
+        EXPECT_NEAR(y_explicit[i], y_dense[i], 1e-13);
+    }
+}
+
+TEST(CsrTest, DiagonalExtraction)
+{
+    const Triplets entries{{0, 0, 2.0}, {1, 2, 1.0}, {2, 2, -3.0}};
+    const CsrMatrix m = CsrMatrix::fromTriplets(3, 3, entries);
+    const Vector d = m.diagonal();
+    EXPECT_DOUBLE_EQ(d[0], 2.0);
+    EXPECT_DOUBLE_EQ(d[1], 0.0);
+    EXPECT_DOUBLE_EQ(d[2], -3.0);
+}
+
+/** Random diagonally-dominant system (guaranteed solvable). */
+CsrMatrix
+randomSystem(Rng &rng, std::size_t n, Matrix &dense_out)
+{
+    Triplets entries;
+    dense_out = Matrix(n, n, 0.0);
+    for (std::size_t r = 0; r < n; ++r) {
+        double offsum = 0.0;
+        for (std::size_t c = 0; c < n; ++c) {
+            if (c == r || rng.uniform01() > 0.3)
+                continue;
+            const double v = rng.uniform(-1.0, 1.0);
+            entries.push_back({r, c, v});
+            dense_out(r, c) = v;
+            offsum += std::fabs(v);
+        }
+        const double diag = offsum + 1.0 + rng.uniform01();
+        entries.push_back({r, r, diag});
+        dense_out(r, r) = diag;
+    }
+    return CsrMatrix::fromTriplets(n, n, entries);
+}
+
+TEST(GmresTest, MatchesDenseLuOnPropertyGrid)
+{
+    Rng rng(123);
+    for (const std::size_t n : {1u, 4u, 19u, 60u}) {
+        Matrix dense;
+        const CsrMatrix m = randomSystem(rng, n, dense);
+        Vector b(n);
+        for (auto &v : b)
+            v = rng.uniform(-1.0, 1.0);
+        const Vector oracle = LuFactors(dense).solve(b);
+        Vector x(n, 0.0);
+        const GmresResult res = gmres(asOperator(m), b, x);
+        EXPECT_TRUE(res.converged) << "n=" << n;
+        EXPECT_LT(res.residual, 1e-10);
+        for (std::size_t i = 0; i < n; ++i)
+            EXPECT_NEAR(x[i], oracle[i], 1e-8) << "n=" << n;
+    }
+}
+
+TEST(GmresTest, RightPreconditionersPreserveTheSolution)
+{
+    Rng rng(321);
+    const std::size_t n = 48;
+    Matrix dense;
+    const CsrMatrix m = randomSystem(rng, n, dense);
+    Vector b(n);
+    for (auto &v : b)
+        v = rng.uniform(-1.0, 1.0);
+    const Vector oracle = LuFactors(dense).solve(b);
+
+    Vector x_jacobi(n, 0.0);
+    const LinearOperator jacobi = jacobiPreconditioner(m);
+    const GmresResult res_j =
+        gmres(asOperator(m), b, x_jacobi, {}, &jacobi);
+    EXPECT_TRUE(res_j.converged);
+
+    // Block-diagonal preconditioner: three dense blocks of 16, the
+    // last factorization shared by the last two blocks.
+    Matrix block0(16, 16, 0.0), block1(16, 16, 0.0);
+    for (std::size_t r = 0; r < 16; ++r)
+        for (std::size_t c = 0; c < 16; ++c) {
+            block0(r, c) = dense(r, c);
+            block1(r, c) = dense(16 + r, 16 + c);
+        }
+    std::vector<LuFactors> factors;
+    factors.emplace_back(block0);
+    factors.emplace_back(block1);
+    const LinearOperator block = blockDiagonalPreconditioner(
+        std::move(factors), {0, 16, 32}, {0, 1, 1}, n);
+    Vector x_block(n, 0.0);
+    const GmresResult res_b =
+        gmres(asOperator(m), b, x_block, {}, &block);
+    EXPECT_TRUE(res_b.converged);
+
+    for (std::size_t i = 0; i < n; ++i) {
+        EXPECT_NEAR(x_jacobi[i], oracle[i], 1e-8);
+        EXPECT_NEAR(x_block[i], oracle[i], 1e-8);
+    }
+}
+
+TEST(GmresTest, WarmStartAtTheSolutionReturnsImmediately)
+{
+    Rng rng(99);
+    const std::size_t n = 12;
+    Matrix dense;
+    const CsrMatrix m = randomSystem(rng, n, dense);
+    Vector b(n);
+    for (auto &v : b)
+        v = rng.uniform(-1.0, 1.0);
+    Vector x = LuFactors(dense).solve(b);
+    const GmresResult res = gmres(asOperator(m), b, x);
+    EXPECT_TRUE(res.converged);
+    EXPECT_EQ(res.iterations, 0u);
+}
+
+/** Random irreducible CTMC generator (all off-diagonals positive). */
+Matrix
+randomGenerator(Rng &rng, std::size_t n)
+{
+    Matrix q(n, n, 0.0);
+    for (std::size_t r = 0; r < n; ++r) {
+        double out = 0.0;
+        for (std::size_t c = 0; c < n; ++c) {
+            if (c == r)
+                continue;
+            q(r, c) = 0.05 + rng.uniform01();
+            out += q(r, c);
+        }
+        q(r, r) = -out;
+    }
+    return q;
+}
+
+TEST(PowerStationaryTest, MatchesDenseStationarySolver)
+{
+    Rng rng(2024);
+    for (const std::size_t n : {2u, 6u, 25u}) {
+        const Matrix q = randomGenerator(rng, n);
+        const Vector oracle = stationaryFromGenerator(q);
+        Triplets entries;
+        for (std::size_t r = 0; r < n; ++r)
+            for (std::size_t c = 0; c < n; ++c)
+                if (q(r, c) != 0.0)
+                    entries.push_back({c, r, q(r, c)}); // transposed
+        const CsrMatrix qt = CsrMatrix::fromTriplets(n, n, entries);
+        Vector pi;
+        const PowerResult res = powerStationary(qt, pi);
+        EXPECT_TRUE(res.converged) << "n=" << n;
+        double total = 0.0;
+        for (std::size_t i = 0; i < n; ++i) {
+            EXPECT_NEAR(pi[i], oracle[i], 1e-8) << "n=" << n;
+            total += pi[i];
+        }
+        EXPECT_NEAR(total, 1.0, 1e-12);
+    }
+}
+
+} // namespace
+} // namespace la
+} // namespace rsin
